@@ -1,0 +1,138 @@
+// E7 — boundedness (Section 4, Prop 5.5): static verdicts vs the empirical
+// Definition 4.1 observable. For each corpus program: the exact chain
+// decision (when applicable), the Theorem 4.6 Chom semi-decision, and
+// naive-evaluation iterations to fixpoint across growing instances
+// (flat <=> bounded). Also reports decision wall-times (the "decidable in
+// polynomial time" remark after Prop 5.5).
+#include <chrono>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "src/boundedness/boundedness.h"
+#include "src/datalog/parser.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/util/table.h"
+
+using namespace dlcirc;
+
+namespace {
+
+struct CorpusEntry {
+  const char* name;
+  const char* text;
+  bool expected_bounded;
+};
+
+const CorpusEntry kCorpus[] = {
+    {"TC (Ex 2.1)", R"(
+@target T.
+T(X,Y) :- E(X,Y).
+T(X,Y) :- T(X,Z), E(Z,Y).
+)", false},
+    {"bounded (Ex 4.2)", R"(
+@target T.
+T(X,Y) :- E(X,Y).
+T(X,Y) :- A(X), T(Z,Y).
+)", true},
+    {"finite chain {a,ab}", R"(
+@target T.
+T(X,Y) :- A(X,Y).
+T(X,Y) :- A(X,Z), B(Z,Y).
+)", true},
+    {"a b* RPQ", R"(
+@target T.
+T(X,Y) :- A(X,Y).
+T(X,Y) :- T(X,Z), B(Z,Y).
+)", false},
+    {"Dyck-1 (Ex 6.4)", R"(
+@target S.
+S(X,Y) :- L(X,Z), R(Z,Y).
+S(X,Y) :- L(X,W), S(W,Z), R(Z,Y).
+S(X,Y) :- S(X,Z), S(Z,Y).
+)", false},
+    {"monadic reach (Ex 2.1)", R"(
+@target U.
+U(X) :- A(X).
+U(X) :- U(Y), E(X,Y).
+)", false},
+};
+
+// Iterations to fixpoint on a size-n instance. With two binary EDBs the
+// instance is the deeply nested word pred1^{n/2} pred2^{n/2} (worst case for
+// Dyck-like programs); otherwise a path with random chords.
+uint32_t Iterations(const Program& p, uint32_t n, Rng& rng) {
+  Database db(p);
+  std::vector<uint32_t> c;
+  for (uint32_t i = 0; i < n; ++i) c.push_back(db.InternConst("c" + std::to_string(i)));
+  std::vector<uint32_t> binary_preds, unary_preds;
+  for (size_t pred = 0; pred < p.num_preds(); ++pred) {
+    if (p.IdbMask()[pred]) continue;
+    if (p.arities[pred] == 2) binary_preds.push_back(static_cast<uint32_t>(pred));
+    if (p.arities[pred] == 1) unary_preds.push_back(static_cast<uint32_t>(pred));
+  }
+  if (binary_preds.size() == 2) {
+    // Nested word: first half opens, second half closes.
+    for (uint32_t i = 0; i + 1 < n; ++i) {
+      db.AddFact(binary_preds[i < n / 2 ? 0 : 1], {c[i], c[i + 1]});
+    }
+  } else {
+    for (uint32_t pred : binary_preds) {
+      for (uint32_t i = 0; i + 1 < n; ++i) db.AddFact(pred, {c[i], c[i + 1]});
+      for (uint32_t i = 0; i < n / 4; ++i) {
+        db.AddFact(pred, {c[rng.NextBounded(n)], c[rng.NextBounded(n)]});
+      }
+    }
+  }
+  for (uint32_t pred : unary_preds) db.AddFact(pred, {c[n - 1]});
+  return MeasureConvergenceIterations(p, db);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E7", "Section 4 boundedness + Prop 5.5",
+                "Static verdicts vs empirical iterations-to-fixpoint");
+  Table table({"program", "chain verdict (exact)", "Chom semi-decision",
+               "iters n=8", "n=16", "n=32", "n=64", "decision ms"});
+  Rng rng(2025);
+  bool all_ok = true;
+  for (const CorpusEntry& entry : kCorpus) {
+    Program p = ParseProgram(entry.text).value();
+    auto start = std::chrono::steady_clock::now();
+    Result<BoundednessReport> chain = CheckBoundednessChain(p);
+    BoundednessReport chom = CheckBoundednessChom(p);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    std::string chain_s = chain.ok()
+        ? (chain.value().verdict == BoundednessReport::Verdict::kBounded
+               ? "bounded(k=" + Table::Fmt(chain.value().bound) + ")"
+               : "unbounded")
+        : "n/a (not chain)";
+    std::string chom_s =
+        chom.verdict == BoundednessReport::Verdict::kBounded
+            ? "bounded(N=" + Table::Fmt(chom.bound) + ")"
+            : "no bound found";
+    std::vector<std::string> row = {entry.name, chain_s, chom_s};
+    std::vector<uint32_t> iters;
+    for (uint32_t n : {8u, 16u, 32u, 64u}) {
+      iters.push_back(Iterations(p, n, rng));
+      row.push_back(Table::Fmt(iters.back()));
+    }
+    row.push_back(Table::Fmt(ms, 1));
+    table.AddRow(row);
+    bool empirically_flat = iters.back() <= iters.front() + 2;
+    bool verdict_bounded =
+        chom.verdict == BoundednessReport::Verdict::kBounded ||
+        (chain.ok() &&
+         chain.value().verdict == BoundednessReport::Verdict::kBounded);
+    if (verdict_bounded != entry.expected_bounded) all_ok = false;
+    if (entry.expected_bounded != empirically_flat) all_ok = false;
+  }
+  table.Print(std::cout);
+  bench::Verdict(all_ok,
+                 "static verdicts match both the paper's classification and "
+                 "the empirical iteration counts (bounded <=> flat)");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// E11 — substrate micro-benchmarks (google-benchmark): grounding, naive vs
+// semi-naive fixpoint evaluation over Tropical, circuit construction and
+// evaluation throughput, and the Knuth CFL-reachability baseline.
+#include <benchmark/benchmark.h>
+
+#include "src/cflr/cflr.h"
+#include "src/constructions/path_circuits.h"
+#include "src/datalog/engine.h"
+#include "src/datalog/parser.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/lang/chain_datalog.h"
+#include "src/semiring/instances.h"
+
+namespace dlcirc {
+namespace {
+
+const char* kTc = "@target T.\nT(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).";
+
+struct TcFixture {
+  Program tc = ParseProgram(kTc).value();
+  StGraph sg;
+  GraphDatabase gdb;
+  std::vector<uint64_t> weights;
+
+  explicit TcFixture(uint32_t n) : sg(MakeGraph(n)), gdb(GraphToDatabase(tc, sg.graph, {"E"})) {
+    Rng rng(99);
+    weights.assign(gdb.db.num_facts(), 0);
+    for (uint32_t i = 0; i < sg.graph.num_edges(); ++i) {
+      weights[gdb.edge_vars[i]] = 1 + rng.NextBounded(50);
+    }
+  }
+  static StGraph MakeGraph(uint32_t n) {
+    Rng rng(42);
+    return RandomGraph(n, 4 * n, 1, rng);
+  }
+};
+
+void BM_Grounding(benchmark::State& state) {
+  TcFixture fx(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    GroundedProgram g = Ground(fx.tc, fx.gdb.db);
+    benchmark::DoNotOptimize(g.num_idb_facts());
+  }
+}
+BENCHMARK(BM_Grounding)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveEvalTropical(benchmark::State& state) {
+  TcFixture fx(static_cast<uint32_t>(state.range(0)));
+  GroundedProgram g = Ground(fx.tc, fx.gdb.db);
+  for (auto _ : state) {
+    auto r = NaiveEvaluate<TropicalSemiring>(g, fx.weights);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_NaiveEvalTropical)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SemiNaiveEvalTropical(benchmark::State& state) {
+  TcFixture fx(static_cast<uint32_t>(state.range(0)));
+  GroundedProgram g = Ground(fx.tc, fx.gdb.db);
+  for (auto _ : state) {
+    auto r = SemiNaiveEvaluate<TropicalSemiring>(g, fx.weights);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_SemiNaiveEvalTropical)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_BuildBellmanFordCircuit(benchmark::State& state) {
+  TcFixture fx(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    Circuit c = BellmanFordCircuitIdentity(fx.sg);
+    benchmark::DoNotOptimize(c.Size());
+  }
+}
+BENCHMARK(BM_BuildBellmanFordCircuit)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_EvalCircuitTropical(benchmark::State& state) {
+  TcFixture fx(static_cast<uint32_t>(state.range(0)));
+  Circuit c = BellmanFordCircuitIdentity(fx.sg);
+  std::vector<uint64_t> w(fx.sg.graph.num_edges());
+  Rng rng(7);
+  for (auto& v : w) v = 1 + rng.NextBounded(50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.EvaluateOutput<TropicalSemiring>(w));
+  }
+}
+BENCHMARK(BM_EvalCircuitTropical)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_CflrKnuthTropical(benchmark::State& state) {
+  TcFixture fx(static_cast<uint32_t>(state.range(0)));
+  Cfg cnf = ChainProgramToCfg(fx.tc).value().ToCnf();
+  std::vector<uint64_t> w(fx.sg.graph.num_edges());
+  Rng rng(7);
+  for (auto& v : w) v = 1 + rng.NextBounded(50);
+  for (auto _ : state) {
+    auto solved = SolveCflReachability<TropicalSemiring>(cnf, fx.sg.graph, w);
+    benchmark::DoNotOptimize(solved.size());
+  }
+}
+BENCHMARK(BM_CflrKnuthTropical)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dlcirc
+
+BENCHMARK_MAIN();

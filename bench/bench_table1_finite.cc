@@ -1,0 +1,67 @@
+// E1 — Table 1, row "finite": circuit size O(m) / Omega(m), depth
+// O(log n) / Omega(log n) for RPQs with finite languages (Theorem 5.8).
+// Sweeps input size m on random labeled graphs, prints size/depth and the
+// normalized ratios, and fits the size exponent (expect ~1.0).
+#include <cmath>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "src/constructions/finite_rpq_circuit.h"
+#include "src/graph/generators.h"
+#include "src/lang/dfa.h"
+#include "src/util/fit.h"
+#include "src/util/table.h"
+
+using namespace dlcirc;
+
+int main() {
+  bench::Banner("E1", "Table 1, row 'finite CFG'",
+                "Finite RPQ L = {a, ab}: size O(m)/Omega(m), depth "
+                "Theta(log n) (Thm 5.8)");
+  Nfa nfa;
+  nfa.num_states = 3;
+  nfa.num_labels = 2;
+  nfa.start = 0;
+  nfa.accept = {false, true, true};
+  nfa.transitions = {{0, 0, 1}, {1, 1, 2}};
+  Dfa dfa = Dfa::Determinize(nfa);
+
+  Rng rng(2025);
+  Table table({"n", "m", "size", "depth", "size/m", "depth/log2(n)"});
+  std::vector<double> ms, sizes, depths, logs;
+  for (uint32_t m : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    uint32_t n = m / 4;
+    // Instance with Theta(m) matches of {a, ab}: a star of a-edges s -> v,
+    // b-edges v -> t, plus random noise edges.
+    StGraph sg = RandomGraph(n, m / 2, 2, rng);
+    for (uint32_t i = 0; i < m / 4; ++i) {
+      uint32_t v = 1 + static_cast<uint32_t>(rng.NextBounded(n - 2));
+      sg.graph.AddEdge(sg.s, v, 0);   // a
+      sg.graph.AddEdge(v, sg.t, 1);   // b
+    }
+    sg.graph.AddEdge(sg.s, sg.t, 0);  // the length-1 match
+    std::vector<uint32_t> vars(sg.graph.num_edges());
+    for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+    Circuit c = FiniteRpqCircuit(sg.graph, vars, static_cast<uint32_t>(vars.size()),
+                                 dfa, sg.s, sg.t)
+                    .value();
+    Circuit::Stats s = c.ComputeStats();
+    double mm = static_cast<double>(sg.graph.num_edges());
+    table.AddRow({Table::Fmt(n), Table::Fmt(sg.graph.num_edges()),
+                  Table::Fmt(s.size), Table::Fmt(s.depth),
+                  Table::Fmt(s.size / mm, 3),
+                  Table::Fmt(s.depth / std::log2(n), 3)});
+    ms.push_back(mm);
+    sizes.push_back(static_cast<double>(s.size) + 1);
+    depths.push_back(static_cast<double>(s.depth) + 1);
+    logs.push_back(std::log2(n));
+  }
+  table.Print(std::cout);
+  PowerFit fit = FitPowerLaw(ms, sizes);
+  std::cout << "size ~ m^" << Table::Fmt(fit.exponent, 2) << " (R2 "
+            << Table::Fmt(fit.r2, 3) << ")\n";
+  bench::Verdict(fit.exponent < 1.25,
+                 "size is linear in m (paper: Theta(m)); depth/log n bounded: "
+                 "spread " + Table::Fmt(ThetaRatioSpread(depths, logs), 2));
+  return 0;
+}

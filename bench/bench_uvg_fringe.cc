@@ -1,0 +1,68 @@
+// E8 — the polynomial fringe property (Thm 6.2, Cor 6.3, Ex 6.4): measures
+// tight-proof-tree fringe sizes (leaves) for Dyck-1 and for linear TC, fits
+// the fringe growth exponent (polynomial), and shows the UVG circuit's
+// stage count / depth scaling O(log fringe) / O(log^2 m).
+#include <cmath>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "src/constructions/uvg_circuit.h"
+#include "src/datalog/parser.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/provenance/proof_tree.h"
+#include "src/util/fit.h"
+#include "src/util/table.h"
+
+using namespace dlcirc;
+
+int main() {
+  bench::Banner("E8", "Thm 6.2 / Cor 6.3 / Ex 6.4 polynomial fringe",
+                "Fringe growth (poly) + UVG stages/depth (log, log^2)");
+  Program dyck = ParseProgram(R"(
+@target S.
+S(X,Y) :- L(X,Z), R(Z,Y).
+S(X,Y) :- L(X,W), S(W,Z), R(Z,Y).
+S(X,Y) :- S(X,Z), S(Z,Y).
+)").value();
+
+  Table table({"word len m", "max fringe", "fringe/m", "UVG stages",
+               "UVG depth", "depth/lg^2"});
+  std::vector<double> ms, fringes, depths, lg2s;
+  for (uint32_t k : {2u, 4u, 6u, 8u, 10u}) {
+    std::vector<uint32_t> word;
+    for (uint32_t i = 0; i < k; ++i) {
+      word.push_back(0);
+      word.push_back(1);  // ()()()... maximizes distinct parses
+    }
+    StGraph sg = WordPath(word, 2);
+    GraphDatabase gdb = GraphToDatabase(dyck, sg.graph, {"L", "R"});
+    GroundedProgram g = Ground(dyck, gdb.db);
+    // Fringe of the full-word fact.
+    uint32_t fact = g.FindIdbFact(dyck.target_pred,
+                                  {VertexConst(gdb.db, sg.s),
+                                   VertexConst(gdb.db, sg.t)});
+    TightProvenanceResult trees = EnumerateTightProvenance(g, fact);
+    UvgResult uvg = UvgCircuit(g);
+    double m = static_cast<double>(word.size());
+    double lg = std::log2(m + g.num_idb_facts());
+    Circuit::Stats us = uvg.circuit.ComputeStats();
+    table.AddRow({Table::Fmt(word.size()), Table::Fmt(trees.max_leaves),
+                  Table::Fmt(trees.max_leaves / m, 2), Table::Fmt(uvg.stages_used),
+                  Table::Fmt(us.depth), Table::Fmt(us.depth / (lg * lg), 3)});
+    ms.push_back(m);
+    fringes.push_back(static_cast<double>(trees.max_leaves));
+    depths.push_back(us.depth);
+    lg2s.push_back(lg * lg);
+  }
+  table.Print(std::cout);
+  PowerFit fit = FitPowerLaw(ms, fringes);
+  double spread = ThetaRatioSpread(depths, lg2s);
+  bench::Verdict(fit.exponent < 1.5 && spread < 3.0,
+                 "fringe ~ m^" + Table::Fmt(fit.exponent, 2) +
+                     " (polynomial fringe property holds); UVG depth/log^2 "
+                     "spread " + Table::Fmt(spread, 2));
+  std::cout << "Dyck-1 is NONLINEAR yet poly-fringe: the paper's example of\n"
+               "Theorem 6.2 reaching beyond Corollary 6.3 (linear programs).\n";
+  return 0;
+}

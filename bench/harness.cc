@@ -1,0 +1,21 @@
+#include "bench/harness.h"
+
+#include <iostream>
+
+namespace dlcirc {
+namespace bench {
+
+void Banner(const std::string& experiment_id, const std::string& paper_artifact,
+            const std::string& description) {
+  std::cout << "\n==================================================================\n"
+            << experiment_id << " | " << paper_artifact << "\n"
+            << description << "\n"
+            << "==================================================================\n";
+}
+
+void Verdict(bool ok, const std::string& message) {
+  std::cout << (ok ? "[OK] " : "[WARN] ") << message << "\n";
+}
+
+}  // namespace bench
+}  // namespace dlcirc

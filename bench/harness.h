@@ -1,0 +1,24 @@
+// Shared helpers for the benchmark harness binaries: banner printing and
+// sweep descriptors. Each bench binary regenerates one table/figure/claim of
+// the paper; EXPERIMENTS.md indexes them.
+#ifndef DLCIRC_BENCH_HARNESS_H_
+#define DLCIRC_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+namespace dlcirc {
+namespace bench {
+
+/// Prints a standard experiment banner (id, paper artifact, description).
+void Banner(const std::string& experiment_id, const std::string& paper_artifact,
+            const std::string& description);
+
+/// Prints a one-line verdict ("[OK] ..." / "[WARN] ...") used to summarize
+/// whether the measured shape matches the paper's claim.
+void Verdict(bool ok, const std::string& message);
+
+}  // namespace bench
+}  // namespace dlcirc
+
+#endif  // DLCIRC_BENCH_HARNESS_H_

@@ -1,0 +1,91 @@
+// Domain example: Dyck-1 (matched parentheses) reachability, the classic
+// CFL-reachability abstraction of program analyses (call/return matching),
+// run over semirings (Example 6.4).
+//
+// Shows: the chain-Datalog <-> CFG correspondence (Prop 5.2), the Knuth
+// CFL-reachability solver, and the Ullman-Van Gelder O(log^2 m)-depth
+// circuit (Theorem 6.2) agreeing on a bracket graph.
+//
+// Build & run:  ./build/examples/cfg_reachability [k]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/cflr/cflr.h"
+#include "src/constructions/uvg_circuit.h"
+#include "src/datalog/engine.h"
+#include "src/datalog/parser.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/lang/chain_datalog.h"
+#include "src/semiring/instances.h"
+
+using namespace dlcirc;
+
+int main(int argc, char** argv) {
+  uint32_t k = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 6;
+  Program dyck = ParseProgram(R"(
+@target S.
+S(X,Y) :- L(X,Z), R(Z,Y).
+S(X,Y) :- L(X,W), S(W,Z), R(Z,Y).
+S(X,Y) :- S(X,Z), S(Z,Y).
+)").value();
+  std::cout << "Dyck-1 chain program (Example 6.4):\n" << dyck.ToString() << "\n";
+  Cfg cfg = ChainProgramToCfg(dyck).value();
+  std::cout << "Corresponding CFG (Prop 5.2):\n" << cfg.ToString()
+            << "finite language? " << (cfg.IsFiniteLanguage() ? "yes" : "no")
+            << " -> the program is " << (cfg.IsFiniteLanguage() ? "bounded" : "unbounded")
+            << " (Prop 5.5)\n\n";
+
+  // Word path ( ( ... ( ) ... ) ) ( ) with k opens/closes plus a trailing ().
+  std::vector<uint32_t> word;
+  for (uint32_t i = 0; i < k; ++i) word.push_back(0);
+  for (uint32_t i = 0; i < k; ++i) word.push_back(1);
+  word.push_back(0);
+  word.push_back(1);
+  StGraph sg = WordPath(word, 2);
+  std::cout << "Instance: path spelling (^" << k << " )^" << k << " ( ) — "
+            << sg.graph.num_edges() << " edges\n";
+
+  // Weights: cost of traversing each bracket.
+  Rng rng(3);
+  std::vector<uint64_t> weights = RandomWeights(sg.graph, 9, rng);
+
+  // 1. Knuth CFL-reachability baseline.
+  auto solved = SolveCflReachability<TropicalSemiring>(cfg.ToCnf(), sg.graph, weights);
+  auto it = solved.find(CflrKey(cfg.ToCnf().start(), sg.s, sg.t));
+  uint64_t knuth =
+      it == solved.end() ? TropicalSemiring::kInf : it->second;
+  std::cout << "Knuth CFL-reachability: best S-derivation weight s->t = "
+            << knuth << "\n";
+
+  // 2. Datalog engine.
+  GraphDatabase gdb = GraphToDatabase(dyck, sg.graph, {"L", "R"});
+  GroundedProgram g = Ground(dyck, gdb.db);
+  std::vector<uint64_t> edb(gdb.db.num_facts());
+  for (uint32_t i = 0; i < sg.graph.num_edges(); ++i) edb[gdb.edge_vars[i]] = weights[i];
+  auto engine = NaiveEvaluate<TropicalSemiring>(g, edb);
+  uint32_t fact = g.FindIdbFact(
+      dyck.target_pred, {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+  uint64_t eng = fact == GroundedProgram::kNotFound ? TropicalSemiring::kInf
+                                                    : engine.values[fact];
+  std::cout << "Datalog naive evaluation:                        = " << eng << "\n";
+
+  // 3. Ullman-Van Gelder circuit (Theorem 6.2).
+  UvgResult uvg = UvgCircuit(g);
+  uint64_t circ = fact == GroundedProgram::kNotFound
+                      ? TropicalSemiring::kInf
+                      : uvg.circuit.Evaluate<TropicalSemiring>(edb)[fact];
+  Circuit::Stats stats = uvg.circuit.ComputeStats();
+  std::cout << "UVG circuit (" << uvg.stages_used << " stages, size "
+            << stats.size << ", depth " << stats.depth << ")        = " << circ
+            << "\n";
+
+  if (knuth != eng || eng != circ) {
+    std::cerr << "MISMATCH between solvers!\n";
+    return 1;
+  }
+  std::cout << "\nAll three agree. Dyck-1 has the polynomial fringe property,\n"
+               "so its circuits have depth O(log^2 m) despite the grammar\n"
+               "being infinite (no polynomial-size formula exists: Thm 5.4).\n";
+  return 0;
+}

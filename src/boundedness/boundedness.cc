@@ -1,0 +1,86 @@
+#include "src/boundedness/boundedness.h"
+
+#include <algorithm>
+
+#include "src/datalog/engine.h"
+#include "src/datalog/grounding.h"
+#include "src/lang/chain_datalog.h"
+#include "src/semiring/instances.h"
+
+namespace dlcirc {
+
+BoundednessReport CheckBoundednessChom(const Program& program,
+                                       const ExpansionLimits& limits) {
+  ExpansionSet set = EnumerateExpansions(program, limits);
+  BoundednessReport report;
+  report.horizon_limited = set.truncated;
+  if (set.expansions.empty()) return report;
+
+  uint32_t max_depth = 0;
+  for (const Expansion& e : set.expansions) {
+    max_depth = std::max(max_depth, e.num_rule_apps);
+  }
+  if (!set.truncated) {
+    // The expansion set is finite (program effectively non-recursive):
+    // trivially equivalent to the UCQ of all its expansions (Prop 4.8).
+    report.verdict = BoundednessReport::Verdict::kBounded;
+    report.bound = max_depth;
+    return report;
+  }
+  // Try N = 0, 1, ...: all expansions deeper than N must be contained in
+  // (have a hom from) some expansion of depth <= N (Theorem 4.6).
+  for (uint32_t n = 0; n < max_depth; ++n) {
+    bool all_covered = true;
+    for (const Expansion& deep : set.expansions) {
+      if (deep.num_rule_apps <= n) continue;
+      bool covered = false;
+      for (const Expansion& shallow : set.expansions) {
+        if (shallow.num_rule_apps > n) continue;
+        if (CqHomomorphismExists(shallow.cq, deep.cq)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (all_covered) {
+      report.verdict = BoundednessReport::Verdict::kBounded;
+      report.bound = n;
+      return report;
+    }
+  }
+  return report;
+}
+
+Result<BoundednessReport> CheckBoundednessChain(const Program& program) {
+  Result<Cfg> cfg = ChainProgramToCfg(program);
+  if (!cfg.ok()) return Result<BoundednessReport>::Error(cfg.error());
+  BoundednessReport report;
+  report.horizon_limited = false;  // the decision is exact (Prop 5.5)
+  if (cfg.value().IsFiniteLanguage()) {
+    report.verdict = BoundednessReport::Verdict::kBounded;
+    // A finite language of longest word k converges within k iterations;
+    // report the longest-word bound via enumeration up to a safe cap.
+    auto lens = cfg.value().ShortestYieldLengths();
+    (void)lens;
+    report.bound = 0;
+    for (const auto& w : cfg.value().EnumerateWords(64, 4096)) {
+      report.bound = std::max<uint32_t>(report.bound,
+                                        static_cast<uint32_t>(w.size()));
+    }
+  }
+  return report;
+}
+
+uint32_t MeasureConvergenceIterations(const Program& program, const Database& db) {
+  GroundedProgram g = Ground(program, db);
+  std::vector<bool> edb(db.num_facts(), true);
+  auto result = NaiveEvaluate<BooleanSemiring>(g, edb);
+  DLCIRC_CHECK(result.converged);
+  return result.iterations;
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,55 @@
+// Boundedness analyses (Section 4).
+//
+// Boundedness (Definition 4.1) is undecidable in general; this module
+// provides:
+//   * CheckBoundednessChom — the Theorem 4.5/4.6 semi-decision for
+//     absorptive x-idempotent semirings (class Chom) and the Booleans: find
+//     N such that every enumerated deeper expansion C_n has a homomorphism
+//     from some C_m, m <= N. By Corollary 4.7 the answer is semiring-
+//     independent within Chom; by Proposition 4.8 it is exactly
+//     "target equivalent to the UCQ of the first N expansions".
+//   * CheckBoundednessChain — exact and decidable for basic chain programs
+//     over ANY absorptive semiring: boundedness <=> the CFG is finite
+//     (Proposition 5.5).
+//   * MeasureConvergenceIterations — the empirical observable: naive-
+//     evaluation iterations to fixpoint on a given instance.
+#ifndef DLCIRC_BOUNDEDNESS_BOUNDEDNESS_H_
+#define DLCIRC_BOUNDEDNESS_BOUNDEDNESS_H_
+
+#include <cstdint>
+
+#include "src/boundedness/expansions.h"
+#include "src/datalog/ast.h"
+#include "src/datalog/database.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+
+struct BoundednessReport {
+  enum class Verdict {
+    kBounded,        ///< bound found (exact for chain programs)
+    kNoBoundFound,   ///< no N worked within the horizon (unbounded as far as
+                     ///< the horizon can see; exact for chain programs)
+  };
+  Verdict verdict = Verdict::kNoBoundFound;
+  /// For kBounded: expansions with more than `bound` rule applications are
+  /// all contained in the union of the first ones.
+  uint32_t bound = 0;
+  /// Expansion enumeration hit a budget (the verdict is a semi-decision).
+  bool horizon_limited = false;
+};
+
+/// Theorem 4.5/4.6 semi-decision (see file comment).
+BoundednessReport CheckBoundednessChom(const Program& program,
+                                       const ExpansionLimits& limits = {});
+
+/// Proposition 5.5: exact for basic chain programs; errors otherwise.
+Result<BoundednessReport> CheckBoundednessChain(const Program& program);
+
+/// Naive-evaluation iterations to fixpoint over the Boolean semiring for a
+/// concrete instance (the Definition 4.1 observable).
+uint32_t MeasureConvergenceIterations(const Program& program, const Database& db);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_BOUNDEDNESS_BOUNDEDNESS_H_

@@ -1,0 +1,105 @@
+#include "src/boundedness/cq.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+std::string Cq::ToString(const Program& program) const {
+  std::ostringstream ss;
+  ss << "(";
+  for (size_t i = 0; i < free_vars.size(); ++i) {
+    if (i > 0) ss << ",";
+    ss << "v" << free_vars[i];
+  }
+  ss << ") :- ";
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) ss << ", ";
+    ss << program.preds.Name(atoms[i].pred) << "(";
+    for (size_t j = 0; j < atoms[i].args.size(); ++j) {
+      if (j > 0) ss << ",";
+      const Term& t = atoms[i].args[j];
+      if (t.IsVar()) {
+        ss << "v" << t.id;
+      } else {
+        ss << program.consts.Name(t.id);
+      }
+    }
+    ss << ")";
+  }
+  return ss.str();
+}
+
+namespace {
+
+constexpr uint32_t kUnmapped = 0xffffffffu;
+
+// Backtracking: map atoms of `from` one by one onto atoms of `to`.
+bool Extend(const Cq& from, const Cq& to, size_t atom_idx,
+            std::vector<uint32_t>& var_map) {
+  if (atom_idx == from.atoms.size()) return true;
+  const Atom& a = from.atoms[atom_idx];
+  for (const Atom& b : to.atoms) {
+    if (b.pred != a.pred || b.args.size() != a.args.size()) continue;
+    // Try mapping a -> b.
+    std::vector<std::pair<uint32_t, uint32_t>> added;
+    bool ok = true;
+    for (size_t i = 0; i < a.args.size() && ok; ++i) {
+      const Term& ta = a.args[i];
+      const Term& tb = b.args[i];
+      if (!ta.IsVar()) {
+        // Constant must match exactly (constants map to themselves).
+        ok = !tb.IsVar() && tb.id == ta.id;
+      } else if (var_map[ta.id] == kUnmapped) {
+        if (!tb.IsVar()) {
+          // Variables may map to constants; encode as high range.
+          var_map[ta.id] = 0x80000000u | tb.id;
+        } else {
+          var_map[ta.id] = tb.id;
+        }
+        added.push_back({ta.id, var_map[ta.id]});
+      } else {
+        uint32_t want = tb.IsVar() ? tb.id : (0x80000000u | tb.id);
+        ok = var_map[ta.id] == want;
+      }
+    }
+    if (ok && Extend(from, to, atom_idx + 1, var_map)) return true;
+    for (auto& [v, _] : added) var_map[v] = kUnmapped;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CqHomomorphismExists(const Cq& from, const Cq& to) {
+  DLCIRC_CHECK_EQ(from.free_vars.size(), to.free_vars.size());
+  std::vector<uint32_t> var_map(from.num_vars, kUnmapped);
+  for (size_t i = 0; i < from.free_vars.size(); ++i) {
+    var_map[from.free_vars[i]] = to.free_vars[i];
+  }
+  return Extend(from, to, 0, var_map);
+}
+
+CanonicalDb BuildCanonicalDb(const Program& program, const Cq& cq) {
+  CanonicalDb out{Database(program), {}, {}};
+  out.var_const.resize(cq.num_vars);
+  for (uint32_t v = 0; v < cq.num_vars; ++v) {
+    out.var_const[v] = out.db.InternConst("cq_v" + std::to_string(v));
+  }
+  for (const Atom& a : cq.atoms) {
+    Tuple t;
+    t.reserve(a.args.size());
+    for (const Term& term : a.args) {
+      if (term.IsVar()) {
+        t.push_back(out.var_const[term.id]);
+      } else {
+        t.push_back(out.db.InternConst(program.consts.Name(term.id)));
+      }
+    }
+    out.fact_of_atom.push_back(out.db.AddFact(a.pred, t));
+  }
+  return out;
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,54 @@
+// Conjunctive queries, canonical databases, homomorphisms and containment —
+// the machinery behind the boundedness characterizations of Section 4.
+//
+// Containment over the class Chom (absorptive x-idempotent semirings,
+// Theorem 4.6) and over the Booleans coincides with the classical
+// Chandra-Merlin criterion: Q1 is contained in Q2 iff there is a
+// homomorphism Q2 -> Q1 fixing the free variables pointwise.
+#ifndef DLCIRC_BOUNDEDNESS_CQ_H_
+#define DLCIRC_BOUNDEDNESS_CQ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datalog/ast.h"
+#include "src/datalog/database.h"
+
+namespace dlcirc {
+
+/// A conjunctive query over the predicates of some Program. Terms are
+/// variables in a CQ-local variable space [0, num_vars) or program constants.
+struct Cq {
+  std::vector<Atom> atoms;
+  std::vector<uint32_t> free_vars;  ///< answer variables, in answer order
+  uint32_t num_vars = 0;
+
+  std::string ToString(const Program& program) const;
+};
+
+/// True iff a homomorphism `from` -> `to` exists mapping from.free_vars[i]
+/// to to.free_vars[i] (free arities must match) and each atom of `from` to
+/// an atom of `to`. Backtracking search.
+bool CqHomomorphismExists(const Cq& from, const Cq& to);
+
+/// Chandra-Merlin containment: q1 contained in q2 (over B, and over every
+/// Chom semiring by [KRS14] as used in Theorem 4.6).
+inline bool CqContained(const Cq& q1, const Cq& q2) {
+  return CqHomomorphismExists(q2, q1);
+}
+
+/// Canonical database of a CQ: one constant "cq_v<i>" per variable, one fact
+/// per atom. Returns the database plus the constant of each variable.
+struct CanonicalDb {
+  Database db;
+  std::vector<uint32_t> var_const;  ///< CQ var -> domain constant
+  /// fact_of_atom[i] = provenance variable of the fact built from atoms[i]
+  /// (facts may coincide when atoms are duplicates).
+  std::vector<uint32_t> fact_of_atom;
+};
+CanonicalDb BuildCanonicalDb(const Program& program, const Cq& cq);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_BOUNDEDNESS_CQ_H_

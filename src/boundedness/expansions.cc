@@ -1,0 +1,106 @@
+#include "src/boundedness/expansions.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+
+// A partial unfolding: EDB atoms accumulated, IDB goals pending.
+struct State {
+  std::vector<Atom> edb_atoms;
+  std::deque<Atom> pending;  // IDB goals
+  uint32_t num_vars;
+  uint32_t rule_apps;
+};
+
+}  // namespace
+
+ExpansionSet EnumerateExpansions(const Program& program,
+                                 const ExpansionLimits& limits) {
+  std::vector<bool> idb = program.IdbMask();
+  // Validate head shapes.
+  for (const Rule& r : program.rules) {
+    std::unordered_set<uint32_t> seen;
+    for (const Term& t : r.head.args) {
+      DLCIRC_CHECK(t.IsVar()) << "expansion requires variable head arguments";
+      DLCIRC_CHECK(seen.insert(t.id).second)
+          << "expansion requires distinct head variables";
+    }
+  }
+
+  ExpansionSet out;
+  // Root: target goal over fresh vars 0..arity-1.
+  State root;
+  root.num_vars = program.arities[program.target_pred];
+  root.rule_apps = 0;
+  Atom goal{program.target_pred, {}};
+  for (uint32_t i = 0; i < root.num_vars; ++i) goal.args.push_back(Term::Var(i));
+  root.pending.push_back(goal);
+
+  std::deque<State> queue = {std::move(root)};
+  while (!queue.empty()) {
+    State st = std::move(queue.front());
+    queue.pop_front();
+    if (st.pending.empty()) {
+      Expansion e;
+      e.cq.atoms = st.edb_atoms;
+      e.cq.num_vars = st.num_vars;
+      for (uint32_t i = 0; i < program.arities[program.target_pred]; ++i) {
+        e.cq.free_vars.push_back(i);
+      }
+      e.num_rule_apps = st.rule_apps;
+      out.expansions.push_back(std::move(e));
+      if (out.expansions.size() >= limits.max_expansions) {
+        out.truncated = true;
+        break;
+      }
+      continue;
+    }
+    if (st.rule_apps >= limits.max_rule_apps) {
+      out.truncated = true;  // unexpanded branch beyond the horizon
+      continue;
+    }
+    Atom goal_atom = st.pending.front();
+    st.pending.pop_front();
+    for (const Rule& rule : program.rules) {
+      if (rule.head.pred != goal_atom.pred) continue;
+      State next = st;
+      ++next.rule_apps;
+      // Substitution: rule head var -> goal term; other rule vars -> fresh.
+      std::vector<Term> sub(program.vars.size(), Term::Var(0xffffffffu));
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        sub[rule.head.args[i].id] = goal_atom.args[i];
+      }
+      auto resolve = [&](const Term& t) -> Term {
+        if (!t.IsVar()) return t;
+        if (sub[t.id].IsVar() && sub[t.id].id == 0xffffffffu) {
+          sub[t.id] = Term::Var(next.num_vars++);
+        }
+        return sub[t.id];
+      };
+      for (const Atom& body_atom : rule.body) {
+        Atom inst{body_atom.pred, {}};
+        inst.args.reserve(body_atom.args.size());
+        for (const Term& t : body_atom.args) inst.args.push_back(resolve(t));
+        if (idb[inst.pred]) {
+          next.pending.push_back(std::move(inst));
+        } else {
+          next.edb_atoms.push_back(std::move(inst));
+        }
+      }
+      if (next.pending.size() > limits.max_pending_atoms) {
+        out.truncated = true;
+        continue;
+      }
+      queue.push_back(std::move(next));
+    }
+  }
+  if (!queue.empty()) out.truncated = true;
+  return out;
+}
+
+}  // namespace dlcirc

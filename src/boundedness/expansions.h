@@ -1,0 +1,42 @@
+// Expansions of a Datalog program (Theorem 4.5): the infinite family of CQs
+// C_0, C_1, ... obtained by unfolding the target predicate with rules until
+// no IDB atoms remain, so that T(I) = union_i C_i(I) over any p-stable
+// semiring. Enumerated breadth-first by number of rule applications, with
+// hard budgets.
+#ifndef DLCIRC_BOUNDEDNESS_EXPANSIONS_H_
+#define DLCIRC_BOUNDEDNESS_EXPANSIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/boundedness/cq.h"
+#include "src/datalog/ast.h"
+
+namespace dlcirc {
+
+struct Expansion {
+  Cq cq;
+  uint32_t num_rule_apps = 0;
+};
+
+struct ExpansionLimits {
+  uint32_t max_rule_apps = 8;
+  size_t max_expansions = 5000;
+  /// Pending goals above this abort a branch (guards nonlinear blowup).
+  size_t max_pending_atoms = 64;
+};
+
+/// Enumerates complete expansions of the program's target predicate.
+/// Requires every rule head to have distinct variable arguments (true for
+/// the corpus; CHECKed). `truncated` is set when a budget was hit, in which
+/// case deeper expansions exist beyond the returned ones.
+struct ExpansionSet {
+  std::vector<Expansion> expansions;
+  bool truncated = false;
+};
+ExpansionSet EnumerateExpansions(const Program& program,
+                                 const ExpansionLimits& limits = {});
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_BOUNDEDNESS_EXPANSIONS_H_

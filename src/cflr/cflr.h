@@ -1,0 +1,129 @@
+// Semiring CFL-reachability (Definition 5.1) via Knuth's lightest-derivation
+// generalization of Melski-Reps — the direct-evaluation baseline the circuit
+// constructions are compared against.
+//
+// Requirements on the semiring S (checked statically where possible):
+//   * absorptive: guarantees the "superiority" property a (x) b <= a needed
+//     for Knuth's greedy settling (a (+) a(x)b = a(1 (+) b) = a), and
+//   * selective: a (+) b is always one of {a, b} (min/max-like), so the
+//     natural order is total and a priority queue applies. Boolean,
+//     Tropical, Viterbi and Fuzzy are selective; Sorp(X) is NOT.
+//
+// Each item (A, u, v) — nonterminal A derives some path u -> v — is settled
+// exactly once, at its final fixpoint value.
+#ifndef DLCIRC_CFLR_CFLR_H_
+#define DLCIRC_CFLR_CFLR_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/labeled_graph.h"
+#include "src/lang/cfg.h"
+#include "src/semiring/semiring.h"
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+/// Packs an item key; nonterminal < 2^16, vertices < 2^24.
+inline uint64_t CflrKey(uint32_t nt, uint32_t u, uint32_t v) {
+  DLCIRC_CHECK_LT(nt, 1u << 16);
+  DLCIRC_CHECK_LT(u, 1u << 24);
+  DLCIRC_CHECK_LT(v, 1u << 24);
+  return (static_cast<uint64_t>(nt) << 48) | (static_cast<uint64_t>(u) << 24) | v;
+}
+
+/// Solves CFL-reachability over S. `cnf` must be in CNF (Cfg::ToCnf());
+/// `edge_values[i]` is the value of edge i. Returns the fixpoint value of
+/// every derivable item (A, u, v), keyed by CflrKey.
+template <Semiring S>
+std::unordered_map<uint64_t, typename S::Value> SolveCflReachability(
+    const Cfg& cnf, const LabeledGraph& graph,
+    const std::vector<typename S::Value>& edge_values) {
+  static_assert(S::kIsAbsorptive, "Knuth's algorithm requires absorption");
+  DLCIRC_CHECK_EQ(edge_values.size(), graph.num_edges());
+  using V = typename S::Value;
+
+  struct Item {
+    V value;
+    uint64_t key;
+  };
+  struct Cmp {
+    // Max-heap under domination: a sorts after b when b dominates a.
+    bool operator()(const Item& a, const Item& b) const {
+      return S::Eq(S::Plus(b.value, a.value), b.value) &&
+             !S::Eq(a.value, b.value);
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Cmp> queue;
+
+  // Grammar indexes: binary productions by left / right rhs nonterminal.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> by_left(
+      cnf.num_nonterminals());  // A: list of (B, C) with B -> A C
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> by_right(
+      cnf.num_nonterminals());  // A: list of (B, C) with B -> C A
+  for (const Production& p : cnf.productions()) {
+    if (p.rhs.size() == 2) {
+      DLCIRC_CHECK(!p.rhs[0].is_terminal && !p.rhs[1].is_terminal);
+      by_left[p.rhs[0].id].push_back({p.lhs, p.rhs[1].id});
+      by_right[p.rhs[1].id].push_back({p.lhs, p.rhs[0].id});
+    }
+  }
+
+  // Seed: A -> a over label-a edges.
+  for (const Production& p : cnf.productions()) {
+    if (p.rhs.size() != 1) continue;
+    DLCIRC_CHECK(p.rhs[0].is_terminal);
+    for (uint32_t ei = 0; ei < graph.num_edges(); ++ei) {
+      const LabeledEdge& e = graph.edge(ei);
+      if (e.label != p.rhs[0].id) continue;
+      if (S::Eq(edge_values[ei], S::Zero())) continue;
+      queue.push({edge_values[ei], CflrKey(p.lhs, e.src, e.dst)});
+    }
+  }
+
+  std::unordered_map<uint64_t, V> settled;
+  // Settled items indexed for join partners: (nt, src) and (nt, dst).
+  std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, V>>> out_of, into;
+  auto vertex_key = [](uint32_t nt, uint32_t v) {
+    return (static_cast<uint64_t>(nt) << 24) | v;
+  };
+
+  while (!queue.empty()) {
+    Item item = queue.top();
+    queue.pop();
+    if (settled.count(item.key)) continue;  // already settled at a value
+    settled.emplace(item.key, item.value);
+    uint32_t nt = static_cast<uint32_t>(item.key >> 48);
+    uint32_t u = static_cast<uint32_t>((item.key >> 24) & 0xffffffu);
+    uint32_t v = static_cast<uint32_t>(item.key & 0xffffffu);
+    out_of[vertex_key(nt, u)].push_back({v, item.value});
+    into[vertex_key(nt, v)].push_back({u, item.value});
+    // B -> nt C : combine with settled (C, v, w).
+    for (const auto& [b_nt, c_nt] : by_left[nt]) {
+      auto it = out_of.find(vertex_key(c_nt, v));
+      if (it == out_of.end()) continue;
+      for (const auto& [w, c_val] : it->second) {
+        V nv = S::Times(item.value, c_val);
+        uint64_t nk = CflrKey(b_nt, u, w);
+        if (!settled.count(nk)) queue.push({nv, nk});
+      }
+    }
+    // B -> C nt : combine with settled (C, w, u).
+    for (const auto& [b_nt, c_nt] : by_right[nt]) {
+      auto it = into.find(vertex_key(c_nt, u));
+      if (it == into.end()) continue;
+      for (const auto& [w, c_val] : it->second) {
+        V nv = S::Times(c_val, item.value);
+        uint64_t nk = CflrKey(b_nt, w, v);
+        if (!settled.count(nk)) queue.push({nv, nk});
+      }
+    }
+  }
+  return settled;
+}
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_CFLR_CFLR_H_

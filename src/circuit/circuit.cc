@@ -1,0 +1,130 @@
+#include "src/circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dlcirc {
+
+Circuit::Circuit(std::vector<Gate> gates, std::vector<GateId> outputs,
+                 uint32_t num_vars)
+    : gates_(std::move(gates)), outputs_(std::move(outputs)), num_vars_(num_vars) {
+  DLCIRC_CHECK(IsWellFormed()) << "malformed circuit";
+}
+
+std::vector<bool> Circuit::OutputCone() const {
+  std::vector<bool> in_cone(gates_.size(), false);
+  for (GateId o : outputs_) in_cone[o] = true;
+  for (size_t i = gates_.size(); i-- > 0;) {
+    if (!in_cone[i]) continue;
+    const Gate& g = gates_[i];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      in_cone[g.a] = true;
+      in_cone[g.b] = true;
+    }
+  }
+  return in_cone;
+}
+
+Circuit::Stats Circuit::ComputeStats() const {
+  std::vector<bool> cone = OutputCone();
+  std::vector<uint32_t> depth(gates_.size(), 0);
+  Stats s;
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    if (!cone[i]) continue;
+    const Gate& g = gates_[i];
+    ++s.size;
+    switch (g.kind) {
+      case GateKind::kZero:
+      case GateKind::kOne:
+        break;
+      case GateKind::kInput:
+        ++s.num_inputs;
+        break;
+      case GateKind::kPlus:
+        ++s.num_plus;
+        depth[i] = 1 + std::max(depth[g.a], depth[g.b]);
+        break;
+      case GateKind::kTimes:
+        ++s.num_times;
+        depth[i] = 1 + std::max(depth[g.a], depth[g.b]);
+        break;
+    }
+  }
+  for (GateId o : outputs_) s.depth = std::max(s.depth, depth[o]);
+  return s;
+}
+
+std::vector<BigCount> Circuit::FormulaSizes() const {
+  std::vector<BigCount> fs(gates_.size());
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      fs[i] = BigCount(1) + fs[g.a] + fs[g.b];
+    } else {
+      fs[i] = BigCount(1);
+    }
+  }
+  std::vector<BigCount> out;
+  out.reserve(outputs_.size());
+  for (GateId o : outputs_) out.push_back(fs[o]);
+  return out;
+}
+
+bool Circuit::IsWellFormed() const {
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::kZero:
+      case GateKind::kOne:
+        break;
+      case GateKind::kInput:
+        if (g.a >= num_vars_) return false;
+        break;
+      case GateKind::kPlus:
+      case GateKind::kTimes:
+        if (g.a >= i || g.b >= i) return false;
+        break;
+    }
+  }
+  for (GateId o : outputs_) {
+    if (o >= gates_.size()) return false;
+  }
+  return true;
+}
+
+std::string Circuit::ToDot() const {
+  std::vector<bool> cone = OutputCone();
+  std::ostringstream ss;
+  ss << "digraph circuit {\n  rankdir=BT;\n";
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    if (!cone[i]) continue;
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::kZero:
+        ss << "  g" << i << " [label=\"0\", shape=box];\n";
+        break;
+      case GateKind::kOne:
+        ss << "  g" << i << " [label=\"1\", shape=box];\n";
+        break;
+      case GateKind::kInput:
+        ss << "  g" << i << " [label=\"x" << g.a << "\", shape=box];\n";
+        break;
+      case GateKind::kPlus:
+        ss << "  g" << i << " [label=\"+\"];\n";
+        ss << "  g" << g.a << " -> g" << i << ";\n  g" << g.b << " -> g" << i << ";\n";
+        break;
+      case GateKind::kTimes:
+        ss << "  g" << i << " [label=\"*\"];\n";
+        ss << "  g" << g.a << " -> g" << i << ";\n  g" << g.b << " -> g" << i << ";\n";
+        break;
+    }
+  }
+  for (size_t k = 0; k < outputs_.size(); ++k) {
+    ss << "  out" << k << " [label=\"out" << k << "\", shape=plaintext];\n";
+    ss << "  g" << outputs_[k] << " -> out" << k << ";\n";
+  }
+  ss << "}\n";
+  return ss.str();
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,125 @@
+// Circuit IR over semirings (paper Section 2.5).
+//
+// A circuit is a DAG whose leaves are EDB-fact variables or the constants
+// 0/1 and whose internal gates are fan-in-2 (+)/(x) gates. Gates live in a
+// flat arena, children strictly before parents, so every traversal is a
+// single forward pass. A circuit may expose several output gates (e.g. all
+// (s,t) pairs of transitive closure share one DAG).
+#ifndef DLCIRC_CIRCUIT_CIRCUIT_H_
+#define DLCIRC_CIRCUIT_CIRCUIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/semiring/semiring.h"
+#include "src/util/bigcount.h"
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+/// Gate kinds; kZero/kOne/kInput have fan-in 0, kPlus/kTimes have fan-in 2.
+enum class GateKind : uint8_t { kZero, kOne, kInput, kPlus, kTimes };
+
+/// One gate. For kInput, `a` is the variable id; for kPlus/kTimes, `a`/`b`
+/// are child gate ids (< this gate's id).
+struct Gate {
+  GateKind kind;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+using GateId = uint32_t;
+
+/// Immutable circuit produced by CircuitBuilder.
+class Circuit {
+ public:
+  /// Structural measurements over the cone of the outputs (gates reachable
+  /// from some output). Matches the paper's conventions: size counts all
+  /// gates including leaves; depth is the edge-length of the longest
+  /// leaf-to-output path (a bare input has depth 0).
+  struct Stats {
+    uint64_t size = 0;         ///< gates in the output cone (incl. leaves)
+    uint64_t num_plus = 0;     ///< (+)-gates in the cone
+    uint64_t num_times = 0;    ///< (x)-gates in the cone
+    uint64_t num_inputs = 0;   ///< distinct input gates in the cone
+    uint32_t depth = 0;        ///< longest input-to-output path (edges)
+  };
+
+  Circuit() = default;
+  Circuit(std::vector<Gate> gates, std::vector<GateId> outputs, uint32_t num_vars);
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+  /// Size of the input-variable space (valid var ids are [0, num_vars)).
+  uint32_t num_vars() const { return num_vars_; }
+
+  Stats ComputeStats() const;
+  /// Gates in the output cone (Stats().size).
+  uint64_t Size() const { return ComputeStats().size; }
+  /// Longest input-to-output path length in edges (Stats().depth).
+  uint32_t Depth() const { return ComputeStats().depth; }
+
+  /// Evaluates all outputs under `assignment` (one value per variable id)
+  /// over semiring S, bottom-up in one pass.
+  template <Semiring S>
+  std::vector<typename S::Value> Evaluate(
+      const std::vector<typename S::Value>& assignment) const {
+    std::vector<typename S::Value> vals(gates_.size(), S::Zero());
+    for (size_t i = 0; i < gates_.size(); ++i) {
+      const Gate& g = gates_[i];
+      switch (g.kind) {
+        case GateKind::kZero:
+          vals[i] = S::Zero();
+          break;
+        case GateKind::kOne:
+          vals[i] = S::One();
+          break;
+        case GateKind::kInput:
+          DLCIRC_CHECK_LT(g.a, assignment.size());
+          vals[i] = assignment[g.a];
+          break;
+        case GateKind::kPlus:
+          vals[i] = S::Plus(vals[g.a], vals[g.b]);
+          break;
+        case GateKind::kTimes:
+          vals[i] = S::Times(vals[g.a], vals[g.b]);
+          break;
+      }
+    }
+    std::vector<typename S::Value> out;
+    out.reserve(outputs_.size());
+    for (GateId o : outputs_) out.push_back(vals[o]);
+    return out;
+  }
+
+  /// Convenience: evaluates and returns only output `idx`.
+  template <Semiring S>
+  typename S::Value EvaluateOutput(const std::vector<typename S::Value>& assignment,
+                                   size_t idx = 0) const {
+    DLCIRC_CHECK_LT(idx, outputs_.size());
+    return Evaluate<S>(assignment)[idx];
+  }
+
+  /// Size of the formula obtained by fully expanding shared gates into a
+  /// tree (Proposition 3.3), per output; counts all tree nodes incl. leaves.
+  std::vector<BigCount> FormulaSizes() const;
+
+  /// True iff children precede parents, kinds/arities are consistent, and
+  /// outputs and input var ids are in range.
+  bool IsWellFormed() const;
+
+  /// Graphviz rendering of the output cone (small circuits only).
+  std::string ToDot() const;
+
+ private:
+  std::vector<bool> OutputCone() const;
+
+  std::vector<Gate> gates_;
+  std::vector<GateId> outputs_;
+  uint32_t num_vars_ = 0;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_CIRCUIT_CIRCUIT_H_

@@ -1,0 +1,171 @@
+#include "src/circuit/formula.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dlcirc {
+
+Formula::Formula(std::vector<Node> nodes, uint32_t root, uint32_t num_vars)
+    : nodes_(std::move(nodes)), root_(root), num_vars_(num_vars) {
+  DLCIRC_CHECK_LT(root_, nodes_.size());
+  DLCIRC_CHECK(IsTree()) << "formula nodes must form a tree";
+}
+
+std::vector<uint64_t> Formula::SubtreeSizes() const {
+  std::vector<uint64_t> sz(nodes_.size(), 1);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == GateKind::kPlus || n.kind == GateKind::kTimes) {
+      sz[i] = 1 + sz[n.a] + sz[n.b];
+    }
+  }
+  return sz;
+}
+
+uint64_t Formula::Size() const { return SubtreeSizes()[root_]; }
+
+uint32_t Formula::Depth() const {
+  std::vector<uint32_t> d(nodes_.size(), 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == GateKind::kPlus || n.kind == GateKind::kTimes) {
+      d[i] = 1 + std::max(d[n.a], d[n.b]);
+    }
+  }
+  return d[root_];
+}
+
+uint64_t Formula::NumLeaves() const {
+  std::vector<uint64_t> l(nodes_.size(), 1);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == GateKind::kPlus || n.kind == GateKind::kTimes) {
+      l[i] = l[n.a] + l[n.b];
+    }
+  }
+  return l[root_];
+}
+
+bool Formula::IsTree() const {
+  std::vector<uint8_t> used(nodes_.size(), 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == GateKind::kPlus || n.kind == GateKind::kTimes) {
+      if (n.a >= i || n.b >= i) return false;
+      if (n.a == n.b) return false;
+      if (used[n.a]++ || used[n.b]++) return false;
+    } else if (n.kind == GateKind::kInput && n.a >= num_vars_) {
+      return false;
+    }
+  }
+  return used[root_] == 0;
+}
+
+uint32_t FormulaBuilder::Plus(uint32_t x, uint32_t y) {
+  DLCIRC_CHECK_LT(x, nodes_.size());
+  DLCIRC_CHECK_LT(y, nodes_.size());
+  if (nodes_[x].kind == GateKind::kZero) return y;
+  if (nodes_[y].kind == GateKind::kZero) return x;
+  return Add(GateKind::kPlus, x, y);
+}
+
+uint32_t FormulaBuilder::Times(uint32_t x, uint32_t y) {
+  DLCIRC_CHECK_LT(x, nodes_.size());
+  DLCIRC_CHECK_LT(y, nodes_.size());
+  if (nodes_[x].kind == GateKind::kZero || nodes_[y].kind == GateKind::kZero) {
+    // Reuse whichever operand is already the constant 0.
+    return nodes_[x].kind == GateKind::kZero ? x : y;
+  }
+  if (nodes_[x].kind == GateKind::kOne) return y;
+  if (nodes_[y].kind == GateKind::kOne) return x;
+  return Add(GateKind::kTimes, x, y);
+}
+
+Result<Formula> CircuitToFormula(const Circuit& circuit, size_t output_idx,
+                                 uint64_t max_size) {
+  DLCIRC_CHECK_LT(output_idx, circuit.outputs().size());
+  // Predict the expansion size first so we never materialize a monster.
+  BigCount predicted = circuit.FormulaSizes()[output_idx];
+  if (predicted.saturated() || predicted.exact() > max_size) {
+    return Result<Formula>::Error("formula expansion would have " +
+                                  predicted.ToString() + " nodes (cap " +
+                                  std::to_string(max_size) + ")");
+  }
+  const auto& gates = circuit.gates();
+  FormulaBuilder fb(circuit.num_vars());
+  // Recursive expansion; shared gates are duplicated per visit (Prop 3.3).
+  std::function<uint32_t(GateId)> expand = [&](GateId g) -> uint32_t {
+    const Gate& gate = gates[g];
+    switch (gate.kind) {
+      case GateKind::kZero:
+        return fb.Zero();
+      case GateKind::kOne:
+        return fb.One();
+      case GateKind::kInput:
+        return fb.Input(gate.a);
+      case GateKind::kPlus:
+        return fb.Plus(expand(gate.a), expand(gate.b));
+      case GateKind::kTimes:
+        return fb.Times(expand(gate.a), expand(gate.b));
+    }
+    DLCIRC_CHECK(false) << "unreachable";
+    return 0;
+  };
+  uint32_t root = expand(circuit.outputs()[output_idx]);
+  return fb.Build(root);
+}
+
+Circuit FormulaToCircuit(const Formula& formula, CircuitBuilder::Options options) {
+  CircuitBuilder b(formula.num_vars(), options);
+  const auto& nodes = formula.nodes();
+  std::vector<GateId> map(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const Formula::Node& n = nodes[i];
+    switch (n.kind) {
+      case GateKind::kZero:
+        map[i] = b.Zero();
+        break;
+      case GateKind::kOne:
+        map[i] = b.One();
+        break;
+      case GateKind::kInput:
+        map[i] = b.Input(n.a);
+        break;
+      case GateKind::kPlus:
+        map[i] = b.Plus(map[n.a], map[n.b]);
+        break;
+      case GateKind::kTimes:
+        map[i] = b.Times(map[n.a], map[n.b]);
+        break;
+    }
+  }
+  return b.Build({map[formula.root()]});
+}
+
+namespace {
+uint32_t RandomSubformula(Rng& rng, uint32_t num_vars, uint32_t budget,
+                          FormulaBuilder& fb) {
+  if (budget <= 1) {
+    // 1-in-16 constant leaves keep folding paths exercised without collapsing
+    // the whole formula.
+    uint64_t roll = rng.NextBounded(16);
+    if (roll == 0) return fb.One();
+    return fb.Input(static_cast<uint32_t>(rng.NextBounded(num_vars)));
+  }
+  uint32_t left_budget = 1 + static_cast<uint32_t>(rng.NextBounded(budget - 1));
+  uint32_t right_budget = budget - left_budget;
+  if (right_budget == 0) right_budget = 1;
+  uint32_t l = RandomSubformula(rng, num_vars, left_budget, fb);
+  uint32_t r = RandomSubformula(rng, num_vars, right_budget, fb);
+  return rng.NextBool(0.5) ? fb.Plus(l, r) : fb.Times(l, r);
+}
+}  // namespace
+
+Formula RandomFormula(Rng& rng, uint32_t num_vars, uint32_t target_size) {
+  DLCIRC_CHECK_GT(num_vars, 0u);
+  FormulaBuilder fb(num_vars);
+  uint32_t root = RandomSubformula(rng, num_vars, std::max(1u, target_size / 2), fb);
+  return fb.Build(root);
+}
+
+}  // namespace dlcirc

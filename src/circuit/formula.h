@@ -1,0 +1,131 @@
+// Formulas over semirings (paper Section 2.5): circuits where every gate has
+// fan-out one, i.e. expression trees. Formulas are the target of the paper's
+// size dichotomies; Proposition 3.3 (circuit -> formula by expansion) and the
+// Theorem 3.2 analogue (Spira depth reduction, see spira.h) operate on them.
+#ifndef DLCIRC_CIRCUIT_FORMULA_H_
+#define DLCIRC_CIRCUIT_FORMULA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/circuit.h"
+#include "src/semiring/semiring.h"
+#include "src/util/check.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+
+/// An expression tree stored in an arena (children strictly before parents;
+/// every node is the child of at most one other node).
+class Formula {
+ public:
+  struct Node {
+    GateKind kind;
+    uint32_t a = 0;  ///< var id for kInput; left child otherwise
+    uint32_t b = 0;  ///< right child for kPlus/kTimes
+  };
+
+  Formula() = default;
+  Formula(std::vector<Node> nodes, uint32_t root, uint32_t num_vars);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  uint32_t root() const { return root_; }
+  uint32_t num_vars() const { return num_vars_; }
+
+  /// Number of nodes in the tree rooted at root() (leaves included).
+  uint64_t Size() const;
+  /// Longest root-to-leaf path, in edges.
+  uint32_t Depth() const;
+  /// Leaves (inputs + constants) in the tree.
+  uint64_t NumLeaves() const;
+
+  /// Per-node subtree sizes (index-aligned with nodes(); nodes outside the
+  /// root's tree still get their own subtree size).
+  std::vector<uint64_t> SubtreeSizes() const;
+
+  /// Evaluates the formula over S under an input-variable assignment.
+  template <Semiring S>
+  typename S::Value Evaluate(const std::vector<typename S::Value>& assignment) const {
+    std::vector<typename S::Value> vals(nodes_.size(), S::Zero());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      switch (n.kind) {
+        case GateKind::kZero:
+          vals[i] = S::Zero();
+          break;
+        case GateKind::kOne:
+          vals[i] = S::One();
+          break;
+        case GateKind::kInput:
+          DLCIRC_CHECK_LT(n.a, assignment.size());
+          vals[i] = assignment[n.a];
+          break;
+        case GateKind::kPlus:
+          vals[i] = S::Plus(vals[n.a], vals[n.b]);
+          break;
+        case GateKind::kTimes:
+          vals[i] = S::Times(vals[n.a], vals[n.b]);
+          break;
+      }
+    }
+    return vals[root_];
+  }
+
+  /// True iff children precede parents and no node is shared (tree shape).
+  bool IsTree() const;
+
+ private:
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  uint32_t num_vars_ = 0;
+};
+
+/// Incremental formula constructor with constant folding
+/// (0+x=x, 0*x=0, 1*x=x); folding preserves equivalence over every semiring.
+class FormulaBuilder {
+ public:
+  explicit FormulaBuilder(uint32_t num_vars) : num_vars_(num_vars) {}
+
+  uint32_t Zero() { return Add(GateKind::kZero, 0, 0); }
+  uint32_t One() { return Add(GateKind::kOne, 0, 0); }
+  uint32_t Input(uint32_t var) {
+    DLCIRC_CHECK_LT(var, num_vars_);
+    return Add(GateKind::kInput, var, 0);
+  }
+  uint32_t Plus(uint32_t x, uint32_t y);
+  uint32_t Times(uint32_t x, uint32_t y);
+
+  GateKind KindOf(uint32_t id) const { return nodes_[id].kind; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  Formula Build(uint32_t root) const { return Formula(nodes_, root, num_vars_); }
+
+ private:
+  uint32_t Add(GateKind kind, uint32_t a, uint32_t b) {
+    nodes_.push_back(Formula::Node{kind, a, b});
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
+  uint32_t num_vars_;
+  std::vector<Formula::Node> nodes_;
+};
+
+/// Proposition 3.3: expands output `output_idx` of a circuit into an explicit
+/// formula by duplicating shared gates. Fails (with an error) if the expanded
+/// tree would exceed `max_size` nodes — use Circuit::FormulaSizes() to
+/// predict the size without materializing.
+Result<Formula> CircuitToFormula(const Circuit& circuit, size_t output_idx,
+                                 uint64_t max_size);
+
+/// A formula is a circuit; converts losslessly (dedup may shrink it).
+Circuit FormulaToCircuit(const Formula& formula, CircuitBuilder::Options options);
+
+/// Random formula of roughly `target_size` nodes over `num_vars` variables
+/// (used by property tests and the Spira bench). Leaves are variables with an
+/// occasional constant; operators alternate randomly.
+Formula RandomFormula(Rng& rng, uint32_t num_vars, uint32_t target_size);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_CIRCUIT_FORMULA_H_

@@ -1,0 +1,108 @@
+#include "src/circuit/spira.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+
+constexpr uint64_t kBaseSize = 9;  // below this, copy verbatim
+constexpr uint32_t kNoTarget = 0xffffffffu;
+
+// Copies the subtree of `src` rooted at `node` into `out`, replacing the
+// subtree rooted at `target` (if encountered) by the constant `target_kind`.
+// Builder constant folding shrinks the copy.
+uint32_t CopySubtree(const Formula& src, uint32_t node, uint32_t target,
+                     GateKind target_kind, FormulaBuilder& out) {
+  if (node == target) {
+    return target_kind == GateKind::kOne ? out.One() : out.Zero();
+  }
+  const Formula::Node& n = src.nodes()[node];
+  switch (n.kind) {
+    case GateKind::kZero:
+      return out.Zero();
+    case GateKind::kOne:
+      return out.One();
+    case GateKind::kInput:
+      return out.Input(n.a);
+    case GateKind::kPlus:
+      return out.Plus(CopySubtree(src, n.a, target, target_kind, out),
+                      CopySubtree(src, n.b, target, target_kind, out));
+    case GateKind::kTimes:
+      return out.Times(CopySubtree(src, n.a, target, target_kind, out),
+                       CopySubtree(src, n.b, target, target_kind, out));
+  }
+  DLCIRC_CHECK(false) << "unreachable";
+  return 0;
+}
+
+// Extracts the subtree rooted at `node` as a standalone formula.
+Formula ExtractSubtree(const Formula& src, uint32_t node) {
+  FormulaBuilder fb(src.num_vars());
+  uint32_t root = CopySubtree(src, node, kNoTarget, GateKind::kZero, fb);
+  return fb.Build(root);
+}
+
+// Finds a separator: walk from the root towards the larger child until the
+// subtree size first drops to <= (2s+2)/3. The found node G then satisfies
+// |G| >= s/3 - 1 (it is the larger child of a node of size > (2s+2)/3), so
+// both G and F[G:=c] (size <= s - |G| + 1 <= 2s/3 + 2) shrink geometrically.
+uint32_t FindSeparator(const Formula& f, const std::vector<uint64_t>& sizes) {
+  const uint64_t s = sizes[f.root()];
+  const uint64_t threshold = (2 * s + 2) / 3;
+  uint32_t cur = f.root();
+  while (sizes[cur] > threshold) {
+    const Formula::Node& n = f.nodes()[cur];
+    DLCIRC_CHECK(n.kind == GateKind::kPlus || n.kind == GateKind::kTimes)
+        << "non-leaf expected while size > threshold";
+    cur = sizes[n.a] >= sizes[n.b] ? n.a : n.b;
+  }
+  return cur;
+}
+
+Formula Balance(const Formula& f);
+
+// Appends a (already balanced) formula into `out`, returning its new root.
+uint32_t Inline(const Formula& src, FormulaBuilder& out) {
+  return CopySubtree(src, src.root(), kNoTarget, GateKind::kZero, out);
+}
+
+Formula Balance(const Formula& f) {
+  std::vector<uint64_t> sizes = f.SubtreeSizes();
+  const uint64_t s = sizes[f.root()];
+  if (s <= kBaseSize) return f;
+
+  const uint32_t g = FindSeparator(f, sizes);
+  DLCIRC_CHECK_NE(g, f.root());
+
+  // Three shrunken pieces: G, F[G:=1], F[G:=0].
+  Formula fg = ExtractSubtree(f, g);
+  FormulaBuilder b1(f.num_vars());
+  Formula f1 = b1.Build(CopySubtree(f, f.root(), g, GateKind::kOne, b1));
+  FormulaBuilder b0(f.num_vars());
+  Formula f0 = b0.Build(CopySubtree(f, f.root(), g, GateKind::kZero, b0));
+
+  Formula bg = Balance(fg);
+  Formula bf1 = Balance(f1);
+  Formula bf0 = Balance(f0);
+
+  FormulaBuilder out(f.num_vars());
+  uint32_t root =
+      out.Plus(out.Times(Inline(bf1, out), Inline(bg, out)), Inline(bf0, out));
+  return out.Build(root);
+}
+
+}  // namespace
+
+SpiraResult BalanceFormulaAbsorptive(const Formula& f) {
+  SpiraResult r{Balance(f), f.Size(), f.Depth(), 0, 0};
+  r.balanced_size = r.formula.Size();
+  r.balanced_depth = r.formula.Depth();
+  return r;
+}
+
+}  // namespace dlcirc

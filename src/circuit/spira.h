@@ -1,0 +1,46 @@
+// Spira/Brent depth reduction for semiring formulas — the executable analogue
+// of Theorem 3.2 (Wegener) used by the paper to tie formula size to circuit
+// depth.
+//
+// For a formula F and an internal subtree G (which occurs exactly once, F
+// being a tree), distributivity gives F = A (x) G (+) B with B = F[G:=0] and
+// A (+) B = F[G:=1]. Hence over any ABSORPTIVE semiring:
+//
+//   (F[G:=1] (x) G) (+) F[G:=0]
+//     = (A (+) B) (x) G (+) B
+//     = A (x) G (+) B (x) G (+) B
+//     = A (x) G (+) B (x) (G (+) 1)     [distributivity]
+//     = A (x) G (+) B                   [absorption: G (+) 1 = 1]
+//     = F.
+//
+// Choosing G as a 1/3-2/3 separator and recursing yields an equivalent
+// formula of depth O(log |F|), i.e. formulas of polynomial size always admit
+// logarithmic depth — the upper-bound half of the paper's dichotomies.
+#ifndef DLCIRC_CIRCUIT_SPIRA_H_
+#define DLCIRC_CIRCUIT_SPIRA_H_
+
+#include "src/circuit/formula.h"
+
+namespace dlcirc {
+
+/// Depth statistics returned alongside the balanced formula.
+struct SpiraResult {
+  Formula formula;
+  uint64_t original_size = 0;
+  uint32_t original_depth = 0;
+  uint64_t balanced_size = 0;
+  uint32_t balanced_depth = 0;
+};
+
+/// Restructures `f` into an equivalent formula (over every absorptive
+/// semiring) of depth <= kSpiraDepthSlope * log2(size) + kSpiraDepthOffset.
+SpiraResult BalanceFormulaAbsorptive(const Formula& f);
+
+/// Proven bound constants for BalanceFormulaAbsorptive: the recursion
+/// satisfies D(s) <= D(2s/3 + 2) + 2 with base D(s <= 9) <= 8.
+inline constexpr double kSpiraDepthSlope = 4.0;
+inline constexpr double kSpiraDepthOffset = 10.0;
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_CIRCUIT_SPIRA_H_

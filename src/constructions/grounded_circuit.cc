@@ -1,0 +1,49 @@
+#include "src/constructions/grounded_circuit.h"
+
+namespace dlcirc {
+
+GroundedCircuitResult GroundedProgramCircuit(const GroundedProgram& g,
+                                             const GroundedCircuitOptions& options) {
+  uint32_t max_layers =
+      options.max_layers == 0 ? g.num_idb_facts() + 1 : options.max_layers;
+  CircuitBuilder b(g.num_edb_vars(), options.builder);
+
+  std::vector<GateId> cur(g.num_idb_facts(), b.Zero());
+  GroundedCircuitResult result;
+  for (uint32_t layer = 1; layer <= max_layers; ++layer) {
+    std::vector<GateId> next(g.num_idb_facts(), b.Zero());
+    std::vector<GateId> terms;
+    std::vector<GateId> factors;
+    for (uint32_t fact = 0; fact < g.num_idb_facts(); ++fact) {
+      terms.clear();
+      for (uint32_t rid : g.RulesOfHead(fact)) {
+        const GroundRule& rule = g.rules()[rid];
+        factors.clear();
+        bool dead = false;
+        for (uint32_t bf : rule.body_idbs) {
+          if (cur[bf] == b.Zero()) {
+            dead = true;
+            break;
+          }
+          factors.push_back(cur[bf]);
+        }
+        if (dead) continue;
+        for (uint32_t v : rule.body_edbs) factors.push_back(b.Input(v));
+        terms.push_back(b.TimesN(factors));
+      }
+      next[fact] = b.PlusN(terms);
+    }
+    result.layers_used = layer;
+    if (options.stop_at_structural_fixpoint && next == cur) {
+      result.reached_structural_fixpoint = true;
+      result.layers_used = layer - 1;
+      break;
+    }
+    cur = std::move(next);
+  }
+  std::vector<GateId> outputs(cur.begin(), cur.end());
+  result.circuit = b.Build(std::move(outputs));
+  return result;
+}
+
+}  // namespace dlcirc

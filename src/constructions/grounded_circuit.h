@@ -1,0 +1,58 @@
+// The generic provenance circuit of Deutch et al. (Theorem 3.1) and its
+// bounded-program specialization (Theorem 4.3) / UCQ case (Proposition 3.7).
+//
+// The circuit has K layers, each encoding one application of the immediate
+// consequence operator to the grounded program: layer k's gate for IDB fact
+// a is the balanced (+)-sum over a's grounded rules of the balanced
+// (x)-product of layer k-1 body gates and EDB input variables.
+//
+//   * K = num_idb_facts + 1 (default) is always sufficient over absorptive
+//     semirings (see engine.h), giving Theorem 3.1's polynomial size.
+//   * A bounded program reaches its fixpoint at a constant K, giving
+//     Theorem 4.3's O(log |I|) depth: constant layers x O(log) fan-in trees.
+//   * A non-recursive program (UCQ after unfolding) stabilizes at
+//     K = #strata and the circuit is valid over ANY semiring when built with
+//     non-absorptive options (Proposition 3.7).
+//
+// Hash-consing makes consecutive identical layers structurally equal, so the
+// builder detects the (structural) fixpoint and stops early; layers_used
+// reports the count, which doubles as an empirical boundedness observable.
+#ifndef DLCIRC_CONSTRUCTIONS_GROUNDED_CIRCUIT_H_
+#define DLCIRC_CONSTRUCTIONS_GROUNDED_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/circuit.h"
+#include "src/datalog/grounding.h"
+
+namespace dlcirc {
+
+struct GroundedCircuitOptions {
+  /// 0 selects num_idb_facts + 1 (the absorptive-safe bound).
+  uint32_t max_layers = 0;
+  /// Builder rewrites; set absorptive=false for the any-semiring UCQ case.
+  CircuitBuilder::Options builder;
+  /// Stop as soon as a layer is structurally identical to the previous one.
+  bool stop_at_structural_fixpoint = true;
+
+  GroundedCircuitOptions() { builder.absorptive = true; }
+};
+
+struct GroundedCircuitResult {
+  Circuit circuit;
+  /// circuit.outputs()[i] computes the provenance of IDB fact i.
+  uint32_t layers_used = 0;
+  /// True when the last layer equaled the previous one (structural fixpoint
+  /// reached before the layer bound).
+  bool reached_structural_fixpoint = false;
+};
+
+GroundedCircuitResult GroundedProgramCircuit(const GroundedProgram& g,
+                                             const GroundedCircuitOptions& options =
+                                                 GroundedCircuitOptions());
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_CONSTRUCTIONS_GROUNDED_CIRCUIT_H_

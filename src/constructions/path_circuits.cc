@@ -1,0 +1,212 @@
+#include "src/constructions/path_circuits.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+
+// Kahn topological order; empty when the graph is cyclic.
+std::vector<uint32_t> TopologicalOrder(const LabeledGraph& g) {
+  std::vector<uint32_t> indeg(g.num_vertices(), 0);
+  for (const LabeledEdge& e : g.edges()) ++indeg[e.dst];
+  auto out = g.OutEdgeIndex();
+  std::vector<uint32_t> order;
+  order.reserve(g.num_vertices());
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    if (indeg[v] == 0) order.push_back(v);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (uint32_t ei : out[order[i]]) {
+      if (--indeg[g.edge(ei).dst] == 0) order.push_back(g.edge(ei).dst);
+    }
+  }
+  if (order.size() != g.num_vertices()) order.clear();
+  return order;
+}
+
+}  // namespace
+
+Circuit LayeredGraphCircuit(const LabeledGraph& graph,
+                            const std::vector<uint32_t>& edge_vars,
+                            uint32_t num_vars, uint32_t s, uint32_t t,
+                            CircuitBuilder::Options options) {
+  DLCIRC_CHECK_EQ(edge_vars.size(), graph.num_edges());
+  std::vector<uint32_t> order = TopologicalOrder(graph);
+  DLCIRC_CHECK(!order.empty()) << "LayeredGraphCircuit requires an acyclic graph";
+  CircuitBuilder b(num_vars, options);
+  auto in = graph.InEdgeIndex();
+  std::vector<GateId> gate(graph.num_vertices(), b.Zero());
+  gate[s] = b.One();
+  std::vector<GateId> terms;
+  for (uint32_t v : order) {
+    if (v == s) continue;
+    terms.clear();
+    for (uint32_t ei : in[v]) {
+      const LabeledEdge& e = graph.edge(ei);
+      if (gate[e.src] == b.Zero()) continue;
+      terms.push_back(b.Times(gate[e.src], b.Input(edge_vars[ei])));
+    }
+    gate[v] = b.PlusN(terms);
+  }
+  return b.Build({gate[t]});
+}
+
+Circuit LayeredGraphCircuitIdentity(const StGraph& g) {
+  std::vector<uint32_t> vars(g.graph.num_edges());
+  for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+  CircuitBuilder::Options opts;  // valid over any semiring on DAGs
+  return LayeredGraphCircuit(g.graph, vars, static_cast<uint32_t>(vars.size()), g.s,
+                             g.t, opts);
+}
+
+Circuit BellmanFordCircuit(const LabeledGraph& graph,
+                           const std::vector<uint32_t>& edge_vars,
+                           uint32_t num_vars, uint32_t s, uint32_t t,
+                           uint32_t layers) {
+  DLCIRC_CHECK_EQ(edge_vars.size(), graph.num_edges());
+  DLCIRC_CHECK_NE(s, t) << "T(s,s) provenance is not defined by the TC program";
+  uint32_t n = graph.num_vertices();
+  if (layers == 0) layers = n >= 1 ? n - 1 : 0;
+  CircuitBuilder b = CircuitBuilder::ForAbsorptive(num_vars);
+  auto in = graph.InEdgeIndex();
+  // f^1_j = x_{s,j}.
+  std::vector<GateId> cur(n, b.Zero());
+  std::vector<GateId> terms;
+  for (uint32_t v = 0; v < n; ++v) {
+    terms.clear();
+    for (uint32_t ei : in[v]) {
+      if (graph.edge(ei).src == s) terms.push_back(b.Input(edge_vars[ei]));
+    }
+    cur[v] = b.PlusN(terms);
+  }
+  // f^k_j = f^{k-1}_j (+) sum_{(i,j) in E} f^{k-1}_i (x) x_{i,j}.
+  for (uint32_t k = 2; k <= layers; ++k) {
+    std::vector<GateId> next(n, b.Zero());
+    for (uint32_t v = 0; v < n; ++v) {
+      terms.clear();
+      terms.push_back(cur[v]);
+      for (uint32_t ei : in[v]) {
+        const LabeledEdge& e = graph.edge(ei);
+        if (cur[e.src] == b.Zero()) continue;
+        terms.push_back(b.Times(cur[e.src], b.Input(edge_vars[ei])));
+      }
+      next[v] = b.PlusN(terms);
+    }
+    if (next == cur) break;  // structural fixpoint: shorter on shallow graphs
+    cur = std::move(next);
+  }
+  return b.Build({cur[t]});
+}
+
+Circuit BellmanFordCircuitIdentity(const StGraph& g, uint32_t layers) {
+  std::vector<uint32_t> vars(g.graph.num_edges());
+  for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+  return BellmanFordCircuit(g.graph, vars, static_cast<uint32_t>(vars.size()), g.s,
+                            g.t, layers);
+}
+
+Circuit RepeatedSquaringCircuit(
+    const LabeledGraph& graph, const std::vector<uint32_t>& edge_vars,
+    uint32_t num_vars, const std::vector<std::pair<uint32_t, uint32_t>>& outputs) {
+  DLCIRC_CHECK_EQ(edge_vars.size(), graph.num_edges());
+  uint32_t n = graph.num_vertices();
+  CircuitBuilder b = CircuitBuilder::ForAbsorptive(num_vars);
+  // Sparse row representation: row[i] = sorted list of (j, gate).
+  using Row = std::vector<std::pair<uint32_t, GateId>>;
+  std::vector<Row> m(n);
+  {
+    // M[i][i] = 1; M[i][j] = sum of parallel edge vars.
+    std::vector<std::vector<GateId>> acc(n);
+    std::vector<std::vector<uint32_t>> cols(n);
+    for (uint32_t ei = 0; ei < graph.num_edges(); ++ei) {
+      const LabeledEdge& e = graph.edge(ei);
+      if (e.src == e.dst) continue;  // self loops are absorbed by M[i][i]=1
+      cols[e.src].push_back(e.dst);
+      acc[e.src].push_back(b.Input(edge_vars[ei]));
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      // Merge parallel edges with Plus.
+      std::vector<std::pair<uint32_t, GateId>> entries;
+      for (size_t k = 0; k < cols[i].size(); ++k) entries.emplace_back(cols[i][k], acc[i][k]);
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& c) { return a.first < c.first; });
+      Row row;
+      for (auto& [j, gate] : entries) {
+        if (!row.empty() && row.back().first == j) {
+          row.back().second = b.Plus(row.back().second, gate);
+        } else {
+          row.emplace_back(j, gate);
+        }
+      }
+      // Diagonal 1.
+      Row with_diag;
+      bool inserted = false;
+      for (auto& [j, gate] : row) {
+        if (!inserted && j >= i) {
+          if (j == i) {
+            // Edge (i,i) can't happen (skipped); still guard.
+            with_diag.emplace_back(i, b.One());
+            inserted = true;
+            continue;
+          }
+          with_diag.emplace_back(i, b.One());
+          inserted = true;
+        }
+        with_diag.emplace_back(j, gate);
+      }
+      if (!inserted) with_diag.emplace_back(i, b.One());
+      m[i] = std::move(with_diag);
+    }
+  }
+  // ceil(log2 n) squarings cover all walk lengths up to >= n.
+  uint32_t rounds = 0;
+  for (uint32_t len = 1; len < n; len *= 2) ++rounds;
+  for (uint32_t r = 0; r < rounds; ++r) {
+    std::vector<Row> next(n);
+    // next[i][j] = sum_k m[i][k] * m[k][j]  (sparse accumulate).
+    std::vector<std::vector<GateId>> terms(n);  // per column j for fixed i
+    std::vector<uint32_t> touched;
+    for (uint32_t i = 0; i < n; ++i) {
+      touched.clear();
+      for (const auto& [k, mik] : m[i]) {
+        for (const auto& [j, mkj] : m[k]) {
+          GateId prod = b.Times(mik, mkj);
+          if (terms[j].empty()) touched.push_back(j);
+          terms[j].push_back(prod);
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      Row row;
+      row.reserve(touched.size());
+      for (uint32_t j : touched) {
+        row.emplace_back(j, b.PlusN(terms[j]));
+        terms[j].clear();
+      }
+      next[i] = std::move(row);
+    }
+    m = std::move(next);
+  }
+  std::vector<GateId> outs;
+  outs.reserve(outputs.size());
+  for (auto [s, t] : outputs) {
+    DLCIRC_CHECK_NE(s, t) << "T(s,s) provenance is not defined by the TC program";
+    GateId gate = b.Zero();
+    for (const auto& [j, gj] : m[s]) {
+      if (j == t) gate = gj;
+    }
+    outs.push_back(gate);
+  }
+  return b.Build(std::move(outs));
+}
+
+Circuit RepeatedSquaringCircuitIdentity(const StGraph& g) {
+  std::vector<uint32_t> vars(g.graph.num_edges());
+  for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+  return RepeatedSquaringCircuit(g.graph, vars, static_cast<uint32_t>(vars.size()),
+                                 {{g.s, g.t}});
+}
+
+}  // namespace dlcirc

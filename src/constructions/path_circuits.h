@@ -1,0 +1,60 @@
+// Circuits for transitive-closure provenance over graphs:
+//
+//   LayeredGraphCircuit    Theorem 3.5  — the DAG itself as a circuit:
+//                          size O(m), depth O(path length * log indegree).
+//   BellmanFordCircuit     Theorem 5.6  — layered Bellman-Ford relaxation:
+//                          size O(mn), depth O(n log n).
+//   RepeatedSquaringCircuit Theorem 5.7 — min-plus matrix powering by
+//                          repeated squaring: size O(n^3 log n), depth
+//                          O(log^2 n); the absorptive analogue of TC in NC2.
+//
+// All three compute, for requested (s, t) pairs, the provenance polynomial
+// of TC's fact T(s,t): the sum over s->t paths of the product of edge
+// variables (absorption collapses non-simple walks). Edge variables are
+// caller-supplied via `edge_vars` (edge index -> variable id) so reductions
+// can share variables across edge copies; the *Identity overloads use
+// edge i -> variable i.
+#ifndef DLCIRC_CONSTRUCTIONS_PATH_CIRCUITS_H_
+#define DLCIRC_CONSTRUCTIONS_PATH_CIRCUITS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/circuit.h"
+#include "src/graph/generators.h"
+#include "src/graph/labeled_graph.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+
+/// Theorem 3.5. Requires an acyclic graph (CHECKed): gate(v) = sum over
+/// in-edges (u,v) of gate(u) (x) x_edge, gate(s) = 1; output gate(t).
+/// Valid over ANY semiring (a DAG has finitely many paths); built with
+/// the given options.
+Circuit LayeredGraphCircuit(const LabeledGraph& graph,
+                            const std::vector<uint32_t>& edge_vars,
+                            uint32_t num_vars, uint32_t s, uint32_t t,
+                            CircuitBuilder::Options options);
+Circuit LayeredGraphCircuitIdentity(const StGraph& g);
+
+/// Theorem 5.6. `layers` defaults (0) to n-1. Absorptive semirings only.
+Circuit BellmanFordCircuit(const LabeledGraph& graph,
+                           const std::vector<uint32_t>& edge_vars,
+                           uint32_t num_vars, uint32_t s, uint32_t t,
+                           uint32_t layers = 0);
+Circuit BellmanFordCircuitIdentity(const StGraph& g, uint32_t layers = 0);
+
+/// Theorem 5.7. One circuit, one output per requested (s,t) pair (s != t).
+/// Absorptive semirings only. Sparse rows are exploited; the dense bound
+/// O(n^3 log n) remains the worst case.
+Circuit RepeatedSquaringCircuit(const LabeledGraph& graph,
+                                const std::vector<uint32_t>& edge_vars,
+                                uint32_t num_vars,
+                                const std::vector<std::pair<uint32_t, uint32_t>>& outputs);
+Circuit RepeatedSquaringCircuitIdentity(const StGraph& g);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_CONSTRUCTIONS_PATH_CIRCUITS_H_

@@ -1,0 +1,132 @@
+#include "src/constructions/reductions.h"
+
+#include "src/constructions/path_circuits.h"
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+
+// Appends a fresh path spelling `word` from `from`; returns the final
+// vertex. All its edges substitute to One.
+uint32_t AppendConstantPath(LabeledReductionInstance& inst, uint32_t from,
+                            const std::vector<uint32_t>& word) {
+  uint32_t cur = from;
+  for (uint32_t label : word) {
+    uint32_t next = inst.labeled.AddVertices(1);
+    inst.labeled.AddEdge(cur, next, label);
+    inst.edge_subs.push_back(InputSubstitution::One());
+    cur = next;
+  }
+  return cur;
+}
+
+// Prepends a fresh path spelling `word` INTO `to`; returns the initial
+// vertex. All its edges substitute to One.
+uint32_t PrependConstantPath(LabeledReductionInstance& inst, uint32_t to,
+                             const std::vector<uint32_t>& word) {
+  if (word.empty()) return to;
+  uint32_t first = inst.labeled.AddVertices(1);
+  uint32_t cur = first;
+  for (size_t i = 0; i < word.size(); ++i) {
+    uint32_t next = (i + 1 == word.size()) ? to : inst.labeled.AddVertices(1);
+    inst.labeled.AddEdge(cur, next, word[i]);
+    inst.edge_subs.push_back(InputSubstitution::One());
+    cur = next;
+  }
+  return first;
+}
+
+// Expands every original edge into a gadget path spelling `word`; the first
+// gadget edge carries the original edge's variable.
+void ExpandEdges(LabeledReductionInstance& inst, const StGraph& g,
+                 const std::vector<uint32_t>& word) {
+  DLCIRC_CHECK_GE(word.size(), 1u);
+  for (uint32_t ei = 0; ei < g.graph.num_edges(); ++ei) {
+    const LabeledEdge& e = g.graph.edge(ei);
+    uint32_t cur = e.src;
+    for (size_t i = 0; i < word.size(); ++i) {
+      uint32_t next = (i + 1 == word.size()) ? e.dst : inst.labeled.AddVertices(1);
+      inst.labeled.AddEdge(cur, next, word[i]);
+      inst.edge_subs.push_back(i == 0 ? InputSubstitution::Var(ei)
+                                      : InputSubstitution::One());
+      cur = next;
+    }
+  }
+}
+
+}  // namespace
+
+LabeledReductionInstance BuildTcToRpqInstance(const StGraph& g,
+                                              const DfaPumping& pump,
+                                              uint32_t num_labels) {
+  DLCIRC_CHECK_GE(pump.y.size(), 1u);
+  LabeledReductionInstance inst;
+  inst.labeled = LabeledGraph(g.graph.num_vertices(), num_labels);
+  inst.num_tc_vars = static_cast<uint32_t>(g.graph.num_edges());
+  // Each edge reads y; the first gadget edge carries the TC variable.
+  ExpandEdges(inst, g, pump.y);
+  // Prefix x into s; suffix z out of t.
+  inst.s_bar = PrependConstantPath(inst, g.s, pump.x);
+  inst.t_bar = AppendConstantPath(inst, g.t, pump.z);
+  return inst;
+}
+
+Result<LabeledReductionInstance> BuildTcToCfgInstance(const StGraph& g,
+                                                      uint32_t path_len,
+                                                      const CfgPumping& pump,
+                                                      uint32_t num_labels) {
+  if (pump.v.empty()) {
+    return Result<LabeledReductionInstance>::Error(
+        "pumping has empty v; the paper's WLOG |v| >= 1 does not apply — use "
+        "the regular (Theorem 5.9) reduction instead");
+  }
+  LabeledReductionInstance inst;
+  inst.labeled = LabeledGraph(g.graph.num_vertices(), num_labels);
+  inst.num_tc_vars = static_cast<uint32_t>(g.graph.num_edges());
+  // Every edge reads v. An s-t path contributes v^{path_len}.
+  ExpandEdges(inst, g, pump.v);
+  // Prefix p := u v into s: total v-count becomes path_len + 1.
+  std::vector<uint32_t> prefix = pump.u;
+  prefix.insert(prefix.end(), pump.v.begin(), pump.v.end());
+  inst.s_bar = PrependConstantPath(inst, g.s, prefix);
+  // Suffix q := w x^{path_len+1} y out of t.
+  std::vector<uint32_t> suffix = pump.w;
+  for (uint32_t i = 0; i <= path_len; ++i) {
+    suffix.insert(suffix.end(), pump.x.begin(), pump.x.end());
+  }
+  suffix.insert(suffix.end(), pump.y.begin(), pump.y.end());
+  inst.t_bar = AppendConstantPath(inst, g.t, suffix);
+  return inst;
+}
+
+Circuit RpqViaProductCircuit(const LabeledGraph& graph,
+                             const std::vector<uint32_t>& edge_vars,
+                             uint32_t num_vars, const Dfa& dfa, uint32_t s,
+                             uint32_t t) {
+  DLCIRC_CHECK_EQ(edge_vars.size(), graph.num_edges());
+  DLCIRC_CHECK_NE(s, t);
+  GraphDfaProduct prod = BuildGraphDfaProduct(graph, dfa);
+  // Product edges inherit the ORIGINAL edge's variable: this is what makes
+  // the reduction share inputs across copies ("connecting the input
+  // variables based on their projections").
+  std::vector<uint32_t> prod_vars;
+  prod_vars.reserve(prod.graph.num_edges());
+  for (uint32_t pe = 0; pe < prod.graph.num_edges(); ++pe) {
+    prod_vars.push_back(edge_vars[prod.edge_origin[pe]]);
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> outputs;
+  for (uint32_t q = 0; q < dfa.num_states(); ++q) {
+    if (dfa.accept(q)) {
+      outputs.emplace_back(prod.VertexOf(s, dfa.start()), prod.VertexOf(t, q));
+    }
+  }
+  DLCIRC_CHECK(!outputs.empty()) << "DFA has no accept states";
+  Circuit per_accept =
+      RepeatedSquaringCircuit(prod.graph, prod_vars, num_vars, outputs);
+  CircuitBuilder::Options opts;
+  opts.absorptive = true;
+  return CombineOutputsWithPlus(per_accept, opts);
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,78 @@
+// The instance- and circuit-level reductions behind the paper's lower
+// bounds:
+//
+//   BuildTcToRpqInstance   (Theorem 5.9, first direction)  TC -> infinite
+//     regular language: expand every edge into a pumped-word gadget; a
+//     circuit for the RPQ on the gadget instance, with inputs rewired (one
+//     designated gadget edge -> the original edge variable, the rest -> 1),
+//     computes the TC provenance polynomial — transferring the Omega(log^2)
+//     depth bound from TC (Theorem 3.4) to the RPQ.
+//
+//   RpqViaProductCircuit   (Theorem 5.9, second direction)  RPQ -> TC: run a
+//     TC construction on the graph x DFA product, sharing each original
+//     edge's variable across its product copies, and sum over accept states;
+//     the RPQ therefore has the same circuit size/depth complexity as TC.
+//
+//   BuildTcToCfgInstance   (Theorem 5.11)  TC restricted to layered graphs
+//     (where all s-t paths have the same length) -> an unbounded CFG via the
+//     CFG pumping decomposition u v^i w x^i y.
+#ifndef DLCIRC_CONSTRUCTIONS_REDUCTIONS_H_
+#define DLCIRC_CONSTRUCTIONS_REDUCTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/circuit.h"
+#include "src/graph/generators.h"
+#include "src/graph/labeled_graph.h"
+#include "src/lang/cfg.h"
+#include "src/lang/dfa.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+
+/// A labeled hard instance produced from a TC instance, together with the
+/// input substitution that transfers a circuit for the labeled problem back
+/// to a circuit for TC provenance (paper: "one fact gets the value of the
+/// variable, the remaining facts are set to 1").
+struct LabeledReductionInstance {
+  LabeledGraph labeled = LabeledGraph(0, 1);
+  uint32_t s_bar = 0;
+  uint32_t t_bar = 0;
+  /// One entry per labeled edge: Var(original edge) or One.
+  std::vector<InputSubstitution> edge_subs;
+  /// Number of variables of the original TC instance (== its edge count).
+  uint32_t num_tc_vars = 0;
+};
+
+/// Theorem 5.9 (TC -> RPQ). `pump` must satisfy x y^i z in L for all i >= 0.
+/// Every edge of `g.graph` becomes a |y|-edge gadget whose FIRST edge
+/// carries the original variable; a prefix path labeled x hangs off s and a
+/// suffix path labeled z off t.
+LabeledReductionInstance BuildTcToRpqInstance(const StGraph& g,
+                                              const DfaPumping& pump,
+                                              uint32_t num_labels);
+
+/// Theorem 5.11 (TC -> CFG) for instances where every s-t path has exactly
+/// `path_len` edges (layered graphs): prefix u v? — per the paper, prefix
+/// p := u v attaches to s, every edge expands to the word v, and the suffix
+/// q := w x^{path_len+1} y attaches to t, so an s-t path reads
+/// u v^{path_len+1} w x^{path_len+1} y, which pumping puts in L.
+Result<LabeledReductionInstance> BuildTcToCfgInstance(const StGraph& g,
+                                                      uint32_t path_len,
+                                                      const CfgPumping& pump,
+                                                      uint32_t num_labels);
+
+/// Theorem 5.9 (RPQ -> TC). Builds the provenance circuit for the RPQ fact
+/// T(s,t) over `dfa` by repeated squaring on the graph x DFA product with
+/// shared edge variables (edge i of `graph` -> variable edge_vars[i]),
+/// summing over accept states.
+Circuit RpqViaProductCircuit(const LabeledGraph& graph,
+                             const std::vector<uint32_t>& edge_vars,
+                             uint32_t num_vars, const Dfa& dfa, uint32_t s,
+                             uint32_t t);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_CONSTRUCTIONS_REDUCTIONS_H_

@@ -1,0 +1,157 @@
+#include "src/constructions/uvg_circuit.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+
+// Sparse gate-valued matrix over ids [0, n); absent = Zero.
+class GateMatrix {
+ public:
+  explicit GateMatrix(uint32_t n) : n_(n) {}
+
+  GateId Get(uint32_t a, uint32_t b) const {
+    auto it = cells_.find(Key(a, b));
+    return it == cells_.end() ? 0 /* builder Zero id */ : it->second;
+  }
+  void Set(uint32_t a, uint32_t b, GateId g) {
+    if (g == 0) return;
+    cells_[Key(a, b)] = g;
+  }
+  const std::unordered_map<uint64_t, GateId>& cells() const { return cells_; }
+
+  static uint32_t KeyA(uint64_t key) { return static_cast<uint32_t>(key >> 32); }
+  static uint32_t KeyB(uint64_t key) { return static_cast<uint32_t>(key); }
+
+ private:
+  uint64_t Key(uint32_t a, uint32_t b) const {
+    DLCIRC_CHECK_LT(a, n_);
+    DLCIRC_CHECK_LT(b, n_);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+  uint32_t n_;
+  std::unordered_map<uint64_t, GateId> cells_;
+};
+
+}  // namespace
+
+UvgResult UvgCircuit(const GroundedProgram& g, const UvgOptions& options) {
+  const uint32_t num_facts = g.num_idb_facts();
+  // Ids: 0 = <0>, fact f = f + 1.
+  const uint32_t n = num_facts + 1;
+  auto id_of = [](uint32_t fact) { return fact + 1; };
+
+  uint64_t fringe_bound = options.fringe_bound;
+  if (fringe_bound == 0) {
+    uint64_t max_body = 1;
+    for (const GroundRule& r : g.rules()) {
+      max_body = std::max<uint64_t>(max_body, r.body_idbs.size() + r.body_edbs.size());
+    }
+    fringe_bound = static_cast<uint64_t>(num_facts + 1) * (max_body + 1);
+  }
+  uint32_t stages = options.stages;
+  if (stages == 0) {
+    stages = static_cast<uint32_t>(
+                 std::ceil(std::log(static_cast<double>(fringe_bound) + 2) /
+                           std::log(4.0 / 3.0))) +
+             1;
+  }
+
+  CircuitBuilder b = CircuitBuilder::ForAbsorptive(g.num_edb_vars());
+  GateMatrix cur(n);  // G^{(0)} = all zero
+
+  std::vector<GateId> factors;
+  for (uint32_t stage = 1; stage <= stages; ++stage) {
+    // Step 1: G1(0, a).
+    GateMatrix g1(n);
+    {
+      std::vector<std::vector<GateId>> terms(num_facts);
+      for (const GroundRule& rule : g.rules()) {
+        factors.clear();
+        bool dead = false;
+        for (uint32_t bf : rule.body_idbs) {
+          GateId v = cur.Get(0, id_of(bf));
+          if (v == b.Zero()) {
+            dead = true;
+            break;
+          }
+          factors.push_back(v);
+        }
+        if (dead) continue;
+        for (uint32_t ev : rule.body_edbs) factors.push_back(b.Input(ev));
+        terms[rule.head].push_back(b.TimesN(factors));
+      }
+      for (uint32_t f = 0; f < num_facts; ++f) {
+        g1.Set(0, id_of(f), b.PlusN(terms[f]));
+      }
+    }
+    // Step 2: G1(d, a) per body occurrence of d, using this stage's G1(0,.).
+    {
+      std::unordered_map<uint64_t, std::vector<GateId>> pair_terms;
+      for (const GroundRule& rule : g.rules()) {
+        for (size_t occ = 0; occ < rule.body_idbs.size(); ++occ) {
+          factors.clear();
+          bool dead = false;
+          for (size_t i = 0; i < rule.body_idbs.size(); ++i) {
+            if (i == occ) continue;
+            GateId v = g1.Get(0, id_of(rule.body_idbs[i]));
+            if (v == b.Zero()) {
+              dead = true;
+              break;
+            }
+            factors.push_back(v);
+          }
+          if (dead) continue;
+          for (uint32_t ev : rule.body_edbs) factors.push_back(b.Input(ev));
+          GateId term = b.TimesN(factors);
+          uint64_t key = (static_cast<uint64_t>(id_of(rule.body_idbs[occ])) << 32) |
+                         id_of(rule.head);
+          pair_terms[key].push_back(term);
+        }
+      }
+      for (auto& [key, terms] : pair_terms) {
+        g1.Set(GateMatrix::KeyA(key), GateMatrix::KeyB(key), b.PlusN(terms));
+      }
+    }
+    // Step 3: G2 = G^{(k-1)} (+) G1.
+    GateMatrix g2(n);
+    for (const auto& [key, gate] : cur.cells()) g2.Set(GateMatrix::KeyA(key), GateMatrix::KeyB(key), gate);
+    for (const auto& [key, gate] : g1.cells()) {
+      uint32_t a = GateMatrix::KeyA(key), c = GateMatrix::KeyB(key);
+      g2.Set(a, c, b.Plus(g2.Get(a, c), gate));
+    }
+    // Step 4: one step of path doubling on G2.
+    // Index rows: out_edges[c] = list of (dest, gate) for c -> dest.
+    std::vector<std::vector<std::pair<uint32_t, GateId>>> rows(n);
+    for (const auto& [key, gate] : g2.cells()) {
+      rows[GateMatrix::KeyA(key)].emplace_back(GateMatrix::KeyB(key), gate);
+    }
+    std::unordered_map<uint64_t, std::vector<GateId>> acc;
+    for (const auto& [key, gate_ac] : g2.cells()) {
+      uint32_t a = GateMatrix::KeyA(key), c = GateMatrix::KeyB(key);
+      for (const auto& [dest, gate_cb] : rows[c]) {
+        uint64_t k2 = (static_cast<uint64_t>(a) << 32) | dest;
+        acc[k2].push_back(b.Times(gate_ac, gate_cb));
+      }
+    }
+    GateMatrix next(n);
+    for (const auto& [key, gate] : g2.cells()) next.Set(GateMatrix::KeyA(key), GateMatrix::KeyB(key), gate);
+    for (auto& [key, terms2] : acc) {
+      uint32_t a = GateMatrix::KeyA(key), dest = GateMatrix::KeyB(key);
+      GateId sum = b.PlusN(terms2);
+      next.Set(a, dest, b.Plus(next.Get(a, dest), sum));
+    }
+    cur = std::move(next);
+  }
+
+  std::vector<GateId> outputs(num_facts, b.Zero());
+  for (uint32_t f = 0; f < num_facts; ++f) outputs[f] = cur.Get(0, id_of(f));
+  UvgResult result{b.Build(std::move(outputs)), stages};
+  return result;
+}
+
+}  // namespace dlcirc

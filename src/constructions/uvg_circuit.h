@@ -1,0 +1,51 @@
+// Theorem 6.2: the Ullman-Van Gelder construction. For Datalog programs
+// with the polynomial fringe property (all tight proof trees have poly(m)
+// leaves — e.g. every linear program, Corollary 6.3, and Dyck-1 reachability,
+// Example 6.4), a circuit of polynomial size and depth O(log^2 |I|).
+//
+// The circuit maintains a weighted digraph G over IDB-fact ids plus a
+// special id <0>. Per stage k (paper notation):
+//   1. G1(0,a)  = sum over rules a :- b1..bn, g1..gm of
+//                 prod_i G^{(k-1)}(0,bi) (x) prod_j x_{gj}
+//   2. G1(d,a)  = sum over rules containing d in the body, per occurrence,
+//                 of prod_{other i} G1^{(k)}(0,bi) (x) prod_j x_{gj}
+//   3. G2       = G^{(k-1)} (+) G1
+//   4. G^{(k)}  = G2 (+) one step of path doubling: G2(a,c) (x) G2(c,b)
+// After K = O(log fringe_bound) stages, G^{(K)}(0,a) computes the provenance
+// of fact a over any absorptive semiring. Each stage is O(log) depth (sums
+// in balanced trees; the doubling squares derivation-tree coverage), giving
+// total depth O(log m * log fringe) = O(log^2 m) for polynomial fringes.
+//
+// The graph is kept sparse: absent entries are the constant 0.
+#ifndef DLCIRC_CONSTRUCTIONS_UVG_CIRCUIT_H_
+#define DLCIRC_CONSTRUCTIONS_UVG_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/circuit.h"
+#include "src/datalog/grounding.h"
+
+namespace dlcirc {
+
+struct UvgOptions {
+  /// Number of stages; 0 selects ceil(log_{4/3}(fringe_bound)) + 1.
+  uint32_t stages = 0;
+  /// Upper bound on tight-proof-tree size used to pick the default stage
+  /// count; 0 selects (num_idb_facts + 1) * (max rule body size + 1), the
+  /// bound valid for linear programs and word-path chain instances.
+  uint64_t fringe_bound = 0;
+};
+
+struct UvgResult {
+  Circuit circuit;
+  /// circuit.outputs()[i] computes the provenance of IDB fact i.
+  uint32_t stages_used = 0;
+};
+
+UvgResult UvgCircuit(const GroundedProgram& g, const UvgOptions& options = {});
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_CONSTRUCTIONS_UVG_CIRCUIT_H_

@@ -1,0 +1,164 @@
+#include "src/datalog/analysis.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dlcirc {
+
+int CountIdbBodyAtoms(const Program& program, const Rule& rule) {
+  std::vector<bool> idb = program.IdbMask();
+  int count = 0;
+  for (const Atom& a : rule.body) {
+    if (idb[a.pred]) ++count;
+  }
+  return count;
+}
+
+bool IsChainRule(const Program& program, const Rule& rule) {
+  (void)program;
+  // Head must be binary over two distinct variables.
+  if (rule.head.args.size() != 2) return false;
+  if (!rule.head.args[0].IsVar() || !rule.head.args[1].IsVar()) return false;
+  if (rule.head.args[0].id == rule.head.args[1].id) return false;
+  if (rule.body.empty()) return false;
+  // Body must be a path of binary atoms x -> z1 -> ... -> y with distinct
+  // variables.
+  uint32_t expected = rule.head.args[0].id;
+  std::unordered_set<uint32_t> seen = {expected};
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Atom& a = rule.body[i];
+    if (a.args.size() != 2) return false;
+    if (!a.args[0].IsVar() || !a.args[1].IsVar()) return false;
+    if (a.args[0].id != expected) return false;
+    uint32_t next = a.args[1].id;
+    bool is_last = (i + 1 == rule.body.size());
+    if (is_last) {
+      if (next != rule.head.args[1].id) return false;
+    } else {
+      if (!seen.insert(next).second) return false;  // vars must be distinct
+      if (next == rule.head.args[1].id) return false;
+    }
+    expected = next;
+  }
+  return true;
+}
+
+bool IsConnectedRule(const Rule& rule) {
+  if (rule.body.empty()) return true;
+  // Collect variables and union-find over atoms.
+  std::unordered_map<uint32_t, uint32_t> parent;
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t v) -> uint32_t {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  auto ensure = [&](uint32_t v) {
+    if (!parent.count(v)) parent[v] = v;
+  };
+  auto unite = [&](uint32_t a, uint32_t b) {
+    ensure(a);
+    ensure(b);
+    parent[find(a)] = find(b);
+  };
+  for (const Atom& a : rule.body) {
+    uint32_t first_var = 0;
+    bool has_first = false;
+    for (const Term& t : a.args) {
+      if (!t.IsVar()) continue;
+      ensure(t.id);
+      if (!has_first) {
+        first_var = t.id;
+        has_first = true;
+      } else {
+        unite(first_var, t.id);
+      }
+    }
+  }
+  if (parent.empty()) return true;  // no variables at all
+  // Head variables must be present in the body graph (safety gives this) and
+  // everything must be one component.
+  constexpr uint32_t kNoRoot = 0xffffffffu;
+  uint32_t root = kNoRoot;
+  for (const Atom& a : rule.body) {
+    for (const Term& t : a.args) {
+      if (!t.IsVar()) continue;
+      uint32_t r = find(t.id);
+      if (root == kNoRoot) {
+        root = r;
+      } else if (r != root) {
+        return false;
+      }
+    }
+  }
+  for (const Term& t : rule.head.args) {
+    if (t.IsVar() && !parent.count(t.id)) return false;
+  }
+  return true;
+}
+
+ProgramAnalysis Analyze(const Program& program) {
+  ProgramAnalysis out;
+  out.idb_mask = program.IdbMask();
+
+  out.is_linear = true;
+  for (const Rule& r : program.rules) {
+    if (CountIdbBodyAtoms(program, r) > 1) out.is_linear = false;
+  }
+
+  out.is_monadic = true;
+  for (size_t p = 0; p < program.num_preds(); ++p) {
+    if (out.idb_mask[p] && program.arities[p] != 1) out.is_monadic = false;
+  }
+
+  out.is_basic_chain = true;
+  for (const Rule& r : program.rules) {
+    if (CountIdbBodyAtoms(program, r) == 0) continue;  // initialization rule
+    if (!IsChainRule(program, r)) out.is_basic_chain = false;
+  }
+  // Chain programs additionally require initialization rules to be chains.
+  if (out.is_basic_chain) {
+    for (const Rule& r : program.rules) {
+      if (!r.body.empty() && !IsChainRule(program, r)) out.is_basic_chain = false;
+    }
+  }
+
+  out.is_connected = true;
+  for (const Rule& r : program.rules) {
+    if (!IsConnectedRule(r)) out.is_connected = false;
+  }
+
+  // Predicate dependency graph: edge q -> p when q occurs in a body of a
+  // rule with head p. A predicate is recursive if it lies on a cycle.
+  size_t n = program.num_preds();
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const Rule& r : program.rules) {
+    for (const Atom& a : r.body) adj[a.pred].push_back(r.head.pred);
+  }
+  // Reachability-based cycle detection (n is tiny).
+  out.recursive_pred.assign(n, false);
+  for (size_t s = 0; s < n; ++s) {
+    std::vector<bool> vis(n, false);
+    std::vector<uint32_t> stack(adj[s].begin(), adj[s].end());
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      if (v == s) {
+        out.recursive_pred[s] = true;
+        break;
+      }
+      if (vis[v]) continue;
+      vis[v] = true;
+      for (uint32_t w : adj[v]) stack.push_back(w);
+    }
+  }
+  out.is_recursive =
+      std::any_of(out.recursive_pred.begin(), out.recursive_pred.end(),
+                  [](bool b) { return b; });
+  return out;
+}
+
+}  // namespace dlcirc

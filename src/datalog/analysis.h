@@ -1,0 +1,43 @@
+// Static program analyses used throughout the paper's classification:
+// linearity (Section 2.1), monadicity, chain-rule shape (Section 5),
+// connectedness of rule variable graphs (Section 6.2), and recursiveness via
+// the predicate dependency graph.
+#ifndef DLCIRC_DATALOG_ANALYSIS_H_
+#define DLCIRC_DATALOG_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/datalog/ast.h"
+
+namespace dlcirc {
+
+struct ProgramAnalysis {
+  std::vector<bool> idb_mask;        ///< per predicate
+  bool is_linear = false;            ///< every rule has <= 1 IDB body atom
+  bool is_monadic = false;           ///< every IDB has arity 1
+  bool is_basic_chain = false;       ///< recursive rules are chain rules (Sec 5)
+  bool is_connected = false;         ///< every rule's variable graph connected
+  bool is_recursive = false;         ///< some IDB depends on itself (via SCC)
+  std::vector<bool> recursive_pred;  ///< per predicate: in a dependency cycle
+};
+
+/// Runs all analyses.
+ProgramAnalysis Analyze(const Program& program);
+
+/// True iff `rule` is a chain rule (Section 5):
+///   P(x,y) :- Q0(x,z1), Q1(z1,z2), ..., Qk(zk,y)
+/// with all predicates binary and x, y, z1..zk pairwise distinct variables.
+/// Rules with a single body atom P(x,y) :- Q(x,y) also qualify.
+bool IsChainRule(const Program& program, const Rule& rule);
+
+/// True iff the rule's variable graph (vars adjacent when co-occurring in an
+/// atom) is connected and contains every head variable (Section 6.2).
+bool IsConnectedRule(const Rule& rule);
+
+/// Number of IDB atoms in the rule body.
+int CountIdbBodyAtoms(const Program& program, const Rule& rule);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_DATALOG_ANALYSIS_H_

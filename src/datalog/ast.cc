@@ -1,0 +1,54 @@
+#include "src/datalog/ast.h"
+
+#include <sstream>
+
+namespace dlcirc {
+
+std::vector<bool> Program::IdbMask() const {
+  std::vector<bool> mask(preds.size(), false);
+  for (const Rule& r : rules) mask[r.head.pred] = true;
+  return mask;
+}
+
+bool Program::IsInitializationRule(size_t rule_idx) const {
+  std::vector<bool> idb = IdbMask();
+  for (const Atom& a : rules[rule_idx].body) {
+    if (idb[a.pred]) return false;
+  }
+  return true;
+}
+
+std::string Program::AtomToString(const Atom& atom) const {
+  std::ostringstream ss;
+  ss << preds.Name(atom.pred) << "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) ss << ",";
+    const Term& t = atom.args[i];
+    ss << (t.IsVar() ? vars.Name(t.id) : consts.Name(t.id));
+  }
+  ss << ")";
+  return ss.str();
+}
+
+std::string Program::RuleToString(const Rule& rule) const {
+  std::ostringstream ss;
+  ss << AtomToString(rule.head);
+  if (!rule.body.empty()) {
+    ss << " :- ";
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) ss << ", ";
+      ss << AtomToString(rule.body[i]);
+    }
+  }
+  ss << ".";
+  return ss.str();
+}
+
+std::string Program::ToString() const {
+  std::ostringstream ss;
+  ss << "@target " << preds.Name(target_pred) << ".\n";
+  for (const Rule& r : rules) ss << RuleToString(r) << "\n";
+  return ss.str();
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,71 @@
+// Datalog AST (paper Section 2.1).
+//
+// A Program is a set of rules head :- body over interned predicate, variable
+// and constant names. EDB predicates are those never appearing in a rule
+// head; the target IDB designates the output (predicate I/O convention).
+#ifndef DLCIRC_DATALOG_AST_H_
+#define DLCIRC_DATALOG_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/interner.h"
+
+namespace dlcirc {
+
+/// A term is a variable or a constant, identified by an interned id.
+struct Term {
+  enum class Kind : uint8_t { kVar, kConst };
+  Kind kind;
+  uint32_t id;
+
+  static Term Var(uint32_t id) { return {Kind::kVar, id}; }
+  static Term Const(uint32_t id) { return {Kind::kConst, id}; }
+  bool IsVar() const { return kind == Kind::kVar; }
+  bool operator==(const Term& o) const { return kind == o.kind && id == o.id; }
+};
+
+/// A predicate applied to terms.
+struct Atom {
+  uint32_t pred;
+  std::vector<Term> args;
+  bool operator==(const Atom& o) const { return pred == o.pred && args == o.args; }
+};
+
+/// head :- body[0], ..., body[k-1].  An empty body makes the rule a ground
+/// fact (only allowed when all head arguments are constants).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+};
+
+/// A parsed Datalog program. Names are interned per kind; `arities` is
+/// indexed by predicate id. The program does not own any data (EDB facts
+/// live in a Database).
+struct Program {
+  Interner preds;
+  Interner vars;
+  Interner consts;
+  std::vector<uint32_t> arities;
+  std::vector<Rule> rules;
+  /// Output predicate (predicate I/O convention, Section 2.1).
+  uint32_t target_pred = 0;
+
+  size_t num_preds() const { return preds.size(); }
+
+  /// idb_mask[p] is true iff predicate p occurs in some rule head.
+  std::vector<bool> IdbMask() const;
+
+  /// True iff the rule at `rule_idx` has no IDB atoms in its body
+  /// (an initialization rule, Section 2.1).
+  bool IsInitializationRule(size_t rule_idx) const;
+
+  std::string AtomToString(const Atom& atom) const;
+  std::string RuleToString(const Rule& rule) const;
+  std::string ToString() const;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_DATALOG_AST_H_

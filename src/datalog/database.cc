@@ -1,0 +1,45 @@
+#include "src/datalog/database.h"
+
+#include <sstream>
+
+namespace dlcirc {
+
+Database::Database(const Program& program) {
+  relations_.reserve(program.num_preds());
+  for (size_t p = 0; p < program.num_preds(); ++p) {
+    relations_.emplace_back(program.arities[p]);
+  }
+  fact_var_.resize(program.num_preds());
+}
+
+uint32_t Database::AddFact(uint32_t pred, const Tuple& tuple) {
+  DLCIRC_CHECK_LT(pred, relations_.size());
+  uint32_t existing = relations_[pred].Find(tuple);
+  if (existing != Relation::kNotFound) return fact_var_[pred][existing];
+  uint32_t tid = relations_[pred].Insert(tuple);
+  uint32_t var = static_cast<uint32_t>(facts_.size());
+  facts_.push_back(FactInfo{pred, tuple});
+  DLCIRC_CHECK_EQ(fact_var_[pred].size(), tid);
+  fact_var_[pred].push_back(var);
+  return var;
+}
+
+uint32_t Database::FindFact(uint32_t pred, const Tuple& tuple) const {
+  uint32_t tid = relations_[pred].Find(tuple);
+  if (tid == Relation::kNotFound) return kNotFound;
+  return fact_var_[pred][tid];
+}
+
+std::string Database::FactToString(const Program& program, uint32_t var) const {
+  const FactInfo& f = facts_[var];
+  std::ostringstream ss;
+  ss << program.preds.Name(f.pred) << "(";
+  for (size_t i = 0; i < f.tuple.size(); ++i) {
+    if (i > 0) ss << ",";
+    ss << domain_.Name(f.tuple[i]);
+  }
+  ss << ")";
+  return ss.str();
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,60 @@
+// EDB database: relation instances over an interned constant domain, with
+// every fact assigned a dense id that doubles as its provenance variable
+// (the tagging convention of paper Section 2.4).
+#ifndef DLCIRC_DATALOG_DATABASE_H_
+#define DLCIRC_DATALOG_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datalog/ast.h"
+#include "src/datalog/relation.h"
+#include "src/util/interner.h"
+
+namespace dlcirc {
+
+/// A database instance for (the EDB predicates of) a Program. Predicate ids
+/// are the program's; constants are interned in the database's own domain.
+class Database {
+ public:
+  /// One stored fact; `var` is its provenance variable id (== fact id).
+  struct FactInfo {
+    uint32_t pred;
+    Tuple tuple;
+  };
+
+  explicit Database(const Program& program);
+
+  /// Interns a constant name into the active domain.
+  uint32_t InternConst(const std::string& name) { return domain_.Intern(name); }
+  const Interner& domain() const { return domain_; }
+
+  /// Adds fact pred(tuple); returns its provenance variable id (stable and
+  /// dense; re-adding an existing fact returns the original id).
+  uint32_t AddFact(uint32_t pred, const Tuple& tuple);
+
+  /// Provenance variable of an existing fact, or kNotFound.
+  uint32_t FindFact(uint32_t pred, const Tuple& tuple) const;
+  static constexpr uint32_t kNotFound = Relation::kNotFound;
+
+  const Relation& relation(uint32_t pred) const { return relations_[pred]; }
+  size_t num_preds() const { return relations_.size(); }
+
+  /// Total number of EDB facts == size of the provenance variable space.
+  uint32_t num_facts() const { return static_cast<uint32_t>(facts_.size()); }
+  const FactInfo& fact(uint32_t var) const { return facts_[var]; }
+
+  /// Human-readable fact rendering, e.g. "E(a,b)".
+  std::string FactToString(const Program& program, uint32_t var) const;
+
+ private:
+  Interner domain_;
+  std::vector<Relation> relations_;          // indexed by pred id
+  std::vector<std::vector<uint32_t>> fact_var_;  // [pred][tuple_id] -> var
+  std::vector<FactInfo> facts_;              // var -> fact
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_DATALOG_DATABASE_H_

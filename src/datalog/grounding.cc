@@ -1,0 +1,240 @@
+#include "src/datalog/grounding.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+
+uint64_t FactKey(uint32_t pred, const Tuple& t) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ pred;
+  for (uint32_t v : t) h = h * 0x100000001b3ULL ^ v;
+  return h;
+}
+
+// Mutable IDB store during grounding: one Relation per IDB predicate.
+struct IdbStore {
+  explicit IdbStore(const Program& program) {
+    for (size_t p = 0; p < program.num_preds(); ++p) {
+      relations.emplace_back(program.arities[p]);
+    }
+  }
+  std::vector<Relation> relations;
+};
+
+// Backtracking join: extends `binding` over body atoms from `atom_idx` on,
+// calling `emit` once per full match. `binding` maps var id -> const id
+// (kUnbound when free). Matching uses a per-column index when a column is
+// already bound; otherwise scans.
+constexpr uint32_t kUnbound = 0xffffffffu;
+
+class Joiner {
+ public:
+  Joiner(const Program& program, const Database& db, const IdbStore& idbs,
+         const std::vector<bool>& idb_mask)
+      : program_(program), db_(db), idbs_(idbs), idb_mask_(idb_mask) {}
+
+  // Enumerate matches of rule body; emit(binding).
+  template <typename Emit>
+  void Enumerate(const Rule& rule, Emit&& emit) {
+    binding_.assign(program_.vars.size(), kUnbound);
+    Recurse(rule, 0, emit);
+  }
+
+ private:
+  const Relation& RelationOf(uint32_t pred) const {
+    return idb_mask_[pred] ? idbs_.relations[pred] : db_.relation(pred);
+  }
+
+  // Resolves a term under the current binding; kUnbound if free variable.
+  uint32_t Resolve(const Term& t) const {
+    if (t.IsVar()) return binding_[t.id];
+    // Constants: map program constant name into the database domain.
+    uint32_t c = db_.domain().Find(program_.consts.Name(t.id));
+    // Unknown constants never match; use a sentinel no tuple contains.
+    return c == Interner::kNotFound ? 0xfffffffeu : c;
+  }
+
+  template <typename Emit>
+  void Recurse(const Rule& rule, size_t atom_idx, Emit&& emit) {
+    if (atom_idx == rule.body.size()) {
+      emit(binding_);
+      return;
+    }
+    const Atom& atom = rule.body[atom_idx];
+    const Relation& rel = RelationOf(atom.pred);
+    // Pick a bound column for index lookup if any.
+    int bound_col = -1;
+    uint32_t bound_val = 0;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      uint32_t v = Resolve(atom.args[i]);
+      if (v != kUnbound) {
+        bound_col = static_cast<int>(i);
+        bound_val = v;
+        break;
+      }
+    }
+    auto try_tuple = [&](const Tuple& t) {
+      // Match and extend binding; record which vars we bind to undo later.
+      uint32_t newly_bound[8];
+      size_t num_new = 0;
+      bool ok = true;
+      for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+        const Term& term = atom.args[i];
+        if (term.IsVar()) {
+          uint32_t cur = binding_[term.id];
+          if (cur == kUnbound) {
+            binding_[term.id] = t[i];
+            DLCIRC_CHECK_LT(num_new, 8u) << "atom arity > 8 unsupported in joiner";
+            newly_bound[num_new++] = term.id;
+          } else if (cur != t[i]) {
+            ok = false;
+          }
+        } else if (Resolve(term) != t[i]) {
+          ok = false;
+        }
+      }
+      if (ok) Recurse(rule, atom_idx + 1, emit);
+      for (size_t i = 0; i < num_new; ++i) binding_[newly_bound[i]] = kUnbound;
+    };
+    if (bound_col >= 0) {
+      for (uint32_t tid : rel.Matches(static_cast<uint32_t>(bound_col), bound_val)) {
+        try_tuple(rel.tuple(tid));
+      }
+    } else {
+      for (const Tuple& t : rel.tuples()) try_tuple(t);
+    }
+  }
+
+  const Program& program_;
+  const Database& db_;
+  const IdbStore& idbs_;
+  const std::vector<bool>& idb_mask_;
+  std::vector<uint32_t> binding_;
+};
+
+Tuple InstantiateHead(const Program& program, const Database& db, const Atom& head,
+                      const std::vector<uint32_t>& binding) {
+  Tuple t;
+  t.reserve(head.args.size());
+  for (const Term& term : head.args) {
+    if (term.IsVar()) {
+      DLCIRC_CHECK_NE(binding[term.id], kUnbound);
+      t.push_back(binding[term.id]);
+    } else {
+      uint32_t c = db.domain().Find(program.consts.Name(term.id));
+      DLCIRC_CHECK_NE(c, Interner::kNotFound)
+          << "head constant " << program.consts.Name(term.id) << " not in domain";
+      t.push_back(c);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+uint32_t GroundedProgram::FindIdbFact(uint32_t pred, const Tuple& tuple) const {
+  auto it = idb_index_.find(FactKey(pred, tuple));
+  if (it == idb_index_.end()) return kNotFound;
+  for (uint32_t id : it->second) {
+    if (idb_facts_[id].pred == pred && idb_facts_[id].tuple == tuple) return id;
+  }
+  return kNotFound;
+}
+
+uint64_t GroundedProgram::TotalSize() const {
+  uint64_t total = 0;
+  for (const GroundRule& r : rules_) {
+    total += 1 + r.body_idbs.size() + r.body_edbs.size();
+  }
+  return total;
+}
+
+std::string GroundedProgram::FactToString(const Program& program, const Database& db,
+                                          uint32_t fact) const {
+  const IdbFact& f = idb_facts_[fact];
+  std::string s = program.preds.Name(f.pred) + "(";
+  for (size_t i = 0; i < f.tuple.size(); ++i) {
+    if (i > 0) s += ",";
+    s += db.domain().Name(f.tuple[i]);
+  }
+  return s + ")";
+}
+
+GroundedProgram Ground(const Program& program, const Database& db) {
+  std::vector<bool> idb_mask = program.IdbMask();
+  IdbStore idbs(program);
+  Joiner joiner(program, db, idbs, idb_mask);
+
+  // Phase 1: derive all derivable IDB facts (Boolean naive evaluation; the
+  // per-round loop re-joins everything — simple and adequate since Phase 2
+  // dominates).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules) {
+      // Buffer inserts: the joiner iterates the very relations we derive
+      // into, so mutating them mid-enumeration would invalidate iterators.
+      std::vector<Tuple> pending;
+      joiner.Enumerate(rule, [&](const std::vector<uint32_t>& binding) {
+        pending.push_back(InstantiateHead(program, db, rule.head, binding));
+      });
+      Relation& rel = idbs.relations[rule.head.pred];
+      for (const Tuple& head : pending) {
+        if (rel.Find(head) == Relation::kNotFound) {
+          rel.Insert(head);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Phase 2: register facts and emit grounded rules.
+  GroundedProgram g;
+  g.num_edb_vars_ = db.num_facts();
+  for (size_t p = 0; p < program.num_preds(); ++p) {
+    if (!idb_mask[p]) continue;
+    for (const Tuple& t : idbs.relations[p].tuples()) {
+      uint32_t id = static_cast<uint32_t>(g.idb_facts_.size());
+      g.idb_facts_.push_back({static_cast<uint32_t>(p), t});
+      g.idb_index_[FactKey(static_cast<uint32_t>(p), t)].push_back(id);
+      if (p == program.target_pred) g.target_facts_.push_back(id);
+    }
+  }
+  g.rules_by_head_.resize(g.idb_facts_.size());
+  for (uint32_t rule_idx = 0; rule_idx < program.rules.size(); ++rule_idx) {
+    const Rule& rule = program.rules[rule_idx];
+    joiner.Enumerate(rule, [&](const std::vector<uint32_t>& binding) {
+      GroundRule gr;
+      gr.rule_index = rule_idx;
+      Tuple head = InstantiateHead(program, db, rule.head, binding);
+      gr.head = g.FindIdbFact(rule.head.pred, head);
+      DLCIRC_CHECK_NE(gr.head, GroundedProgram::kNotFound);
+      for (const Atom& a : rule.body) {
+        Tuple t;
+        t.reserve(a.args.size());
+        for (const Term& term : a.args) {
+          t.push_back(term.IsVar() ? binding[term.id]
+                                   : db.domain().Find(program.consts.Name(term.id)));
+        }
+        if (idb_mask[a.pred]) {
+          uint32_t id = g.FindIdbFact(a.pred, t);
+          DLCIRC_CHECK_NE(id, GroundedProgram::kNotFound);
+          gr.body_idbs.push_back(id);
+        } else {
+          uint32_t var = db.FindFact(a.pred, t);
+          DLCIRC_CHECK_NE(var, Database::kNotFound);
+          gr.body_edbs.push_back(var);
+        }
+      }
+      uint32_t rid = static_cast<uint32_t>(g.rules_.size());
+      g.rules_.push_back(std::move(gr));
+      g.rules_by_head_[g.rules_[rid].head].push_back(rid);
+    });
+  }
+  return g;
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,78 @@
+// Relevant grounding (paper Theorem 3.1's "grounded program").
+//
+// Rather than instantiating every rule over the whole active domain
+// (|adom|^#vars), the grounder first derives all derivable IDB facts by a
+// Boolean semi-naive fixpoint and then emits exactly the rule instantiations
+// whose body atoms are all derivable — the grounded program a production
+// engine would materialize. Every positive-semiring evaluation has the same
+// derivable facts (positivity), so this grounding is sound for all of them.
+#ifndef DLCIRC_DATALOG_GROUNDING_H_
+#define DLCIRC_DATALOG_GROUNDING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/datalog/analysis.h"
+#include "src/datalog/ast.h"
+#include "src/datalog/database.h"
+
+namespace dlcirc {
+
+/// One grounded rule: head and body refer to dense IDB fact ids / EDB
+/// provenance variable ids.
+struct GroundRule {
+  uint32_t head;                    ///< IDB fact id
+  std::vector<uint32_t> body_idbs;  ///< IDB fact ids (possibly repeated)
+  std::vector<uint32_t> body_edbs;  ///< EDB provenance variable ids
+  uint32_t rule_index;              ///< originating Program rule
+};
+
+/// The grounded program: all derivable IDB facts plus all firing rule
+/// instantiations, with an index from each head fact to its rules.
+class GroundedProgram {
+ public:
+  struct IdbFact {
+    uint32_t pred;
+    Tuple tuple;
+  };
+
+  const std::vector<IdbFact>& idb_facts() const { return idb_facts_; }
+  const std::vector<GroundRule>& rules() const { return rules_; }
+  const std::vector<uint32_t>& RulesOfHead(uint32_t fact) const {
+    return rules_by_head_[fact];
+  }
+  uint32_t num_idb_facts() const { return static_cast<uint32_t>(idb_facts_.size()); }
+  uint32_t num_edb_vars() const { return num_edb_vars_; }
+
+  /// Dense id of a derivable IDB fact or kNotFound.
+  uint32_t FindIdbFact(uint32_t pred, const Tuple& tuple) const;
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  /// IDB fact ids of the target predicate.
+  const std::vector<uint32_t>& target_facts() const { return target_facts_; }
+
+  /// Size of the grounded program (paper's M): total atom count over rules.
+  uint64_t TotalSize() const;
+
+  std::string FactToString(const Program& program, const Database& db,
+                           uint32_t fact) const;
+
+ private:
+  friend GroundedProgram Ground(const Program&, const Database&);
+
+  std::vector<IdbFact> idb_facts_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> idb_index_;  // hash buckets
+  std::vector<GroundRule> rules_;
+  std::vector<std::vector<uint32_t>> rules_by_head_;
+  std::vector<uint32_t> target_facts_;
+  uint32_t num_edb_vars_ = 0;
+};
+
+/// Grounds `program` against `db` (see file comment).
+GroundedProgram Ground(const Program& program, const Database& db);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_DATALOG_GROUNDING_H_

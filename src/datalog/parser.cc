@@ -1,0 +1,262 @@
+#include "src/datalog/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace dlcirc {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kLParen, kRParen, kComma, kArrow, kDot, kAt, kEnd };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '(') {
+        out.push_back({Token::Kind::kLParen, "(", line_});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({Token::Kind::kRParen, ")", line_});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({Token::Kind::kComma, ",", line_});
+        ++pos_;
+      } else if (c == '.') {
+        out.push_back({Token::Kind::kDot, ".", line_});
+        ++pos_;
+      } else if (c == '@') {
+        out.push_back({Token::Kind::kAt, "@", line_});
+        ++pos_;
+      } else if (c == ':') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '-') {
+          return Err("expected ':-'");
+        }
+        out.push_back({Token::Kind::kArrow, ":-", line_});
+        pos_ += 2;
+      } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back(
+            {Token::Kind::kIdent, std::string(text_.substr(start, pos_ - start)), line_});
+      } else {
+        return Err(std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back({Token::Kind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  Result<std::vector<Token>> Err(const std::string& msg) {
+    return Result<std::vector<Token>>::Error("line " + std::to_string(line_) + ": " +
+                                             msg);
+  }
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsVariableName(const std::string& name) {
+  return !name.empty() && std::isupper(static_cast<unsigned char>(name[0]));
+}
+
+class ProgramParser {
+ public:
+  explicit ProgramParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Parse() {
+    std::optional<std::string> target_name;
+    while (Peek().kind != Token::Kind::kEnd) {
+      if (Peek().kind == Token::Kind::kAt) {
+        Next();
+        if (Peek().kind != Token::Kind::kIdent || Peek().text != "target") {
+          return Err("expected 'target' after '@'");
+        }
+        Next();
+        if (Peek().kind != Token::Kind::kIdent) return Err("expected predicate name");
+        target_name = Next().text;
+        if (!Expect(Token::Kind::kDot)) return Err("expected '.' after @target");
+        continue;
+      }
+      Result<Rule> rule = ParseRule();
+      if (!rule.ok()) return Result<Program>::Error(rule.error());
+      program_.rules.push_back(std::move(rule).value());
+    }
+    if (program_.rules.empty()) return Err("program has no rules");
+    // Safety: every head variable occurs in the body (ground facts exempt).
+    for (const Rule& r : program_.rules) {
+      if (r.body.empty()) {
+        for (const Term& t : r.head.args) {
+          if (t.IsVar()) return Err("fact with variables: " + program_.RuleToString(r));
+        }
+        continue;
+      }
+      for (const Term& t : r.head.args) {
+        if (!t.IsVar()) continue;
+        bool found = false;
+        for (const Atom& a : r.body) {
+          for (const Term& bt : a.args) {
+            if (bt.IsVar() && bt.id == t.id) found = true;
+          }
+        }
+        if (!found) {
+          return Err("unsafe rule (head variable not in body): " +
+                     program_.RuleToString(r));
+        }
+      }
+    }
+    if (target_name.has_value()) {
+      uint32_t id = program_.preds.Find(*target_name);
+      if (id == Interner::kNotFound) return Err("unknown @target " + *target_name);
+      program_.target_pred = id;
+    } else {
+      program_.target_pred = program_.rules[0].head.pred;
+    }
+    // Target must be an IDB.
+    std::vector<bool> idb = program_.IdbMask();
+    if (!idb[program_.target_pred]) return Err("@target must be an IDB predicate");
+    return std::move(program_);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+  bool Expect(Token::Kind k) {
+    if (Peek().kind != k) return false;
+    Next();
+    return true;
+  }
+  Result<Program> Err(const std::string& msg) {
+    return Result<Program>::Error("line " + std::to_string(Peek().line) + ": " + msg);
+  }
+
+  Result<Atom> ParseAtom() {
+    auto err = [&](const std::string& m) {
+      return Result<Atom>::Error("line " + std::to_string(Peek().line) + ": " + m);
+    };
+    if (Peek().kind != Token::Kind::kIdent) return err("expected predicate name");
+    std::string pred_name = Next().text;
+    if (!Expect(Token::Kind::kLParen)) return err("expected '('");
+    Atom atom;
+    atom.pred = program_.preds.Intern(pred_name);
+    if (Peek().kind != Token::Kind::kRParen) {
+      while (true) {
+        if (Peek().kind != Token::Kind::kIdent) return err("expected term");
+        std::string t = Next().text;
+        atom.args.push_back(IsVariableName(t) ? Term::Var(program_.vars.Intern(t))
+                                              : Term::Const(program_.consts.Intern(t)));
+        if (Peek().kind == Token::Kind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Expect(Token::Kind::kRParen)) return err("expected ')'");
+    // Arity bookkeeping / checking.
+    if (atom.pred >= program_.arities.size()) {
+      program_.arities.resize(atom.pred + 1, 0);
+      program_.arities[atom.pred] = static_cast<uint32_t>(atom.args.size());
+    } else if (program_.arities[atom.pred] != atom.args.size()) {
+      return err("arity mismatch for predicate " + pred_name);
+    }
+    return atom;
+  }
+
+  Result<Rule> ParseRule() {
+    Result<Atom> head = ParseAtom();
+    if (!head.ok()) return Result<Rule>::Error(head.error());
+    Rule rule;
+    rule.head = std::move(head).value();
+    if (Peek().kind == Token::Kind::kArrow) {
+      Next();
+      while (true) {
+        Result<Atom> a = ParseAtom();
+        if (!a.ok()) return Result<Rule>::Error(a.error());
+        rule.body.push_back(std::move(a).value());
+        if (Peek().kind == Token::Kind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Expect(Token::Kind::kDot)) {
+      return Result<Rule>::Error("line " + std::to_string(Peek().line) +
+                                 ": expected '.' after rule");
+    }
+    return rule;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Program program_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) return Result<Program>::Error(tokens.error());
+  return ProgramParser(std::move(tokens).value()).Parse();
+}
+
+Result<Database> ParseFacts(const Program& program, std::string_view text) {
+  Result<std::vector<Token>> tokens_r = Lexer(text).Tokenize();
+  if (!tokens_r.ok()) return Result<Database>::Error(tokens_r.error());
+  std::vector<Token> tokens = std::move(tokens_r).value();
+  Database db(program);
+  size_t pos = 0;
+  auto err = [&](const std::string& m) {
+    return Result<Database>::Error("line " + std::to_string(tokens[pos].line) + ": " + m);
+  };
+  while (tokens[pos].kind != Token::Kind::kEnd) {
+    if (tokens[pos].kind != Token::Kind::kIdent) return err("expected predicate name");
+    std::string pred_name = tokens[pos++].text;
+    uint32_t pred = program.preds.Find(pred_name);
+    if (pred == Interner::kNotFound) return err("unknown predicate " + pred_name);
+    if (tokens[pos].kind != Token::Kind::kLParen) return err("expected '('");
+    ++pos;
+    Tuple tuple;
+    while (tokens[pos].kind == Token::Kind::kIdent) {
+      const std::string& t = tokens[pos].text;
+      if (IsVariableName(t)) return err("facts must be ground, got variable " + t);
+      tuple.push_back(db.InternConst(t));
+      ++pos;
+      if (tokens[pos].kind == Token::Kind::kComma) ++pos;
+    }
+    if (tokens[pos].kind != Token::Kind::kRParen) return err("expected ')'");
+    ++pos;
+    if (tokens[pos].kind != Token::Kind::kDot) return err("expected '.'");
+    ++pos;
+    if (tuple.size() != program.arities[pred]) {
+      return err("arity mismatch for fact of " + pred_name);
+    }
+    db.AddFact(pred, tuple);
+  }
+  return db;
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,37 @@
+// Text syntax for Datalog programs and fact files.
+//
+// Program syntax (one statement per '.', '%' comments to end of line):
+//
+//   @target T.                      % optional; defaults to first head pred
+//   T(X,Y) :- E(X,Y).
+//   T(X,Y) :- T(X,Z), E(Z,Y).
+//
+// Identifiers starting with an uppercase letter are variables; identifiers
+// starting with a lowercase letter or digit are constants. Rules must be
+// safe (every head variable occurs in the body). Constants in rules must
+// also occur in the database for the rule to fire (documented convention;
+// the library's program corpus is constant-free).
+//
+// Fact syntax for ParseFacts: ground atoms like  E(a,b). E(b,c).
+#ifndef DLCIRC_DATALOG_PARSER_H_
+#define DLCIRC_DATALOG_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/datalog/ast.h"
+#include "src/datalog/database.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+
+/// Parses a Datalog program. Errors mention the offending line.
+Result<Program> ParseProgram(std::string_view text);
+
+/// Parses ground facts into a fresh Database for `program`. Unknown
+/// predicates are an error; non-ground atoms are an error.
+Result<Database> ParseFacts(const Program& program, std::string_view text);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_DATALOG_PARSER_H_

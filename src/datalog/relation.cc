@@ -1,0 +1,27 @@
+#include "src/datalog/relation.h"
+
+namespace dlcirc {
+
+uint32_t Relation::Insert(const Tuple& t) {
+  DLCIRC_CHECK_EQ(t.size(), arity_);
+  auto it = ids_.find(t);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(tuples_.size());
+  tuples_.push_back(t);
+  ids_.emplace(t, id);
+  for (uint32_t c = 0; c < arity_; ++c) indexes_[c][t[c]].push_back(id);
+  return id;
+}
+
+uint32_t Relation::Find(const Tuple& t) const {
+  auto it = ids_.find(t);
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+const std::vector<uint32_t>& Relation::Matches(uint32_t col, uint32_t value) const {
+  DLCIRC_CHECK_LT(col, arity_);
+  auto it = indexes_[col].find(value);
+  return it == indexes_[col].end() ? empty_ : it->second;
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,56 @@
+// A relation instance: a deduplicated set of constant tuples with dense ids
+// and per-column hash indexes for join lookups.
+#ifndef DLCIRC_DATALOG_RELATION_H_
+#define DLCIRC_DATALOG_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+using Tuple = std::vector<uint32_t>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint32_t v : t) h = h * 0x100000001b3ULL ^ v;
+    return h;
+  }
+};
+
+/// Append-only deduplicated tuple store with per-column value indexes.
+class Relation {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  explicit Relation(uint32_t arity) : arity_(arity), indexes_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  const Tuple& tuple(uint32_t id) const { return tuples_[id]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Inserts (deduplicated); returns the tuple's dense id either way.
+  uint32_t Insert(const Tuple& t);
+
+  /// Dense id of an existing tuple or kNotFound.
+  uint32_t Find(const Tuple& t) const;
+
+  /// Ids of tuples with tuple[col] == value (empty vector if none).
+  const std::vector<uint32_t>& Matches(uint32_t col, uint32_t value) const;
+
+ private:
+  uint32_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> ids_;
+  // indexes_[col][value] -> tuple ids
+  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> indexes_;
+  std::vector<uint32_t> empty_;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_DATALOG_RELATION_H_

@@ -1,0 +1,130 @@
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+}
+
+std::vector<bool> Reachable(const LabeledGraph& g, uint32_t src) {
+  std::vector<bool> vis(g.num_vertices(), false);
+  auto out = g.OutEdgeIndex();
+  std::vector<uint32_t> stack = {src};
+  vis[src] = true;
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t ei : out[v]) {
+      uint32_t w = g.edge(ei).dst;
+      if (!vis[w]) {
+        vis[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return vis;
+}
+
+std::vector<uint64_t> BellmanFordDistances(const LabeledGraph& g,
+                                           const std::vector<uint64_t>& weights,
+                                           uint32_t src) {
+  DLCIRC_CHECK_EQ(weights.size(), g.num_edges());
+  std::vector<uint64_t> dist(g.num_vertices(), kInf);
+  dist[src] = 0;
+  for (uint32_t round = 0; round + 1 < g.num_vertices(); ++round) {
+    bool changed = false;
+    for (size_t i = 0; i < g.num_edges(); ++i) {
+      const LabeledEdge& e = g.edge(i);
+      if (dist[e.src] == kInf) continue;
+      uint64_t cand = dist[e.src] + weights[i];
+      if (cand < dist[e.dst]) {
+        dist[e.dst] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+std::vector<std::vector<uint64_t>> FloydWarshallDistances(
+    const LabeledGraph& g, const std::vector<uint64_t>& weights) {
+  DLCIRC_CHECK_EQ(weights.size(), g.num_edges());
+  uint32_t n = g.num_vertices();
+  std::vector<std::vector<uint64_t>> d(n, std::vector<uint64_t>(n, kInf));
+  for (uint32_t v = 0; v < n; ++v) d[v][v] = 0;
+  for (size_t i = 0; i < g.num_edges(); ++i) {
+    const LabeledEdge& e = g.edge(i);
+    d[e.src][e.dst] = std::min(d[e.src][e.dst], weights[i]);
+  }
+  for (uint32_t k = 0; k < n; ++k) {
+    for (uint32_t i = 0; i < n; ++i) {
+      if (d[i][k] == kInf) continue;
+      for (uint32_t j = 0; j < n; ++j) {
+        if (d[k][j] == kInf) continue;
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<uint32_t> StronglyConnectedComponents(
+    uint32_t num_vertices, const std::vector<std::vector<uint32_t>>& adj) {
+  DLCIRC_CHECK_EQ(adj.size(), num_vertices);
+  constexpr uint32_t kUnset = 0xffffffffu;
+  std::vector<uint32_t> index(num_vertices, kUnset), low(num_vertices, 0),
+      comp(num_vertices, kUnset);
+  std::vector<bool> on_stack(num_vertices, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0, next_comp = 0;
+
+  // Iterative Tarjan with an explicit DFS frame stack.
+  struct Frame {
+    uint32_t v;
+    size_t edge;
+  };
+  for (uint32_t start = 0; start < num_vertices; ++start) {
+    if (index[start] != kUnset) continue;
+    std::vector<Frame> frames = {{start, 0}};
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.v].size()) {
+        uint32_t w = adj[f.v][f.edge++];
+        if (index[w] == kUnset) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          while (true) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = next_comp;
+            if (w == f.v) break;
+          }
+          ++next_comp;
+        }
+        uint32_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+  return comp;
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,37 @@
+// Classic graph baselines the constructions are validated against:
+// reachability (Boolean semantics of TC), Bellman-Ford and Floyd-Warshall
+// (tropical semantics), and Tarjan SCC (used for grammar/automaton
+// finiteness analyses).
+#ifndef DLCIRC_GRAPH_ALGORITHMS_H_
+#define DLCIRC_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/labeled_graph.h"
+
+namespace dlcirc {
+
+/// Vertices reachable from src via directed edges (labels ignored);
+/// result[v] true iff reachable. src itself is reachable.
+std::vector<bool> Reachable(const LabeledGraph& g, uint32_t src);
+
+/// Single-source shortest path weights over (min,+) with edge weights
+/// `weights[edge]`; unreachable = TropicalSemiring-style infinity (max u64).
+/// Distance of src to itself is 0.
+std::vector<uint64_t> BellmanFordDistances(const LabeledGraph& g,
+                                           const std::vector<uint64_t>& weights,
+                                           uint32_t src);
+
+/// All-pairs shortest paths; result[u][v].
+std::vector<std::vector<uint64_t>> FloydWarshallDistances(
+    const LabeledGraph& g, const std::vector<uint64_t>& weights);
+
+/// Strongly connected components (Tarjan, iterative): returns component id
+/// per vertex; ids are in reverse topological order of the condensation.
+std::vector<uint32_t> StronglyConnectedComponents(uint32_t num_vertices,
+                                                  const std::vector<std::vector<uint32_t>>& adj);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,93 @@
+#include "src/graph/generators.h"
+
+#include <unordered_set>
+
+namespace dlcirc {
+
+StGraph PathGraph(uint32_t num_edges) {
+  StGraph out{LabeledGraph(num_edges + 1, 1), 0, num_edges};
+  for (uint32_t i = 0; i < num_edges; ++i) out.graph.AddEdge(i, i + 1, 0);
+  return out;
+}
+
+StGraph WordPath(const std::vector<uint32_t>& word, uint32_t num_labels) {
+  StGraph out{LabeledGraph(static_cast<uint32_t>(word.size()) + 1, num_labels), 0,
+              static_cast<uint32_t>(word.size())};
+  for (uint32_t i = 0; i < word.size(); ++i) out.graph.AddEdge(i, i + 1, word[i]);
+  return out;
+}
+
+StGraph CycleWithTails(uint32_t cycle_len) {
+  DLCIRC_CHECK_GE(cycle_len, 1u);
+  // Vertices: 0 = s, 1..cycle_len = cycle, cycle_len+1 = t.
+  StGraph out{LabeledGraph(cycle_len + 2, 1), 0, cycle_len + 1};
+  out.graph.AddEdge(0, 1, 0);
+  for (uint32_t i = 1; i < cycle_len; ++i) out.graph.AddEdge(i, i + 1, 0);
+  out.graph.AddEdge(cycle_len, 1, 0);  // close the cycle
+  out.graph.AddEdge(cycle_len, cycle_len + 1, 0);
+  return out;
+}
+
+StGraph LayeredGraph(uint32_t width, uint32_t layers, double density, Rng& rng) {
+  DLCIRC_CHECK_GE(width, 1u);
+  DLCIRC_CHECK_GE(layers, 1u);
+  uint32_t n = 2 + width * layers;
+  StGraph out{LabeledGraph(n, 1), 0, n - 1};
+  auto vertex = [&](uint32_t layer, uint32_t i) { return 1 + layer * width + i; };
+  for (uint32_t i = 0; i < width; ++i) out.graph.AddEdge(out.s, vertex(0, i), 0);
+  for (uint32_t l = 0; l + 1 < layers; ++l) {
+    for (uint32_t i = 0; i < width; ++i) {
+      bool any = false;
+      for (uint32_t j = 0; j < width; ++j) {
+        if (rng.NextBool(density)) {
+          out.graph.AddEdge(vertex(l, i), vertex(l + 1, j), 0);
+          any = true;
+        }
+      }
+      // Guarantee progress so the instance stays connected.
+      if (!any) {
+        out.graph.AddEdge(vertex(l, i), vertex(l + 1, rng.NextBounded(width)), 0);
+      }
+    }
+  }
+  for (uint32_t i = 0; i < width; ++i) out.graph.AddEdge(vertex(layers - 1, i), out.t, 0);
+  return out;
+}
+
+StGraph RandomGraph(uint32_t n, uint32_t m, uint32_t num_labels, Rng& rng) {
+  DLCIRC_CHECK_GE(n, 2u);
+  StGraph out{LabeledGraph(n, num_labels), 0, n - 1};
+  std::unordered_set<uint64_t> seen;
+  uint32_t added = 0;
+  uint32_t attempts = 0;
+  while (added < m && attempts < 20 * m + 100) {
+    ++attempts;
+    uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+    if (u == v) continue;
+    uint32_t label = static_cast<uint32_t>(rng.NextBounded(num_labels));
+    uint64_t key = (static_cast<uint64_t>(u) * n + v) * num_labels + label;
+    if (!seen.insert(key).second) continue;
+    out.graph.AddEdge(u, v, label);
+    ++added;
+  }
+  return out;
+}
+
+StGraph RandomConnectedGraph(uint32_t n, uint32_t m, uint32_t num_labels, Rng& rng) {
+  StGraph out = RandomGraph(n, m > n ? m - (n - 1) : 1, num_labels, rng);
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    out.graph.AddEdge(i, i + 1, static_cast<uint32_t>(rng.NextBounded(num_labels)));
+  }
+  return out;
+}
+
+std::vector<uint64_t> RandomWeights(const LabeledGraph& g, uint64_t max_weight,
+                                    Rng& rng) {
+  std::vector<uint64_t> w;
+  w.reserve(g.num_edges());
+  for (size_t i = 0; i < g.num_edges(); ++i) w.push_back(1 + rng.NextBounded(max_weight));
+  return w;
+}
+
+}  // namespace dlcirc

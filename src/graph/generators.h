@@ -1,0 +1,54 @@
+// Workload graph generators: the paper's hard instances ((l,n)-layered
+// graphs of Theorem 3.4), word paths used by the pumping reductions, and
+// standard random/path/cycle families for sweeps.
+#ifndef DLCIRC_GRAPH_GENERATORS_H_
+#define DLCIRC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/labeled_graph.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+
+/// A graph with two distinguished vertices (the fact T(s,t) under study).
+struct StGraph {
+  LabeledGraph graph;
+  uint32_t s = 0;
+  uint32_t t = 0;
+};
+
+/// Simple path s = v0 -> v1 -> ... -> vn = t (n edges, single label).
+StGraph PathGraph(uint32_t num_edges);
+
+/// Path whose i-th edge carries word[i] (labels must be < num_labels).
+StGraph WordPath(const std::vector<uint32_t>& word, uint32_t num_labels);
+
+/// Directed cycle of n vertices plus an entry s -> c0 and exit c_k -> t;
+/// exercises absorption (infinitely many walks, finitely many paths).
+StGraph CycleWithTails(uint32_t cycle_len);
+
+/// The (width, layers)-layered graph of Theorem 3.4: `layers` layers of
+/// `width` vertices; edges only between consecutive layers, each present
+/// with probability `density`; s below the first layer (edges to every
+/// first-layer vertex), t above the last. All s-t paths have layers+1 edges.
+StGraph LayeredGraph(uint32_t width, uint32_t layers, double density, Rng& rng);
+
+/// G(n, m) random digraph (no self loops, deduplicated), labels uniform over
+/// num_labels, with s = 0, t = n-1.
+StGraph RandomGraph(uint32_t n, uint32_t m, uint32_t num_labels, Rng& rng);
+
+/// RandomGraph plus a 0 -> 1 -> ... -> n-1 backbone path, guaranteeing that
+/// t is reachable from s (used by benches whose outputs would otherwise
+/// collapse to the constant 0 on disconnected samples).
+StGraph RandomConnectedGraph(uint32_t n, uint32_t m, uint32_t num_labels, Rng& rng);
+
+/// Random uniform edge weights in [1, max_weight] for tropical evaluation,
+/// indexed by edge id.
+std::vector<uint64_t> RandomWeights(const LabeledGraph& g, uint64_t max_weight,
+                                    Rng& rng);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_GRAPH_GENERATORS_H_

@@ -1,0 +1,36 @@
+#include "src/graph/graph_db.h"
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+GraphDatabase GraphToDatabase(const Program& program, const LabeledGraph& graph,
+                              const std::vector<std::string>& label_preds) {
+  DLCIRC_CHECK_GE(label_preds.size(), graph.num_labels());
+  std::vector<uint32_t> pred_ids;
+  for (const std::string& name : label_preds) {
+    uint32_t p = program.preds.Find(name);
+    DLCIRC_CHECK_NE(p, Interner::kNotFound) << "program lacks predicate " << name;
+    DLCIRC_CHECK_EQ(program.arities[p], 2u) << name << " must be binary";
+    pred_ids.push_back(p);
+  }
+  GraphDatabase out{Database(program), {}};
+  std::vector<uint32_t> vertex_const(graph.num_vertices());
+  for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
+    vertex_const[v] = out.db.InternConst("v" + std::to_string(v));
+  }
+  out.edge_vars.reserve(graph.num_edges());
+  for (const LabeledEdge& e : graph.edges()) {
+    out.edge_vars.push_back(out.db.AddFact(
+        pred_ids[e.label], Tuple{vertex_const[e.src], vertex_const[e.dst]}));
+  }
+  return out;
+}
+
+uint32_t VertexConst(const Database& db, uint32_t v) {
+  uint32_t c = db.domain().Find("v" + std::to_string(v));
+  DLCIRC_CHECK_NE(c, Interner::kNotFound);
+  return c;
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,36 @@
+// Bridges labeled graphs to Datalog databases: each label l becomes facts of
+// the binary EDB predicate the program uses for l, and each edge's
+// provenance variable is recorded so circuit inputs can be mapped back to
+// edges.
+#ifndef DLCIRC_GRAPH_GRAPH_DB_H_
+#define DLCIRC_GRAPH_GRAPH_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/datalog/ast.h"
+#include "src/datalog/database.h"
+#include "src/graph/labeled_graph.h"
+
+namespace dlcirc {
+
+struct GraphDatabase {
+  Database db;
+  /// edge index -> provenance variable id in db. Parallel duplicate edges
+  /// (same src/dst/label) share one fact and thus one variable.
+  std::vector<uint32_t> edge_vars;
+};
+
+/// Loads `graph` into a Database for `program`. `label_preds[l]` names the
+/// EDB predicate (must exist in the program with arity 2) receiving label-l
+/// edges. Vertices are interned as "v<i>".
+GraphDatabase GraphToDatabase(const Program& program, const LabeledGraph& graph,
+                              const std::vector<std::string>& label_preds);
+
+/// Domain constant id of vertex v ("v<i>") in a database built by
+/// GraphToDatabase.
+uint32_t VertexConst(const Database& db, uint32_t v);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_GRAPH_GRAPH_DB_H_

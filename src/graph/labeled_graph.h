@@ -1,0 +1,71 @@
+// Directed edge-labeled graphs — the inputs of context-free reachability
+// (Definition 5.1) and of the TC program. Labels are dense ids; label 0 is
+// the conventional single label for unlabeled problems (TC).
+#ifndef DLCIRC_GRAPH_LABELED_GRAPH_H_
+#define DLCIRC_GRAPH_LABELED_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+struct LabeledEdge {
+  uint32_t src;
+  uint32_t dst;
+  uint32_t label;
+  bool operator==(const LabeledEdge& o) const {
+    return src == o.src && dst == o.dst && label == o.label;
+  }
+};
+
+class LabeledGraph {
+ public:
+  explicit LabeledGraph(uint32_t num_vertices, uint32_t num_labels = 1)
+      : num_vertices_(num_vertices), num_labels_(num_labels) {}
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint32_t num_labels() const { return num_labels_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<LabeledEdge>& edges() const { return edges_; }
+  const LabeledEdge& edge(size_t i) const { return edges_[i]; }
+
+  /// Appends an edge and returns its index.
+  uint32_t AddEdge(uint32_t src, uint32_t dst, uint32_t label = 0) {
+    DLCIRC_CHECK_LT(src, num_vertices_);
+    DLCIRC_CHECK_LT(dst, num_vertices_);
+    DLCIRC_CHECK_LT(label, num_labels_);
+    edges_.push_back({src, dst, label});
+    return static_cast<uint32_t>(edges_.size() - 1);
+  }
+
+  /// Adds `count` fresh vertices, returning the id of the first.
+  uint32_t AddVertices(uint32_t count) {
+    uint32_t first = num_vertices_;
+    num_vertices_ += count;
+    return first;
+  }
+
+  /// Out-edges indexed by source (built on demand, O(V+E)).
+  std::vector<std::vector<uint32_t>> OutEdgeIndex() const {
+    std::vector<std::vector<uint32_t>> out(num_vertices_);
+    for (uint32_t i = 0; i < edges_.size(); ++i) out[edges_[i].src].push_back(i);
+    return out;
+  }
+  /// In-edges indexed by destination.
+  std::vector<std::vector<uint32_t>> InEdgeIndex() const {
+    std::vector<std::vector<uint32_t>> in(num_vertices_);
+    for (uint32_t i = 0; i < edges_.size(); ++i) in[edges_[i].dst].push_back(i);
+    return in;
+  }
+
+ private:
+  uint32_t num_vertices_;
+  uint32_t num_labels_;
+  std::vector<LabeledEdge> edges_;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_GRAPH_LABELED_GRAPH_H_

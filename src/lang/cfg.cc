@@ -1,0 +1,531 @@
+#include "src/lang/cfg.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+constexpr uint64_t kInfLen = std::numeric_limits<uint64_t>::max();
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a == kInfLen || b == kInfLen) return kInfLen;
+  return (a > kInfLen - b) ? kInfLen : a + b;
+}
+}  // namespace
+
+void Cfg::AddProduction(uint32_t lhs, std::vector<GSymbol> rhs) {
+  DLCIRC_CHECK(!rhs.empty()) << "epsilon productions are not supported";
+  DLCIRC_CHECK_LT(lhs, nonterminals_.size());
+  for (const GSymbol& s : rhs) {
+    DLCIRC_CHECK_LT(s.id, s.is_terminal ? terminals_.size() : nonterminals_.size());
+  }
+  productions_.push_back({lhs, std::move(rhs)});
+}
+
+std::vector<bool> Cfg::ProductiveNonterminals() const {
+  std::vector<bool> productive(nonterminals_.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : productions_) {
+      if (productive[p.lhs]) continue;
+      bool all = true;
+      for (const GSymbol& s : p.rhs) {
+        if (!s.is_terminal && !productive[s.id]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        productive[p.lhs] = true;
+        changed = true;
+      }
+    }
+  }
+  return productive;
+}
+
+std::vector<bool> Cfg::ReachableNonterminals() const {
+  std::vector<bool> reach(nonterminals_.size(), false);
+  if (nonterminals_.size() == 0) return reach;
+  reach[start_] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : productions_) {
+      if (!reach[p.lhs]) continue;
+      for (const GSymbol& s : p.rhs) {
+        if (!s.is_terminal && !reach[s.id]) {
+          reach[s.id] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+std::vector<bool> Cfg::UsefulNonterminals() const {
+  // Reachability restricted to productions whose nonterminals are all
+  // productive (otherwise a "reachable" symbol may not occur in any
+  // completable derivation).
+  std::vector<bool> productive = ProductiveNonterminals();
+  std::vector<bool> useful(nonterminals_.size(), false);
+  if (nonterminals_.size() == 0) return useful;
+  if (!productive[start_]) return useful;
+  useful[start_] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : productions_) {
+      if (!useful[p.lhs]) continue;
+      bool viable = true;
+      for (const GSymbol& s : p.rhs) {
+        if (!s.is_terminal && !productive[s.id]) viable = false;
+      }
+      if (!viable) continue;
+      for (const GSymbol& s : p.rhs) {
+        if (!s.is_terminal && !useful[s.id]) {
+          useful[s.id] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return useful;
+}
+
+bool Cfg::IsEmptyLanguage() const {
+  if (nonterminals_.size() == 0) return true;
+  return !ProductiveNonterminals()[start_];
+}
+
+Cfg Cfg::EliminateUnitProductions() const {
+  // unit_reach[A] = {B : A =>* B via unit productions}, including A itself.
+  size_t n = nonterminals_.size();
+  std::vector<std::vector<bool>> unit_reach(n, std::vector<bool>(n, false));
+  for (size_t a = 0; a < n; ++a) unit_reach[a][a] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : productions_) {
+      if (p.rhs.size() != 1 || p.rhs[0].is_terminal) continue;
+      for (size_t a = 0; a < n; ++a) {
+        if (!unit_reach[a][p.lhs]) continue;
+        if (!unit_reach[a][p.rhs[0].id]) {
+          unit_reach[a][p.rhs[0].id] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  Cfg out;
+  out.nonterminals_ = nonterminals_;
+  out.terminals_ = terminals_;
+  out.start_ = start_;
+  std::set<std::pair<uint32_t, std::vector<std::pair<bool, uint32_t>>>> seen;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (!unit_reach[a][b]) continue;
+      for (const Production& p : productions_) {
+        if (p.lhs != b) continue;
+        if (p.rhs.size() == 1 && !p.rhs[0].is_terminal) continue;  // unit: drop
+        std::vector<std::pair<bool, uint32_t>> key;
+        for (const GSymbol& s : p.rhs) key.emplace_back(s.is_terminal, s.id);
+        if (seen.insert({static_cast<uint32_t>(a), key}).second) {
+          out.productions_.push_back({static_cast<uint32_t>(a), p.rhs});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Cfg Cfg::Binarize() const {
+  Cfg out;
+  out.nonterminals_ = nonterminals_;
+  out.terminals_ = terminals_;
+  out.start_ = start_;
+  // Wrap terminals occurring in long rhs.
+  std::vector<uint32_t> term_wrapper(terminals_.size(), 0xffffffffu);
+  auto wrap_terminal = [&](uint32_t t) {
+    if (term_wrapper[t] == 0xffffffffu) {
+      term_wrapper[t] = out.nonterminals_.Intern("_T" + terminals_.Name(t));
+      out.productions_.push_back({term_wrapper[t], {GSymbol::T(t)}});
+    }
+    return term_wrapper[t];
+  };
+  uint32_t fresh = 0;
+  for (const Production& p : productions_) {
+    if (p.rhs.size() == 1) {
+      out.productions_.push_back(p);
+      continue;
+    }
+    std::vector<GSymbol> nts;
+    nts.reserve(p.rhs.size());
+    for (const GSymbol& s : p.rhs) {
+      nts.push_back(s.is_terminal ? GSymbol::N(wrap_terminal(s.id)) : s);
+    }
+    uint32_t lhs = p.lhs;
+    // A -> N0 N1 ... Nk  becomes  A -> N0 F0, F0 -> N1 F1, ..., F -> N(k-1) Nk.
+    for (size_t i = 0; i + 2 < nts.size(); ++i) {
+      uint32_t f = out.nonterminals_.Intern("_B" + std::to_string(fresh++));
+      out.productions_.push_back({lhs, {nts[i], GSymbol::N(f)}});
+      lhs = f;
+    }
+    out.productions_.push_back({lhs, {nts[nts.size() - 2], nts[nts.size() - 1]}});
+  }
+  return out;
+}
+
+bool Cfg::IsFiniteLanguage() const {
+  if (IsEmptyLanguage()) return true;
+  Cfg g = EliminateUnitProductions();
+  std::vector<bool> useful = g.UsefulNonterminals();
+  // Cycle detection on "A -> B occurs in rhs" among useful symbols; after
+  // unit elimination every such edge comes from an rhs of length >= 2, so a
+  // cycle pumps at least one sibling terminal yield per loop.
+  size_t n = g.nonterminals_.size();
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const Production& p : g.productions_) {
+    if (!useful[p.lhs]) continue;
+    for (const GSymbol& s : p.rhs) {
+      if (!s.is_terminal && useful[s.id]) adj[p.lhs].push_back(s.id);
+    }
+  }
+  // DFS tri-color cycle detection.
+  std::vector<uint8_t> color(n, 0);
+  for (size_t s = 0; s < n; ++s) {
+    if (!useful[s] || color[s] != 0) continue;
+    std::vector<std::pair<uint32_t, size_t>> stack = {{static_cast<uint32_t>(s), 0}};
+    color[s] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < adj[v].size()) {
+        uint32_t w = adj[v][i++];
+        if (color[w] == 1) return false;  // cycle: infinite
+        if (color[w] == 0) {
+          color[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<uint32_t> Cfg::ShortestYieldLengths() const {
+  size_t n = nonterminals_.size();
+  std::vector<uint64_t> len(n, kInfLen);
+  for (size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const Production& p : productions_) {
+      uint64_t total = 0;
+      for (const GSymbol& s : p.rhs) {
+        total = SatAdd(total, s.is_terminal ? 1 : len[s.id]);
+      }
+      if (total < len[p.lhs]) {
+        len[p.lhs] = total;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  std::vector<uint32_t> out(n, kNoWord);
+  for (size_t i = 0; i < n; ++i) {
+    if (len[i] != kInfLen) {
+      out[i] = static_cast<uint32_t>(std::min<uint64_t>(len[i], kNoWord - 1));
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<uint32_t>> Cfg::ShortestYield(uint32_t nt) const {
+  std::vector<uint32_t> lens = ShortestYieldLengths();
+  if (lens[nt] == kNoWord) return std::nullopt;
+  // Greedy reconstruction: expand with a production achieving the minimum.
+  std::vector<uint32_t> word;
+  std::vector<GSymbol> stack = {GSymbol::N(nt)};
+  while (!stack.empty()) {
+    GSymbol s = stack.back();
+    stack.pop_back();
+    if (s.is_terminal) {
+      word.push_back(s.id);
+      continue;
+    }
+    const Production* best = nullptr;
+    uint64_t best_len = kInfLen;
+    for (const Production& p : productions_) {
+      if (p.lhs != s.id) continue;
+      uint64_t total = 0;
+      for (const GSymbol& r : p.rhs) total = SatAdd(total, r.is_terminal ? 1 : lens[r.id]);
+      if (total < best_len) {
+        best_len = total;
+        best = &p;
+      }
+    }
+    DLCIRC_CHECK(best != nullptr);
+    for (auto it = best->rhs.rbegin(); it != best->rhs.rend(); ++it) stack.push_back(*it);
+    DLCIRC_CHECK_LE(word.size() + stack.size(), 1000000u) << "yield too long";
+  }
+  return word;
+}
+
+bool Cfg::Accepts(const std::vector<uint32_t>& word) const {
+  if (word.empty()) return false;
+  // CNF = unit-eliminate, then binarize (which wraps terminals), then
+  // unit-eliminate again (wrapping cannot introduce units, but binarize of a
+  // unit-free grammar keeps it unit-free; one pass in this order suffices).
+  Cfg cnf = EliminateUnitProductions().Binarize();
+  size_t n = word.size();
+  size_t nn = cnf.nonterminals_.size();
+  // table[i][l] = bitset over nonterminals deriving word[i, i+l).
+  std::vector<std::vector<std::vector<bool>>> table(
+      n, std::vector<std::vector<bool>>(n + 1, std::vector<bool>(nn, false)));
+  for (size_t i = 0; i < n; ++i) {
+    for (const Production& p : cnf.productions_) {
+      if (p.rhs.size() == 1 && p.rhs[0].is_terminal && p.rhs[0].id == word[i]) {
+        table[i][1][p.lhs] = true;
+      }
+    }
+  }
+  for (size_t l = 2; l <= n; ++l) {
+    for (size_t i = 0; i + l <= n; ++i) {
+      for (const Production& p : cnf.productions_) {
+        if (p.rhs.size() != 2) continue;
+        DLCIRC_CHECK(!p.rhs[0].is_terminal && !p.rhs[1].is_terminal);
+        if (table[i][l][p.lhs]) continue;
+        for (size_t k = 1; k < l; ++k) {
+          if (table[i][k][p.rhs[0].id] && table[i + k][l - k][p.rhs[1].id]) {
+            table[i][l][p.lhs] = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return table[0][n][cnf.start_];
+}
+
+std::vector<std::vector<uint32_t>> Cfg::EnumerateWords(uint32_t max_len,
+                                                       size_t max_count) const {
+  // words[A][l] = distinct yields of A with length exactly l (capped).
+  size_t n = nonterminals_.size();
+  std::vector<std::vector<std::set<std::vector<uint32_t>>>> words(
+      n, std::vector<std::set<std::vector<uint32_t>>>(max_len + 1));
+  for (uint32_t l = 1; l <= max_len; ++l) {
+    bool changed = true;
+    while (changed) {  // inner fixpoint handles unit productions at length l
+      changed = false;
+      for (const Production& p : productions_) {
+        // Recursive split over rhs with running length.
+        std::function<void(size_t, uint32_t, std::vector<uint32_t>&)> go =
+            [&](size_t idx, uint32_t used, std::vector<uint32_t>& acc) {
+              if (words[p.lhs][l].size() >= max_count) return;
+              if (idx == p.rhs.size()) {
+                if (used == l && !acc.empty()) {
+                  if (words[p.lhs][l].insert(acc).second) changed = true;
+                }
+                return;
+              }
+              const GSymbol& s = p.rhs[idx];
+              if (s.is_terminal) {
+                if (used + 1 > l) return;
+                acc.push_back(s.id);
+                go(idx + 1, used + 1, acc);
+                acc.pop_back();
+              } else {
+                for (uint32_t sub = 1; used + sub <= l; ++sub) {
+                  for (const auto& w : words[s.id][sub]) {
+                    size_t before = acc.size();
+                    acc.insert(acc.end(), w.begin(), w.end());
+                    go(idx + 1, used + sub, acc);
+                    acc.resize(before);
+                  }
+                }
+              }
+            };
+        std::vector<uint32_t> acc;
+        go(0, 0, acc);
+      }
+    }
+  }
+  std::vector<std::vector<uint32_t>> out;
+  for (uint32_t l = 1; l <= max_len && out.size() < max_count; ++l) {
+    for (const auto& w : words[start_][l]) {
+      out.push_back(w);
+      if (out.size() >= max_count) break;
+    }
+  }
+  return out;
+}
+
+Result<CfgPumping> Cfg::FindPumping() const {
+  if (IsFiniteLanguage()) {
+    return Result<CfgPumping>::Error("language is finite: no pumping exists");
+  }
+  Cfg g = EliminateUnitProductions();
+  std::vector<bool> useful = g.UsefulNonterminals();
+  std::vector<uint32_t> lens = g.ShortestYieldLengths();
+  size_t n = g.nonterminals_.size();
+
+  // Edges (A -> B, via production p at rhs position i) among useful symbols.
+  struct Edge {
+    uint32_t to;
+    uint32_t prod;
+    uint32_t pos;
+  };
+  std::vector<std::vector<Edge>> adj(n);
+  for (uint32_t pi = 0; pi < g.productions_.size(); ++pi) {
+    const Production& p = g.productions_[pi];
+    if (!useful[p.lhs]) continue;
+    bool viable = true;
+    for (const GSymbol& s : p.rhs) {
+      if (!s.is_terminal && !useful[s.id]) viable = false;
+    }
+    if (!viable) continue;
+    for (uint32_t i = 0; i < p.rhs.size(); ++i) {
+      if (!p.rhs[i].is_terminal) adj[p.lhs].push_back({p.rhs[i].id, pi, i});
+    }
+  }
+
+  // Find a cycle via DFS recording the path of (node, edge) explicitly.
+  std::vector<uint8_t> color(n, 0);
+  std::vector<std::pair<uint32_t, Edge>> chain;  // (source node, edge taken)
+  uint32_t cycle_head = 0xffffffffu;
+  std::function<bool(uint32_t)> dfs2 = [&](uint32_t v) -> bool {
+    color[v] = 1;
+    for (const Edge& e : adj[v]) {
+      if (color[e.to] == 1) {
+        chain.emplace_back(v, e);
+        cycle_head = e.to;
+        return true;
+      }
+      if (color[e.to] == 0) {
+        chain.emplace_back(v, e);
+        if (dfs2(e.to)) return true;
+        chain.pop_back();
+      }
+    }
+    color[v] = 2;
+    return false;
+  };
+  bool found = false;
+  for (uint32_t s = 0; s < n && !found; ++s) {
+    if (useful[s] && color[s] == 0) {
+      chain.clear();
+      found = dfs2(s);
+    }
+  }
+  DLCIRC_CHECK(found) << "infinite language must contain a cycle";
+
+  // The cycle is the chain suffix starting where source == cycle_head.
+  size_t cycle_start = 0;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].first == cycle_head) cycle_start = i;
+  }
+  // Yields of siblings: left of pos -> v-part, right of pos -> x-part.
+  auto yield_of = [&](const GSymbol& s) -> std::vector<uint32_t> {
+    if (s.is_terminal) return {s.id};
+    auto w = g.ShortestYield(s.id);
+    DLCIRC_CHECK(w.has_value());
+    return *w;
+  };
+  CfgPumping out;
+  for (size_t i = cycle_start; i < chain.size(); ++i) {
+    const Edge& e = chain[i].second;
+    const Production& p = g.productions_[e.prod];
+    for (uint32_t j = 0; j < e.pos; ++j) {
+      auto w = yield_of(p.rhs[j]);
+      out.v.insert(out.v.end(), w.begin(), w.end());
+    }
+    std::vector<uint32_t> right;
+    for (uint32_t j = e.pos + 1; j < p.rhs.size(); ++j) {
+      auto w = yield_of(p.rhs[j]);
+      right.insert(right.end(), w.begin(), w.end());
+    }
+    // x accumulates inside-out: this step's right part goes in FRONT.
+    out.x.insert(out.x.begin(), right.begin(), right.end());
+  }
+  DLCIRC_CHECK(!out.v.empty() || !out.x.empty()) << "|vx| must be >= 1";
+  // w = shortest yield of the cycle nonterminal.
+  auto wy = g.ShortestYield(cycle_head);
+  DLCIRC_CHECK(wy.has_value());
+  out.w = *wy;
+  // u, y: derivation start =>* u <cycle_head> y via BFS over the edge graph.
+  std::vector<int64_t> prev(n, -1);
+  std::vector<Edge> prev_edge(n);
+  std::vector<bool> visited(n, false);
+  std::vector<uint32_t> queue = {g.start_};
+  visited[g.start_] = true;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    uint32_t v = queue[qi];
+    for (const Edge& e : adj[v]) {
+      if (!visited[e.to]) {
+        visited[e.to] = true;
+        prev[e.to] = v;
+        prev_edge[e.to] = e;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  DLCIRC_CHECK(visited[cycle_head]) << "cycle nonterminal must be reachable";
+  std::vector<Edge> spath;
+  for (uint32_t v = cycle_head; v != g.start_;) {
+    spath.push_back(prev_edge[v]);
+    v = static_cast<uint32_t>(prev[v]);
+    DLCIRC_CHECK(v != 0xffffffffu);
+    if (spath.size() > n) break;
+  }
+  std::reverse(spath.begin(), spath.end());
+  for (const Edge& e : spath) {
+    const Production& p = g.productions_[e.prod];
+    for (uint32_t j = 0; j < e.pos; ++j) {
+      auto w = yield_of(p.rhs[j]);
+      out.u.insert(out.u.end(), w.begin(), w.end());
+    }
+    std::vector<uint32_t> right;
+    for (uint32_t j = e.pos + 1; j < p.rhs.size(); ++j) {
+      auto w = yield_of(p.rhs[j]);
+      right.insert(right.end(), w.begin(), w.end());
+    }
+    out.y.insert(out.y.begin(), right.begin(), right.end());
+  }
+  return out;
+}
+
+std::string Cfg::ToString() const {
+  std::ostringstream ss;
+  ss << "start: " << nonterminals_.Name(start_) << "\n";
+  for (const Production& p : productions_) {
+    ss << nonterminals_.Name(p.lhs) << " ->";
+    for (const GSymbol& s : p.rhs) {
+      ss << " " << (s.is_terminal ? terminals_.Name(s.id) : nonterminals_.Name(s.id));
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+Cfg MakeDyck1Cfg() {
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t l = g.AddTerminal("L");
+  uint32_t r = g.AddTerminal("R");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::T(l), GSymbol::T(r)});
+  g.AddProduction(s, {GSymbol::T(l), GSymbol::N(s), GSymbol::T(r)});
+  g.AddProduction(s, {GSymbol::N(s), GSymbol::N(s)});
+  return g;
+}
+
+}  // namespace dlcirc

@@ -1,0 +1,119 @@
+// Context-free grammars (paper Section 5).
+//
+// Basic chain Datalog programs correspond to CFGs (Proposition 5.2); the
+// boundedness dichotomy of Theorems 5.3/5.4 hinges on deciding *finiteness*
+// of the language, and the lower-bound reduction of Theorem 5.11 needs a
+// constructive *pumping decomposition* u v w x y with |vx| >= 1.
+//
+// Grammars here are epsilon-free (chain rule bodies are non-empty); this is
+// CHECKed. Unit productions are allowed and handled via closure.
+#ifndef DLCIRC_LANG_CFG_H_
+#define DLCIRC_LANG_CFG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/interner.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+
+/// Grammar symbol: terminal or nonterminal id.
+struct GSymbol {
+  bool is_terminal;
+  uint32_t id;
+  static GSymbol T(uint32_t id) { return {true, id}; }
+  static GSymbol N(uint32_t id) { return {false, id}; }
+  bool operator==(const GSymbol& o) const {
+    return is_terminal == o.is_terminal && id == o.id;
+  }
+};
+
+struct Production {
+  uint32_t lhs;  ///< nonterminal id
+  std::vector<GSymbol> rhs;
+};
+
+/// Pumping decomposition: u v^i w x^i y is in L for all i >= 0, |vx| >= 1.
+/// Words are terminal-id sequences.
+struct CfgPumping {
+  std::vector<uint32_t> u, v, w, x, y;
+};
+
+class Cfg {
+ public:
+  Cfg() = default;
+
+  uint32_t AddNonterminal(const std::string& name) { return nonterminals_.Intern(name); }
+  uint32_t AddTerminal(const std::string& name) { return terminals_.Intern(name); }
+  void AddProduction(uint32_t lhs, std::vector<GSymbol> rhs);
+  void SetStart(uint32_t nt) { start_ = nt; }
+
+  uint32_t start() const { return start_; }
+  const std::vector<Production>& productions() const { return productions_; }
+  const Interner& nonterminals() const { return nonterminals_; }
+  const Interner& terminals() const { return terminals_; }
+  size_t num_nonterminals() const { return nonterminals_.size(); }
+  size_t num_terminals() const { return terminals_.size(); }
+
+  /// Nonterminals deriving at least one terminal string.
+  std::vector<bool> ProductiveNonterminals() const;
+  /// Nonterminals reachable from the start in some sentential form.
+  std::vector<bool> ReachableNonterminals() const;
+  /// Useful = productive and reachable.
+  std::vector<bool> UsefulNonterminals() const;
+
+  bool IsEmptyLanguage() const;
+
+  /// Decides |L| < infinity (Prop 5.5's decidable criterion): after unit
+  /// closure, L is infinite iff some useful nonterminal lies on a cycle of
+  /// the "occurs in a non-unit rhs" graph.
+  bool IsFiniteLanguage() const;
+
+  /// Length of a shortest word derivable from each nonterminal
+  /// (kNoWord when none).
+  static constexpr uint32_t kNoWord = 0xffffffffu;
+  std::vector<uint32_t> ShortestYieldLengths() const;
+
+  /// A shortest terminal word derivable from `nt`; empty optional when none.
+  std::optional<std::vector<uint32_t>> ShortestYield(uint32_t nt) const;
+
+  /// CYK-style recognition (handles unit productions; grammar binarized
+  /// internally). Word = terminal ids. The empty word is never accepted
+  /// (grammars are epsilon-free).
+  bool Accepts(const std::vector<uint32_t>& word) const;
+
+  /// All accepted words of length <= max_len, lexicographically by length,
+  /// up to max_count (enumeration by dynamic programming on yields).
+  std::vector<std::vector<uint32_t>> EnumerateWords(uint32_t max_len,
+                                                    size_t max_count) const;
+
+  /// Constructive pumping lemma: succeeds iff the language is infinite.
+  Result<CfgPumping> FindPumping() const;
+
+  /// Chomsky-like normal form (epsilon-free input): every production is
+  /// A -> a or A -> B C. Same language; same terminal ids.
+  Cfg ToCnf() const { return EliminateUnitProductions().Binarize(); }
+
+  std::string ToString() const;
+
+ private:
+  // Internal: grammar with unit productions folded away (same language).
+  Cfg EliminateUnitProductions() const;
+  // Internal: rhs arity <= 2 via fresh nonterminals (same language).
+  Cfg Binarize() const;
+
+  Interner nonterminals_;
+  Interner terminals_;
+  std::vector<Production> productions_;
+  uint32_t start_ = 0;
+};
+
+/// Dyck-1 grammar S -> L R | L S R | S S (Example 6.4), terminals {L, R}.
+Cfg MakeDyck1Cfg();
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_LANG_CFG_H_

@@ -1,0 +1,399 @@
+#include "src/lang/dfa.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+Dfa::Dfa(uint32_t num_states, uint32_t num_labels, uint32_t start,
+         std::vector<bool> accept, std::vector<std::vector<int32_t>> delta)
+    : num_labels_(num_labels),
+      start_(start),
+      accept_(std::move(accept)),
+      delta_(std::move(delta)) {
+  DLCIRC_CHECK_EQ(accept_.size(), num_states);
+  DLCIRC_CHECK_EQ(delta_.size(), num_states);
+  for (const auto& row : delta_) DLCIRC_CHECK_EQ(row.size(), num_labels_);
+}
+
+Dfa Dfa::Determinize(const Nfa& nfa) {
+  DLCIRC_CHECK_GT(nfa.num_states, 0u);
+  // Transition index: state -> label -> targets.
+  std::vector<std::vector<std::vector<uint32_t>>> idx(
+      nfa.num_states, std::vector<std::vector<uint32_t>>(nfa.num_labels));
+  for (const Nfa::Transition& t : nfa.transitions) {
+    idx[t.from][t.label].push_back(t.to);
+  }
+  std::map<std::set<uint32_t>, uint32_t> subset_id;
+  std::vector<std::set<uint32_t>> subsets;
+  std::vector<std::vector<int32_t>> delta;
+  std::vector<bool> accept;
+  auto intern = [&](const std::set<uint32_t>& s) -> uint32_t {
+    auto it = subset_id.find(s);
+    if (it != subset_id.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(subsets.size());
+    subset_id[s] = id;
+    subsets.push_back(s);
+    delta.emplace_back(nfa.num_labels, kDead);
+    bool acc = false;
+    for (uint32_t q : s) acc = acc || nfa.accept[q];
+    accept.push_back(acc);
+    return id;
+  };
+  uint32_t start = intern({nfa.start});
+  for (uint32_t cur = 0; cur < subsets.size(); ++cur) {
+    for (uint32_t l = 0; l < nfa.num_labels; ++l) {
+      std::set<uint32_t> next;
+      for (uint32_t q : subsets[cur]) {
+        for (uint32_t r : idx[q][l]) next.insert(r);
+      }
+      if (!next.empty()) delta[cur][l] = static_cast<int32_t>(intern(next));
+    }
+  }
+  return Dfa(static_cast<uint32_t>(subsets.size()), nfa.num_labels, start,
+             std::move(accept), std::move(delta));
+}
+
+bool Dfa::Accepts(const std::vector<uint32_t>& word) const {
+  int32_t q = static_cast<int32_t>(start_);
+  for (uint32_t a : word) {
+    DLCIRC_CHECK_LT(a, num_labels_);
+    q = delta_[q][a];
+    if (q == kDead) return false;
+  }
+  return accept_[q];
+}
+
+Dfa Dfa::Minimize() const {
+  // Complete with a dead state, refine partitions (Moore), trim back.
+  uint32_t n = num_states() + 1;  // last = dead
+  uint32_t dead = n - 1;
+  auto next = [&](uint32_t q, uint32_t l) -> uint32_t {
+    if (q == dead) return dead;
+    int32_t t = delta_[q][l];
+    return t == kDead ? dead : static_cast<uint32_t>(t);
+  };
+  std::vector<uint32_t> cls(n);
+  for (uint32_t q = 0; q < n; ++q) cls[q] = (q != dead && accept_[q]) ? 1 : 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature: (class, classes of successors).
+    std::map<std::vector<uint32_t>, uint32_t> sig_to_class;
+    std::vector<uint32_t> next_cls(n);
+    for (uint32_t q = 0; q < n; ++q) {
+      std::vector<uint32_t> sig = {cls[q]};
+      for (uint32_t l = 0; l < num_labels_; ++l) sig.push_back(cls[next(q, l)]);
+      auto [it, inserted] = sig_to_class.emplace(sig, static_cast<uint32_t>(sig_to_class.size()));
+      next_cls[q] = it->second;
+    }
+    if (next_cls != cls) {
+      cls = std::move(next_cls);
+      changed = true;
+    }
+  }
+  // Build quotient, dropping the dead state's class unless some live state
+  // shares it (it cannot: dead is non-accepting with self loops only; a
+  // live state in its class is equivalent to dead and can be dropped too).
+  uint32_t dead_cls = cls[dead];
+  std::map<uint32_t, uint32_t> remap;  // class -> new id
+  for (uint32_t q = 0; q < n - 1; ++q) {
+    if (cls[q] == dead_cls) continue;
+    if (!remap.count(cls[q])) {
+      uint32_t id = static_cast<uint32_t>(remap.size());
+      remap[cls[q]] = id;
+    }
+  }
+  if (!remap.count(cls[start_])) {
+    // Start state is dead-equivalent: language empty; single-state DFA.
+    return Dfa(1, num_labels_, 0, {false},
+               {std::vector<int32_t>(num_labels_, kDead)});
+  }
+  uint32_t m = static_cast<uint32_t>(remap.size());
+  std::vector<bool> accept(m, false);
+  std::vector<std::vector<int32_t>> delta(m, std::vector<int32_t>(num_labels_, kDead));
+  for (uint32_t q = 0; q < n - 1; ++q) {
+    if (cls[q] == dead_cls) continue;
+    uint32_t id = remap[cls[q]];
+    if (accept_[q]) accept[id] = true;
+    for (uint32_t l = 0; l < num_labels_; ++l) {
+      uint32_t t = next(q, l);
+      if (t != dead && cls[t] != dead_cls) delta[id][l] = static_cast<int32_t>(remap[cls[t]]);
+    }
+  }
+  return Dfa(m, num_labels_, remap[cls[start_]], std::move(accept), std::move(delta));
+}
+
+std::vector<bool> Dfa::UsefulStates() const {
+  uint32_t n = num_states();
+  // Forward reachability.
+  std::vector<bool> fwd(n, false);
+  std::vector<uint32_t> stack = {start_};
+  fwd[start_] = true;
+  while (!stack.empty()) {
+    uint32_t q = stack.back();
+    stack.pop_back();
+    for (uint32_t l = 0; l < num_labels_; ++l) {
+      int32_t t = delta_[q][l];
+      if (t != kDead && !fwd[t]) {
+        fwd[t] = true;
+        stack.push_back(static_cast<uint32_t>(t));
+      }
+    }
+  }
+  // Backward from accepting states.
+  std::vector<std::vector<uint32_t>> preds(n);
+  for (uint32_t q = 0; q < n; ++q) {
+    for (uint32_t l = 0; l < num_labels_; ++l) {
+      int32_t t = delta_[q][l];
+      if (t != kDead) preds[t].push_back(q);
+    }
+  }
+  std::vector<bool> bwd(n, false);
+  for (uint32_t q = 0; q < n; ++q) {
+    if (accept_[q] && !bwd[q]) {
+      bwd[q] = true;
+      stack.push_back(q);
+    }
+  }
+  while (!stack.empty()) {
+    uint32_t q = stack.back();
+    stack.pop_back();
+    for (uint32_t p : preds[q]) {
+      if (!bwd[p]) {
+        bwd[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::vector<bool> useful(n, false);
+  for (uint32_t q = 0; q < n; ++q) useful[q] = fwd[q] && bwd[q];
+  return useful;
+}
+
+bool Dfa::IsEmptyLanguage() const {
+  std::vector<bool> useful = UsefulStates();
+  return std::none_of(useful.begin(), useful.end(), [](bool b) { return b; });
+}
+
+bool Dfa::IsFiniteLanguage() const {
+  // Infinite iff a useful state lies on a cycle within useful states.
+  std::vector<bool> useful = UsefulStates();
+  uint32_t n = num_states();
+  std::vector<uint8_t> color(n, 0);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!useful[s] || color[s] != 0) continue;
+    std::vector<std::pair<uint32_t, uint32_t>> stack = {{s, 0}};
+    color[s] = 1;
+    while (!stack.empty()) {
+      auto& [q, l] = stack.back();
+      if (l < num_labels_) {
+        int32_t t = delta_[q][l++];
+        if (t == kDead || !useful[t]) continue;
+        if (color[t] == 1) return false;
+        if (color[t] == 0) {
+          color[t] = 1;
+          stack.push_back({static_cast<uint32_t>(t), 0});
+        }
+      } else {
+        color[q] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+uint32_t Dfa::LongestAcceptedWordLength() const {
+  DLCIRC_CHECK(IsFiniteLanguage()) << "longest word undefined for infinite language";
+  std::vector<bool> useful = UsefulStates();
+  uint32_t n = num_states();
+  // Longest path in the useful-state DAG from start to any accepting state.
+  // DP over topological order via memoized DFS (acyclic by finiteness).
+  std::vector<int64_t> memo(n, -2);  // -2 unvisited; value = longest suffix
+  std::function<int64_t(uint32_t)> longest = [&](uint32_t q) -> int64_t {
+    if (memo[q] != -2) return memo[q];
+    int64_t best = accept_[q] ? 0 : -1;  // -1: no accepting continuation
+    for (uint32_t l = 0; l < num_labels_; ++l) {
+      int32_t t = delta_[q][l];
+      if (t == kDead || !useful[t]) continue;
+      int64_t sub = longest(static_cast<uint32_t>(t));
+      if (sub >= 0) best = std::max(best, 1 + sub);
+    }
+    return memo[q] = best;
+  };
+  if (!useful[start_]) return 0;
+  int64_t len = longest(start_);
+  return len < 0 ? 0 : static_cast<uint32_t>(len);
+}
+
+Result<DfaPumping> Dfa::FindPumping() const {
+  if (IsFiniteLanguage()) {
+    return Result<DfaPumping>::Error("language is finite: no pumping exists");
+  }
+  std::vector<bool> useful = UsefulStates();
+  uint32_t n = num_states();
+  // Find a useful state on a cycle, with the cycle word, via DFS.
+  // path_word[q]: word along the DFS path from start of this DFS tree.
+  std::vector<uint8_t> color(n, 0);
+  std::vector<int32_t> parent(n, -1);
+  std::vector<uint32_t> parent_label(n, 0);
+  uint32_t cyc_from = 0, cyc_to = 0, cyc_label = 0;
+  bool found = false;
+  std::function<void(uint32_t)> dfs = [&](uint32_t q) {
+    color[q] = 1;
+    for (uint32_t l = 0; l < num_labels_ && !found; ++l) {
+      int32_t t = delta_[q][l];
+      if (t == kDead || !useful[t]) continue;
+      if (color[t] == 1) {
+        cyc_from = q;
+        cyc_to = static_cast<uint32_t>(t);
+        cyc_label = l;
+        found = true;
+        return;
+      }
+      if (color[t] == 0) {
+        parent[t] = static_cast<int32_t>(q);
+        parent_label[t] = l;
+        dfs(static_cast<uint32_t>(t));
+        if (found) return;
+      }
+    }
+    color[q] = 2;
+  };
+  for (uint32_t s = 0; s < n && !found; ++s) {
+    if (useful[s] && color[s] == 0 && s == start_) dfs(s);
+  }
+  // The cycle might not be reachable in the DFS from start_ only if start_
+  // is not useful — but then the language would be empty (finite).
+  if (!found) {
+    for (uint32_t s = 0; s < n && !found; ++s) {
+      if (useful[s] && color[s] == 0) dfs(s);
+    }
+  }
+  DLCIRC_CHECK(found);
+  // y: word along tree path cyc_to ->* cyc_from, then cyc_label.
+  DfaPumping out;
+  std::vector<uint32_t> rev;
+  for (uint32_t q = cyc_from; q != cyc_to;) {
+    rev.push_back(parent_label[q]);
+    DLCIRC_CHECK_GE(parent[q], 0);
+    q = static_cast<uint32_t>(parent[q]);
+  }
+  out.y.assign(rev.rbegin(), rev.rend());
+  out.y.push_back(cyc_label);
+  // x: BFS shortest word start -> cyc_to.
+  std::vector<int32_t> bfs_parent(n, -1);
+  std::vector<uint32_t> bfs_label(n, 0);
+  std::vector<bool> vis(n, false);
+  std::vector<uint32_t> queue = {start_};
+  vis[start_] = true;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    uint32_t q = queue[qi];
+    for (uint32_t l = 0; l < num_labels_; ++l) {
+      int32_t t = delta_[q][l];
+      if (t == kDead || vis[t]) continue;
+      vis[t] = true;
+      bfs_parent[t] = static_cast<int32_t>(q);
+      bfs_label[t] = l;
+      queue.push_back(static_cast<uint32_t>(t));
+    }
+  }
+  DLCIRC_CHECK(vis[cyc_to]);
+  rev.clear();
+  for (uint32_t q = cyc_to; q != start_;) {
+    rev.push_back(bfs_label[q]);
+    q = static_cast<uint32_t>(bfs_parent[q]);
+  }
+  out.x.assign(rev.rbegin(), rev.rend());
+  // z: BFS shortest word cyc_to -> some accepting state.
+  vis.assign(n, false);
+  bfs_parent.assign(n, -1);
+  queue = {cyc_to};
+  vis[cyc_to] = true;
+  int32_t acc = accept_[cyc_to] ? static_cast<int32_t>(cyc_to) : -1;
+  for (size_t qi = 0; qi < queue.size() && acc < 0; ++qi) {
+    uint32_t q = queue[qi];
+    for (uint32_t l = 0; l < num_labels_; ++l) {
+      int32_t t = delta_[q][l];
+      if (t == kDead || vis[t]) continue;
+      vis[t] = true;
+      bfs_parent[t] = static_cast<int32_t>(q);
+      bfs_label[t] = l;
+      queue.push_back(static_cast<uint32_t>(t));
+      if (accept_[t]) {
+        acc = t;
+        break;
+      }
+    }
+  }
+  DLCIRC_CHECK_GE(acc, 0) << "cycle state must be co-reachable";
+  rev.clear();
+  for (uint32_t q = static_cast<uint32_t>(acc); q != cyc_to;) {
+    rev.push_back(bfs_label[q]);
+    q = static_cast<uint32_t>(bfs_parent[q]);
+  }
+  out.z.assign(rev.rbegin(), rev.rend());
+  DLCIRC_CHECK_GE(out.y.size(), 1u);
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> Dfa::EnumerateWords(uint32_t max_len,
+                                                       size_t max_count) const {
+  std::vector<std::vector<uint32_t>> out;
+  // BFS over (state, word) by length.
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> frontier = {{start_, {}}};
+  if (accept_[start_]) out.push_back({});
+  for (uint32_t len = 1; len <= max_len && out.size() < max_count; ++len) {
+    std::vector<std::pair<uint32_t, std::vector<uint32_t>>> next;
+    for (const auto& [q, w] : frontier) {
+      for (uint32_t l = 0; l < num_labels_; ++l) {
+        int32_t t = delta_[q][l];
+        if (t == kDead) continue;
+        std::vector<uint32_t> w2 = w;
+        w2.push_back(l);
+        if (accept_[t] && out.size() < max_count) out.push_back(w2);
+        next.emplace_back(static_cast<uint32_t>(t), std::move(w2));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+std::string Dfa::ToString() const {
+  std::ostringstream ss;
+  ss << "start=" << start_ << " states=" << num_states() << "\n";
+  for (uint32_t q = 0; q < num_states(); ++q) {
+    ss << q << (accept_[q] ? "*" : " ") << ":";
+    for (uint32_t l = 0; l < num_labels_; ++l) {
+      if (delta_[q][l] != kDead) ss << " " << l << "->" << delta_[q][l];
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+GraphDfaProduct BuildGraphDfaProduct(const LabeledGraph& g, const Dfa& dfa) {
+  GraphDfaProduct out{LabeledGraph(g.num_vertices() * dfa.num_states(), 1),
+                      {},
+                      dfa.num_states()};
+  for (uint32_t ei = 0; ei < g.num_edges(); ++ei) {
+    const LabeledEdge& e = g.edge(ei);
+    for (uint32_t q = 0; q < dfa.num_states(); ++q) {
+      int32_t q2 = dfa.Next(q, e.label);
+      if (q2 == Dfa::kDead) continue;
+      out.graph.AddEdge(out.VertexOf(e.src, q),
+                        out.VertexOf(e.dst, static_cast<uint32_t>(q2)), 0);
+      out.edge_origin.push_back(ei);
+    }
+  }
+  return out;
+}
+
+}  // namespace dlcirc

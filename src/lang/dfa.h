@@ -1,0 +1,102 @@
+// Finite automata over dense label alphabets: NFA -> DFA determinization,
+// Moore minimization, finiteness / pumping analysis (used by the RPQ
+// dichotomy, Theorems 5.3/5.9), longest-accepted-word computation (Theorem
+// 5.8's unrolling bound), and the product construction with labeled graphs
+// (the RPQ -> TC direction of Theorem 5.9).
+#ifndef DLCIRC_LANG_DFA_H_
+#define DLCIRC_LANG_DFA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/labeled_graph.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+
+/// Nondeterministic finite automaton (no epsilon transitions).
+struct Nfa {
+  uint32_t num_states = 0;
+  uint32_t num_labels = 0;
+  uint32_t start = 0;
+  std::vector<bool> accept;
+  struct Transition {
+    uint32_t from, label, to;
+  };
+  std::vector<Transition> transitions;
+};
+
+/// Pumping triple for a regular language: x y^i z accepted for all i >= 0,
+/// |y| >= 1 (Theorem 5.9's decomposition).
+struct DfaPumping {
+  std::vector<uint32_t> x, y, z;
+};
+
+class Dfa {
+ public:
+  /// Subset construction (unreachable subsets not materialized).
+  static Dfa Determinize(const Nfa& nfa);
+
+  uint32_t num_states() const { return static_cast<uint32_t>(accept_.size()); }
+  uint32_t num_labels() const { return num_labels_; }
+  uint32_t start() const { return start_; }
+  bool accept(uint32_t q) const { return accept_[q]; }
+  /// Transition or kDead.
+  static constexpr int32_t kDead = -1;
+  int32_t Next(uint32_t state, uint32_t label) const {
+    return delta_[state][label];
+  }
+
+  bool Accepts(const std::vector<uint32_t>& word) const;
+
+  /// Moore partition-refinement minimization (completes the automaton with
+  /// a dead state internally; the result is trimmed back).
+  Dfa Minimize() const;
+
+  bool IsEmptyLanguage() const;
+  /// |L| finite iff no useful state (reachable + co-reachable) on a cycle.
+  bool IsFiniteLanguage() const;
+  /// For finite languages: length of the longest accepted word (0 for the
+  /// empty language). CHECK-fails on infinite languages.
+  uint32_t LongestAcceptedWordLength() const;
+  /// Constructive pumping: fails iff the language is finite.
+  Result<DfaPumping> FindPumping() const;
+
+  /// Accepted words of length <= max_len (BFS order), up to max_count.
+  std::vector<std::vector<uint32_t>> EnumerateWords(uint32_t max_len,
+                                                    size_t max_count) const;
+
+  std::string ToString() const;
+
+  /// Direct construction for tests/benches.
+  Dfa(uint32_t num_states, uint32_t num_labels, uint32_t start,
+      std::vector<bool> accept, std::vector<std::vector<int32_t>> delta);
+
+ private:
+  std::vector<bool> UsefulStates() const;
+
+  uint32_t num_labels_ = 0;
+  uint32_t start_ = 0;
+  std::vector<bool> accept_;
+  std::vector<std::vector<int32_t>> delta_;  // [state][label]
+};
+
+/// Product of a labeled graph with a DFA (Theorem 5.9, second reduction):
+/// vertex (v, q), one edge (u,q) -> (v,q') per graph edge u->v with label l
+/// and transition q -l-> q'. Product edges remember their originating graph
+/// edge so circuit inputs can be identified across copies.
+struct GraphDfaProduct {
+  LabeledGraph graph;                 ///< single-label product graph
+  std::vector<uint32_t> edge_origin;  ///< product edge -> original edge index
+  uint32_t num_dfa_states;
+
+  uint32_t VertexOf(uint32_t v, uint32_t q) const { return v * num_dfa_states + q; }
+};
+
+GraphDfaProduct BuildGraphDfaProduct(const LabeledGraph& g, const Dfa& dfa);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_LANG_DFA_H_

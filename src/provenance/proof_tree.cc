@@ -1,0 +1,95 @@
+#include "src/provenance/proof_tree.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const GroundedProgram& g, uint64_t budget)
+      : g_(g), budget_(budget), on_path_(g.num_idb_facts(), false) {}
+
+  // Returns leaf-multisets of all tight proof trees of `fact` whose internal
+  // facts avoid the current path. Appends at most the remaining budget.
+  std::vector<Monomial> Enumerate(uint32_t fact) {
+    std::vector<Monomial> out;
+    if (truncated_) return out;
+    on_path_[fact] = true;
+    for (uint32_t rid : g_.RulesOfHead(fact)) {
+      const GroundRule& rule = g_.rules()[rid];
+      bool viable = true;
+      for (uint32_t b : rule.body_idbs) {
+        if (on_path_[b]) {
+          viable = false;
+          break;
+        }
+      }
+      if (!viable) continue;
+      // Seed with the rule's EDB leaves.
+      Monomial edb_leaves(rule.body_edbs.begin(), rule.body_edbs.end());
+      std::sort(edb_leaves.begin(), edb_leaves.end());
+      std::vector<Monomial> partial = {edb_leaves};
+      for (uint32_t b : rule.body_idbs) {
+        std::vector<Monomial> sub = Enumerate(b);
+        if (sub.empty()) {
+          partial.clear();  // no tight subtree for this body fact
+          break;
+        }
+        std::vector<Monomial> next;
+        next.reserve(partial.size() * sub.size());
+        for (const Monomial& p : partial) {
+          for (const Monomial& s : sub) {
+            if (count_ + next.size() + out.size() >= budget_) {
+              truncated_ = true;
+              break;
+            }
+            next.push_back(MonomialTimes(p, s));
+          }
+          if (truncated_) break;
+        }
+        partial = std::move(next);
+        if (truncated_) break;
+      }
+      out.insert(out.end(), partial.begin(), partial.end());
+      if (truncated_) break;
+    }
+    on_path_[fact] = false;
+    return out;
+  }
+
+  uint64_t count_ = 0;  // trees committed at the top level
+  bool truncated_ = false;
+
+ private:
+  const GroundedProgram& g_;
+  uint64_t budget_;
+  std::vector<bool> on_path_;
+};
+
+}  // namespace
+
+TightProvenanceResult EnumerateTightProvenance(const GroundedProgram& g,
+                                               uint32_t fact,
+                                               ProvenanceLimits limits) {
+  DLCIRC_CHECK_LT(fact, g.num_idb_facts());
+  Enumerator e(g, limits.max_trees);
+  std::vector<Monomial> trees = e.Enumerate(fact);
+  TightProvenanceResult r;
+  r.num_trees = trees.size();
+  r.truncated = e.truncated_;
+  if (!trees.empty()) {
+    r.min_leaves = r.max_leaves = trees[0].size();
+    for (const Monomial& m : trees) {
+      r.min_leaves = std::min<uint64_t>(r.min_leaves, m.size());
+      r.max_leaves = std::max<uint64_t>(r.max_leaves, m.size());
+    }
+  }
+  r.poly = AbsorbReduce(std::move(trees));
+  return r;
+}
+
+}  // namespace dlcirc

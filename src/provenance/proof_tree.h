@@ -1,0 +1,47 @@
+// Tight proof tree enumeration (paper Definitions 2.2, 2.4 and Section 6.1).
+//
+// Enumerates all tight proof trees of an IDB fact over the grounded program
+// (no fact repeats along a root-to-leaf path) and returns:
+//   * the canonical provenance polynomial (monomials = leaf multisets,
+//     absorption-reduced) — the ground truth every circuit construction is
+//     checked against (Proposition 2.4), and
+//   * fringe statistics (leaf counts per tree) for the polynomial fringe
+//     property of Definition 6.1.
+// Enumeration is exponential in general; hard budgets make truncation
+// explicit rather than silent.
+#ifndef DLCIRC_PROVENANCE_PROOF_TREE_H_
+#define DLCIRC_PROVENANCE_PROOF_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/datalog/grounding.h"
+#include "src/semiring/provenance_poly.h"
+
+namespace dlcirc {
+
+struct ProvenanceLimits {
+  /// Maximum number of (pre-absorption) monomials to materialize.
+  uint64_t max_trees = 200000;
+};
+
+struct TightProvenanceResult {
+  /// Canonical provenance polynomial (absorption-reduced).
+  Poly poly;
+  /// Number of tight proof trees enumerated (== pre-absorption monomials).
+  uint64_t num_trees = 0;
+  /// True if enumeration hit the budget; poly is then a lower approximation.
+  bool truncated = false;
+  /// Fringe statistics over enumerated trees (0 when there are none).
+  uint64_t min_leaves = 0;
+  uint64_t max_leaves = 0;
+};
+
+/// Enumerates tight proof trees of IDB fact id `fact`.
+TightProvenanceResult EnumerateTightProvenance(const GroundedProgram& g,
+                                               uint32_t fact,
+                                               ProvenanceLimits limits = {});
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_PROVENANCE_PROOF_TREE_H_

@@ -1,0 +1,100 @@
+// Randomized semiring axiom checker used by the property-test suites.
+//
+// Each check draws random elements via S::RandomValue and verifies one
+// algebraic law, returning a human-readable failure description or an empty
+// string on success.
+#ifndef DLCIRC_SEMIRING_AXIOMS_H_
+#define DLCIRC_SEMIRING_AXIOMS_H_
+
+#include <string>
+
+#include "src/semiring/semiring.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+
+namespace internal {
+template <Semiring S>
+std::string Describe(const char* law, const typename S::Value& a,
+                     const typename S::Value& b, const typename S::Value& c) {
+  return std::string(S::Name()) + " violates " + law + " on a=" + S::ToString(a) +
+         " b=" + S::ToString(b) + " c=" + S::ToString(c);
+}
+}  // namespace internal
+
+/// Verifies all commutative-semiring axioms plus every trait flag S declares
+/// (idempotence, absorption, x-idempotence, natural-order antisymmetry on the
+/// sampled elements). Returns "" on success.
+template <Semiring S>
+std::string CheckSemiringAxioms(Rng& rng, int iterations) {
+  using V = typename S::Value;
+  for (int it = 0; it < iterations; ++it) {
+    V a = S::RandomValue(rng), b = S::RandomValue(rng), c = S::RandomValue(rng);
+    auto fail = [&](const char* law) { return internal::Describe<S>(law, a, b, c); };
+    // (D, +, 0) commutative monoid.
+    if (!S::Eq(S::Plus(S::Plus(a, b), c), S::Plus(a, S::Plus(b, c))))
+      return fail("plus-associativity");
+    if (!S::Eq(S::Plus(a, b), S::Plus(b, a))) return fail("plus-commutativity");
+    if (!S::Eq(S::Plus(a, S::Zero()), a)) return fail("plus-identity");
+    // (D, x, 1) commutative monoid.
+    if (!S::Eq(S::Times(S::Times(a, b), c), S::Times(a, S::Times(b, c))))
+      return fail("times-associativity");
+    if (!S::Eq(S::Times(a, b), S::Times(b, a))) return fail("times-commutativity");
+    if (!S::Eq(S::Times(a, S::One()), a)) return fail("times-identity");
+    // Distributivity and annihilation.
+    if (!S::Eq(S::Times(a, S::Plus(b, c)), S::Plus(S::Times(a, b), S::Times(a, c))))
+      return fail("distributivity");
+    if (!S::Eq(S::Times(a, S::Zero()), S::Zero())) return fail("annihilation");
+    // Declared trait flags.
+    if (S::kIsIdempotent && !S::Eq(S::Plus(a, a), a)) return fail("plus-idempotence");
+    if (S::kIsAbsorptive && !S::Eq(S::Plus(S::One(), a), S::One()))
+      return fail("absorption");
+    if (S::kIsTimesIdempotent && !S::Eq(S::Times(a, a), a))
+      return fail("times-idempotence");
+    if constexpr (S::kIsIdempotent && S::kIsNaturallyOrdered) {
+      // Antisymmetry of a <= b iff a+b==b on the sampled pair.
+      if (NaturalLeq<S>(a, b) && NaturalLeq<S>(b, a) && !S::Eq(a, b))
+        return fail("natural-order-antisymmetry");
+    }
+  }
+  return "";
+}
+
+/// Verifies the p-stability identity 1 + u + ... + u^p == 1 + u + ... + u^{p+1}
+/// (paper Section 2.3) for sampled u. Absorptive semirings are 0-stable.
+template <Semiring S>
+std::string CheckPStable(Rng& rng, unsigned p, int iterations) {
+  using V = typename S::Value;
+  for (int it = 0; it < iterations; ++it) {
+    V u = S::RandomValue(rng);
+    V lhs = S::Zero(), rhs = S::Zero();
+    for (unsigned i = 0; i <= p; ++i) lhs = S::Plus(lhs, TimesPow<S>(u, i));
+    for (unsigned i = 0; i <= p + 1; ++i) rhs = S::Plus(rhs, TimesPow<S>(u, i));
+    if (!S::Eq(lhs, rhs))
+      return std::string(S::Name()) + " is not " + std::to_string(p) +
+             "-stable at u=" + S::ToString(u);
+  }
+  return "";
+}
+
+/// Verifies that x -> (x != 0) is a homomorphism onto the Booleans
+/// (positivity, paper Section 2.2) on sampled pairs.
+template <Semiring S>
+std::string CheckPositive(Rng& rng, int iterations) {
+  using V = typename S::Value;
+  auto h = [](const V& v) { return !S::Eq(v, S::Zero()); };
+  for (int it = 0; it < iterations; ++it) {
+    V a = S::RandomValue(rng), b = S::RandomValue(rng);
+    if (h(S::Plus(a, b)) != (h(a) || h(b)))
+      return std::string(S::Name()) + " positivity fails for + on a=" +
+             S::ToString(a) + " b=" + S::ToString(b);
+    if (h(S::Times(a, b)) != (h(a) && h(b)))
+      return std::string(S::Name()) + " positivity fails for x on a=" +
+             S::ToString(a) + " b=" + S::ToString(b);
+  }
+  return "";
+}
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_SEMIRING_AXIOMS_H_

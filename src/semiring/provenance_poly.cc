@@ -1,0 +1,145 @@
+#include "src/semiring/provenance_poly.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dlcirc {
+
+bool MonomialDivides(const Monomial& a, const Monomial& b) {
+  // Merge walk over two sorted multisets.
+  size_t i = 0, j = 0;
+  while (i < a.size()) {
+    if (j == b.size()) return false;
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return false;  // a[i] < b[j]: b lacks a[i]
+    }
+  }
+  return true;
+}
+
+Monomial MonomialTimes(const Monomial& a, const Monomial& b) {
+  Monomial out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+Monomial MonomialSupport(const Monomial& m) {
+  Monomial out = m;
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+// Ordering used for canonical form: by degree, then lexicographic.
+bool MonomialLess(const Monomial& a, const Monomial& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a < b;
+}
+
+}  // namespace
+
+size_t Poly::MaxDegree() const {
+  size_t d = 0;
+  for (const auto& m : monomials) d = std::max(d, m.size());
+  return d;
+}
+
+std::string Poly::ToString() const {
+  if (monomials.empty()) return "0";
+  std::ostringstream ss;
+  for (size_t i = 0; i < monomials.size(); ++i) {
+    if (i > 0) ss << " + ";
+    const Monomial& m = monomials[i];
+    if (m.empty()) {
+      ss << "1";
+      continue;
+    }
+    size_t j = 0;
+    bool first = true;
+    while (j < m.size()) {
+      size_t k = j;
+      while (k < m.size() && m[k] == m[j]) ++k;
+      if (!first) ss << "*";
+      first = false;
+      ss << "x" << m[j];
+      if (k - j > 1) ss << "^" << (k - j);
+      j = k;
+    }
+  }
+  return ss.str();
+}
+
+Poly AbsorbReduce(std::vector<Monomial> monomials) {
+  std::sort(monomials.begin(), monomials.end(), MonomialLess);
+  monomials.erase(std::unique(monomials.begin(), monomials.end()), monomials.end());
+  Poly out;
+  // Since monomials are sorted by degree, a monomial can only be absorbed by
+  // an earlier (smaller-or-equal-degree) kept monomial.
+  for (const Monomial& m : monomials) {
+    bool absorbed = false;
+    for (const Monomial& kept : out.monomials) {
+      if (kept.size() > m.size()) break;  // cannot divide
+      if (MonomialDivides(kept, m)) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) out.monomials.push_back(m);
+  }
+  return out;
+}
+
+namespace internal {
+
+Poly PolyPlus(const Poly& a, const Poly& b) {
+  std::vector<Monomial> all = a.monomials;
+  all.insert(all.end(), b.monomials.begin(), b.monomials.end());
+  return AbsorbReduce(std::move(all));
+}
+
+Poly PolyTimes(const Poly& a, const Poly& b, bool times_idempotent) {
+  std::vector<Monomial> all;
+  all.reserve(a.monomials.size() * b.monomials.size());
+  for (const Monomial& ma : a.monomials) {
+    for (const Monomial& mb : b.monomials) {
+      Monomial prod = MonomialTimes(ma, mb);
+      if (times_idempotent) prod = MonomialSupport(prod);
+      all.push_back(std::move(prod));
+    }
+  }
+  return AbsorbReduce(std::move(all));
+}
+
+Poly RandomPoly(Rng& rng, bool times_idempotent) {
+  // Small polynomials over a 5-variable pool keep property tests fast while
+  // exercising absorption in both flavors.
+  std::vector<Monomial> ms;
+  size_t num = rng.NextBounded(4);  // possibly zero -> the 0 polynomial
+  for (size_t i = 0; i < num; ++i) {
+    Monomial m;
+    size_t deg = rng.NextBounded(4);  // possibly empty -> the 1 monomial
+    for (size_t j = 0; j < deg; ++j) m.push_back(static_cast<uint32_t>(rng.NextBounded(5)));
+    std::sort(m.begin(), m.end());
+    if (times_idempotent) m = MonomialSupport(m);
+    ms.push_back(std::move(m));
+  }
+  return AbsorbReduce(std::move(ms));
+}
+
+}  // namespace internal
+
+Poly ProjectToWhy(const Poly& p) {
+  std::vector<Monomial> ms;
+  ms.reserve(p.monomials.size());
+  for (const Monomial& m : p.monomials) ms.push_back(MonomialSupport(m));
+  return AbsorbReduce(std::move(ms));
+}
+
+}  // namespace dlcirc

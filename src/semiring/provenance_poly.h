@@ -1,0 +1,144 @@
+// Free absorptive provenance polynomial semirings (paper Sections 2.4-2.5).
+//
+// A provenance polynomial in canonical (DNF) form over an absorptive semiring
+// is an *antichain of monomials* under the absorption order: monomial m1
+// absorbs m2 whenever m1 divides m2 (as a multiset of variables), because
+// m1 (+) m1 (x) r = m1. Two flavors are provided:
+//
+//   SorpPoly — monomials are multisets (exponents matter). This is the free
+//     absorptive semiring Sorp(X) (generalized absorptive polynomials of
+//     Dannert-Graedel-Naaf-Tannen): evaluating a circuit in Sorp(X) yields the
+//     canonical provenance polynomial, so one symbolic check certifies the
+//     circuit over EVERY absorptive semiring.
+//   WhyPoly — monomials are sets (x (x) x = x). The free absorptive
+//     x-idempotent semiring, i.e. the free object of the class Chom / PosBool(X).
+//
+// Monomials are sorted vectors of variable ids (with repetitions for Sorp).
+#ifndef DLCIRC_SEMIRING_PROVENANCE_POLY_H_
+#define DLCIRC_SEMIRING_PROVENANCE_POLY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/semiring/semiring.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+
+/// A monomial: product of variables, stored as a sorted id vector
+/// (repetitions encode exponents).
+using Monomial = std::vector<uint32_t>;
+
+/// True iff `a` divides `b` as a multiset (a's variables, with multiplicity,
+/// all occur in b). The empty monomial (the constant 1) divides everything.
+bool MonomialDivides(const Monomial& a, const Monomial& b);
+
+/// Multiset union (product of monomials).
+Monomial MonomialTimes(const Monomial& a, const Monomial& b);
+
+/// Removes duplicate variables (projects a Sorp monomial to its Why support).
+Monomial MonomialSupport(const Monomial& m);
+
+/// A polynomial: antichain of monomials, kept sorted (by size, then lexic.)
+/// and absorption-reduced. Shared representation for SorpPoly/WhyPoly values.
+struct Poly {
+  std::vector<Monomial> monomials;
+
+  bool operator==(const Poly& o) const { return monomials == o.monomials; }
+
+  /// Number of monomials in canonical form.
+  size_t NumMonomials() const { return monomials.size(); }
+
+  /// Largest monomial degree (0 for the zero/one polynomial).
+  size_t MaxDegree() const;
+
+  /// Renders as e.g. "x1*x3^2 + x2" using ids, or "0" / "1".
+  std::string ToString() const;
+};
+
+/// Canonicalizes: sorts monomials and removes any monomial absorbed by
+/// (i.e. divisible by) another.
+Poly AbsorbReduce(std::vector<Monomial> monomials);
+
+namespace internal {
+Poly PolyPlus(const Poly& a, const Poly& b);
+Poly PolyTimes(const Poly& a, const Poly& b, bool times_idempotent);
+Poly RandomPoly(Rng& rng, bool times_idempotent);
+}  // namespace internal
+
+/// Sorp(X): the free absorptive commutative semiring over variables X.
+struct SorpSemiring {
+  using Value = Poly;
+  static constexpr bool kIsIdempotent = true;
+  static constexpr bool kIsAbsorptive = true;
+  static constexpr bool kIsTimesIdempotent = false;
+  static constexpr bool kIsNaturallyOrdered = true;
+  static constexpr bool kIsPositive = true;
+  static Value Zero() { return Poly{}; }
+  static Value One() { return Poly{{Monomial{}}}; }
+  static Value Var(uint32_t v) { return Poly{{Monomial{v}}}; }
+  static Value Plus(const Value& a, const Value& b) { return internal::PolyPlus(a, b); }
+  static Value Times(const Value& a, const Value& b) {
+    return internal::PolyTimes(a, b, /*times_idempotent=*/false);
+  }
+  static bool Eq(const Value& a, const Value& b) { return a == b; }
+  static std::string ToString(const Value& a) { return a.ToString(); }
+  static Value RandomValue(Rng& rng) {
+    return internal::RandomPoly(rng, /*times_idempotent=*/false);
+  }
+  static std::string Name() { return "Sorp(X)"; }
+};
+
+/// Why(X)/PosBool(X): the free absorptive x-idempotent semiring over X
+/// (free bounded distributive lattice; class Chom of Theorem 4.6).
+struct WhySemiring {
+  using Value = Poly;
+  static constexpr bool kIsIdempotent = true;
+  static constexpr bool kIsAbsorptive = true;
+  static constexpr bool kIsTimesIdempotent = true;
+  static constexpr bool kIsNaturallyOrdered = true;
+  static constexpr bool kIsPositive = true;
+  static Value Zero() { return Poly{}; }
+  static Value One() { return Poly{{Monomial{}}}; }
+  static Value Var(uint32_t v) { return Poly{{Monomial{v}}}; }
+  static Value Plus(const Value& a, const Value& b) { return internal::PolyPlus(a, b); }
+  static Value Times(const Value& a, const Value& b) {
+    return internal::PolyTimes(a, b, /*times_idempotent=*/true);
+  }
+  static bool Eq(const Value& a, const Value& b) { return a == b; }
+  static std::string ToString(const Value& a) { return a.ToString(); }
+  static Value RandomValue(Rng& rng) {
+    return internal::RandomPoly(rng, /*times_idempotent=*/true);
+  }
+  static std::string Name() { return "Why(X)"; }
+};
+
+/// Evaluates a polynomial under a variable assignment into semiring S.
+/// Sound exactly when S is absorptive (the canonical form is absorption-
+/// reduced); this is the evaluation homomorphism Sorp(X) -> S.
+template <Semiring S>
+typename S::Value EvalPoly(const Poly& p,
+                           const std::vector<typename S::Value>& assignment) {
+  static_assert(S::kIsAbsorptive, "EvalPoly target must be absorptive");
+  typename S::Value acc = S::Zero();
+  for (const Monomial& m : p.monomials) {
+    typename S::Value prod = S::One();
+    for (uint32_t v : m) {
+      DLCIRC_CHECK_LT(v, assignment.size());
+      prod = S::Times(prod, assignment[v]);
+    }
+    acc = S::Plus(acc, prod);
+  }
+  return acc;
+}
+
+/// Projects a Sorp(X) polynomial to its Why(X) image (drop exponents,
+/// re-reduce). This is the canonical surjection Sorp(X) ->> Why(X).
+Poly ProjectToWhy(const Poly& p);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_SEMIRING_PROVENANCE_POLY_H_

@@ -1,0 +1,74 @@
+// Core semiring abstraction (paper Section 2.2).
+//
+// A semiring is modeled as a stateless policy struct S with:
+//   typename S::Value                          element type
+//   static Value S::Zero(), S::One()           identities
+//   static Value S::Plus(a, b), S::Times(a, b) operations
+//   static bool  S::Eq(a, b)                   element equality
+//   static std::string S::ToString(a)          debug rendering
+//   static Value S::RandomValue(Rng&)          generator for property tests
+// and compile-time trait flags:
+//   S::kIsIdempotent       a (+) a = a
+//   S::kIsAbsorptive       1 (+) a = 1          (0-stable; implies idempotent)
+//   S::kIsTimesIdempotent  a (x) a = a
+//   S::kIsNaturallyOrdered a <= b iff exists c: a (+) c = b is a partial order
+//   S::kIsPositive         x -> (x != 0) is a homomorphism onto the Booleans
+//
+// All semirings in this library are commutative. Absorptive + times-idempotent
+// semirings form the class Chom of bounded distributive lattices (Thm 4.6).
+#ifndef DLCIRC_SEMIRING_SEMIRING_H_
+#define DLCIRC_SEMIRING_SEMIRING_H_
+
+#include <concepts>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace dlcirc {
+
+/// C++20 concept capturing the semiring policy interface described above.
+template <typename S>
+concept Semiring = requires(typename S::Value a, typename S::Value b, Rng& rng) {
+  { S::Zero() } -> std::same_as<typename S::Value>;
+  { S::One() } -> std::same_as<typename S::Value>;
+  { S::Plus(a, b) } -> std::same_as<typename S::Value>;
+  { S::Times(a, b) } -> std::same_as<typename S::Value>;
+  { S::Eq(a, b) } -> std::convertible_to<bool>;
+  { S::ToString(a) } -> std::convertible_to<std::string>;
+  { S::RandomValue(rng) } -> std::same_as<typename S::Value>;
+  { S::Name() } -> std::convertible_to<std::string>;
+  { S::kIsIdempotent } -> std::convertible_to<bool>;
+  { S::kIsAbsorptive } -> std::convertible_to<bool>;
+  { S::kIsTimesIdempotent } -> std::convertible_to<bool>;
+  { S::kIsNaturallyOrdered } -> std::convertible_to<bool>;
+  { S::kIsPositive } -> std::convertible_to<bool>;
+};
+
+/// Natural-order comparison a <=_S b for idempotent semirings, where the
+/// order is characterized by a (+) b = b.
+template <Semiring S>
+bool NaturalLeq(const typename S::Value& a, const typename S::Value& b) {
+  static_assert(S::kIsIdempotent,
+                "NaturalLeq via a+b==b is only valid for idempotent semirings");
+  return S::Eq(S::Plus(a, b), b);
+}
+
+/// n-fold Plus of a value with itself (n >= 1).
+template <Semiring S>
+typename S::Value PlusPow(typename S::Value v, unsigned n) {
+  typename S::Value acc = v;
+  for (unsigned i = 1; i < n; ++i) acc = S::Plus(acc, v);
+  return acc;
+}
+
+/// v^n under Times (n >= 0; n == 0 yields One).
+template <Semiring S>
+typename S::Value TimesPow(typename S::Value v, unsigned n) {
+  typename S::Value acc = S::One();
+  for (unsigned i = 0; i < n; ++i) acc = S::Times(acc, v);
+  return acc;
+}
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_SEMIRING_SEMIRING_H_

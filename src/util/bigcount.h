@@ -1,0 +1,80 @@
+// Saturating counters for combinatorial quantities that overflow uint64.
+//
+// Formula sizes obtained by expanding a circuit (Proposition 3.3) grow like
+// 2^depth; BigCount tracks them exactly up to ~1e18 and saturates beyond,
+// additionally carrying a log2 estimate so benchmark tables can still report
+// the growth shape after saturation.
+#ifndef DLCIRC_UTIL_BIGCOUNT_H_
+#define DLCIRC_UTIL_BIGCOUNT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dlcirc {
+
+/// Non-negative counter with saturating exact arithmetic plus a parallel
+/// floating-point log2 track that never saturates.
+class BigCount {
+ public:
+  BigCount() : exact_(0), log2_(-std::numeric_limits<double>::infinity()) {}
+  explicit BigCount(uint64_t v)
+      : exact_(v),
+        log2_(v == 0 ? -std::numeric_limits<double>::infinity()
+                     : std::log2(static_cast<double>(v))) {}
+
+  static BigCount Saturated() {
+    BigCount b;
+    b.exact_ = kSaturated;
+    b.log2_ = 64.0;
+    return b;
+  }
+
+  bool saturated() const { return exact_ == kSaturated; }
+  /// Exact value; only meaningful when !saturated().
+  uint64_t exact() const { return exact_; }
+  /// log2 of the (possibly saturated) value; exact when !saturated().
+  double log2() const { return log2_; }
+
+  BigCount operator+(const BigCount& o) const {
+    BigCount r;
+    if (saturated() || o.saturated() || exact_ > kSaturated - o.exact_) {
+      r.exact_ = kSaturated;
+    } else {
+      r.exact_ = exact_ + o.exact_;
+    }
+    r.log2_ = LogAdd(log2_, o.log2_);
+    return r;
+  }
+
+  bool operator==(const BigCount& o) const { return exact_ == o.exact_; }
+  bool operator<(const BigCount& o) const {
+    if (exact_ != o.exact_) return exact_ < o.exact_;
+    return log2_ < o.log2_;
+  }
+
+  /// "12345" or "~2^78.3" when saturated.
+  std::string ToString() const {
+    if (!saturated()) return std::to_string(exact_);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "~2^%.1f", log2_);
+    return buf;
+  }
+
+ private:
+  static constexpr uint64_t kSaturated = std::numeric_limits<uint64_t>::max();
+  // log2(2^a + 2^b) computed stably.
+  static double LogAdd(double a, double b) {
+    if (a == -std::numeric_limits<double>::infinity()) return b;
+    if (b == -std::numeric_limits<double>::infinity()) return a;
+    if (a < b) std::swap(a, b);
+    return a + std::log2(1.0 + std::exp2(b - a));
+  }
+  uint64_t exact_;
+  double log2_;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_UTIL_BIGCOUNT_H_

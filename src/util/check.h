@@ -1,0 +1,51 @@
+// Lightweight assertion and logging macros (Google-style CHECK family).
+//
+// Internal invariant violations abort the process with a source location and a
+// streamed message; user-facing, recoverable errors use util::Result instead.
+#ifndef DLCIRC_UTIL_CHECK_H_
+#define DLCIRC_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dlcirc {
+namespace internal {
+
+// Accumulates a streamed message and aborts on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dlcirc
+
+#define DLCIRC_CHECK(condition)                                            \
+  if (condition) {                                                         \
+  } else                                                                   \
+    ::dlcirc::internal::CheckFailStream(__FILE__, __LINE__, #condition)
+
+#define DLCIRC_CHECK_EQ(a, b) DLCIRC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DLCIRC_CHECK_NE(a, b) DLCIRC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DLCIRC_CHECK_LT(a, b) DLCIRC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DLCIRC_CHECK_LE(a, b) DLCIRC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DLCIRC_CHECK_GT(a, b) DLCIRC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DLCIRC_CHECK_GE(a, b) DLCIRC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // DLCIRC_UTIL_CHECK_H_

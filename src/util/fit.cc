@@ -1,0 +1,58 @@
+#include "src/util/fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+PowerFit FitPowerLaw(const std::vector<double>& xs, const std::vector<double>& ys) {
+  DLCIRC_CHECK_EQ(xs.size(), ys.size());
+  DLCIRC_CHECK_GE(xs.size(), 2u);
+  const size_t n = xs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::vector<double> lx(n), ly(n);
+  for (size_t i = 0; i < n; ++i) {
+    DLCIRC_CHECK_GT(xs[i], 0.0);
+    DLCIRC_CHECK_GT(ys[i], 0.0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+    sx += lx[i];
+    sy += ly[i];
+    sxx += lx[i] * lx[i];
+    sxy += lx[i] * ly[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  PowerFit fit;
+  fit.exponent = denom == 0.0 ? 0.0 : (dn * sxy - sx * sy) / denom;
+  fit.constant = std::exp((sy - fit.exponent * sx) / dn);
+  // R^2 in log space.
+  const double mean_y = sy / dn;
+  double ss_tot = 0, ss_res = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double pred = std::log(fit.constant) + fit.exponent * lx[i];
+    ss_res += (ly[i] - pred) * (ly[i] - pred);
+    ss_tot += (ly[i] - mean_y) * (ly[i] - mean_y);
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double ThetaRatioSpread(const std::vector<double>& ys, const std::vector<double>& fs,
+                        size_t tail) {
+  DLCIRC_CHECK_EQ(ys.size(), fs.size());
+  DLCIRC_CHECK_GE(ys.size(), 1u);
+  size_t start = ys.size() > tail ? ys.size() - tail : 0;
+  double lo = 1e300, hi = 0;
+  for (size_t i = start; i < ys.size(); ++i) {
+    DLCIRC_CHECK_GT(fs[i], 0.0);
+    double r = ys[i] / fs[i];
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return lo == 0.0 ? 1e300 : hi / lo;
+}
+
+}  // namespace dlcirc

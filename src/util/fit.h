@@ -1,0 +1,31 @@
+// Least-squares fits used to check asymptotic shapes in the benchmark
+// harness: a log-log fit estimates the polynomial exponent of a series, and a
+// ratio check verifies a series is Theta(f) by testing that series/f(n)
+// stabilizes to a constant.
+#ifndef DLCIRC_UTIL_FIT_H_
+#define DLCIRC_UTIL_FIT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dlcirc {
+
+/// Result of fitting y = c * x^e on positive data via least squares in
+/// (log x, log y) space.
+struct PowerFit {
+  double exponent = 0.0;  ///< estimated e
+  double constant = 0.0;  ///< estimated c
+  double r2 = 0.0;        ///< coefficient of determination in log space
+};
+
+/// Fits y = c * x^e; requires xs.size() == ys.size() >= 2 and positive values.
+PowerFit FitPowerLaw(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Max/min ratio of ys[i] / fs[i] over the last `tail` points; a bounded ratio
+/// (close to 1) indicates ys = Theta(fs).
+double ThetaRatioSpread(const std::vector<double>& ys, const std::vector<double>& fs,
+                        size_t tail = 4);
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_UTIL_FIT_H_

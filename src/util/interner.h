@@ -1,0 +1,55 @@
+// String interning: maps strings to dense uint32 ids and back.
+//
+// Constants, variables, predicate names and edge labels are all interned so
+// that the hot paths of the engine and circuit builders work on integers.
+#ifndef DLCIRC_UTIL_INTERNER_H_
+#define DLCIRC_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+/// Bidirectional string <-> dense id map. Ids are assigned in insertion order
+/// starting at 0. Lookup of unknown strings via Find() returns kNotFound.
+class Interner {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  /// Returns the id for `s`, interning it if new.
+  uint32_t Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s` or kNotFound if it was never interned.
+  uint32_t Find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? kNotFound : it->second;
+  }
+
+  /// Returns the string for a valid id.
+  const std::string& Name(uint32_t id) const {
+    DLCIRC_CHECK_LT(id, strings_.size());
+    return strings_[id];
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_UTIL_INTERNER_H_

@@ -1,0 +1,57 @@
+// Result<T>: value-or-error return type used instead of exceptions for all
+// recoverable failures (parse errors, malformed programs, invalid arguments).
+#ifndef DLCIRC_UTIL_RESULT_H_
+#define DLCIRC_UTIL_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+
+/// A value of type T or a human-readable error message.
+///
+/// Usage:
+///   Result<Program> r = ParseProgram(text);
+///   if (!r.ok()) return Error(r.error());
+///   Program p = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a success value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs an error result; the message must be non-empty.
+  static Result Error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    DLCIRC_CHECK(!r.error_.empty()) << "error message must be non-empty";
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error message; empty iff ok().
+  const std::string& error() const { return error_; }
+
+  /// The success value; CHECK-fails if !ok().
+  const T& value() const& {
+    DLCIRC_CHECK(ok()) << "Result error: " << error_;
+    return *value_;
+  }
+  T&& value() && {
+    DLCIRC_CHECK(ok()) << "Result error: " << error_;
+    return *std::move(value_);
+  }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_UTIL_RESULT_H_

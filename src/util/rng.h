@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (splitmix64 core).
+//
+// All stochastic workload generation in the library flows through Rng so that
+// every test and benchmark is reproducible from a printed seed.
+#ifndef DLCIRC_UTIL_RNG_H_
+#define DLCIRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace dlcirc {
+
+/// Small, fast, deterministic RNG (splitmix64). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_UTIL_RNG_H_

@@ -1,0 +1,43 @@
+// Markdown-style table printer used by the benchmark harness to emit the
+// rows/series corresponding to the paper's Table 1 and per-theorem sweeps.
+#ifndef DLCIRC_UTIL_TABLE_H_
+#define DLCIRC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dlcirc {
+
+/// Collects rows of string cells and renders an aligned markdown table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator, padded for alignment.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string Fmt(double v, int precision = 3);
+  /// Formats any integral value.
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string Fmt(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_UTIL_TABLE_H_

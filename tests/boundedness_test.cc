@@ -1,0 +1,211 @@
+// Tests for Section 4: CQ homomorphisms/containment, expansions, the
+// Theorem 4.5/4.6 boundedness semi-decision, the Proposition 5.5 exact chain
+// decision, and agreement between the static verdicts and the empirical
+// iteration counts of Definition 4.1.
+#include <gtest/gtest.h>
+
+#include "src/boundedness/boundedness.h"
+#include "src/boundedness/cq.h"
+#include "src/boundedness/expansions.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kAbStarText;
+using testing::kBoundedText;
+using testing::kDyckText;
+using testing::kFiniteChainText;
+using testing::kReachText;
+using testing::kTcText;
+using testing::MustParse;
+
+// ------------------------------------------------------------------- CQs
+
+Cq PathCq(uint32_t pred, uint32_t len) {
+  // E(v0,v1), ..., E(v_{len-1}, v_len); free v0, v_len.
+  Cq q;
+  q.num_vars = len + 1;
+  for (uint32_t i = 0; i < len; ++i) {
+    q.atoms.push_back(Atom{pred, {Term::Var(i), Term::Var(i + 1)}});
+  }
+  q.free_vars = {0, len};
+  return q;
+}
+
+TEST(CqTest, PathHomomorphisms) {
+  // A path of length 2 maps onto... itself; a path of length 1 does not map
+  // onto a path of length 2 (free endpoints pinned).
+  Cq p1 = PathCq(0, 1), p2 = PathCq(0, 2);
+  EXPECT_TRUE(CqHomomorphismExists(p1, p1));
+  EXPECT_TRUE(CqHomomorphismExists(p2, p2));
+  EXPECT_FALSE(CqHomomorphismExists(p1, p2));  // endpoints adjacent vs distance 2
+  EXPECT_FALSE(CqHomomorphismExists(p2, p1));  // cannot stretch
+}
+
+TEST(CqTest, FoldingHomomorphism) {
+  // Triangle-ish: E(x,z), E(y,z) with free x maps into E(x,z) (y -> x).
+  Cq from;
+  from.num_vars = 3;
+  from.atoms = {Atom{0, {Term::Var(0), Term::Var(2)}},
+                Atom{0, {Term::Var(1), Term::Var(2)}}};
+  from.free_vars = {0};
+  Cq to;
+  to.num_vars = 2;
+  to.atoms = {Atom{0, {Term::Var(0), Term::Var(1)}}};
+  to.free_vars = {0};
+  EXPECT_TRUE(CqHomomorphismExists(from, to));
+  EXPECT_TRUE(CqContained(to, from));
+}
+
+TEST(CqTest, PredicateMismatchBlocksHom) {
+  Cq a;
+  a.num_vars = 2;
+  a.atoms = {Atom{0, {Term::Var(0), Term::Var(1)}}};
+  a.free_vars = {0};
+  Cq b = a;
+  b.atoms[0].pred = 1;
+  EXPECT_FALSE(CqHomomorphismExists(a, b));
+}
+
+TEST(CqTest, CanonicalDbHasOneFactPerDistinctAtom) {
+  Program tc = MustParse(kTcText);
+  Cq q = PathCq(tc.preds.Find("E"), 3);
+  CanonicalDb canon = BuildCanonicalDb(tc, q);
+  EXPECT_EQ(canon.db.num_facts(), 3u);
+  EXPECT_EQ(canon.fact_of_atom.size(), 3u);
+}
+
+// ------------------------------------------------------------- expansions
+
+TEST(ExpansionTest, TcExpansionsArePaths) {
+  Program tc = MustParse(kTcText);
+  ExpansionLimits limits;
+  limits.max_rule_apps = 4;
+  ExpansionSet set = EnumerateExpansions(tc, limits);
+  // Depth k expansion = path of length k (rule applications: k-1 recursive +
+  // 1 init). Expect expansions with 1..4 rule applications: paths len 1..4.
+  EXPECT_TRUE(set.truncated);  // TC unfolds forever
+  ASSERT_GE(set.expansions.size(), 4u);
+  for (const Expansion& e : set.expansions) {
+    EXPECT_EQ(e.cq.atoms.size(), e.num_rule_apps);  // path of length k
+    EXPECT_EQ(e.cq.free_vars.size(), 2u);
+  }
+}
+
+TEST(ExpansionTest, Example44ExpansionShapes) {
+  // The paper's Example 4.4: C_0 = E(x,y), C_1 = E(x,z),E(z,y), ...
+  Program tc = MustParse(kTcText);
+  ExpansionLimits limits;
+  limits.max_rule_apps = 3;
+  ExpansionSet set = EnumerateExpansions(tc, limits);
+  bool found_c0 = false, found_c1 = false;
+  for (const Expansion& e : set.expansions) {
+    if (e.cq.atoms.size() == 1) found_c0 = true;
+    if (e.cq.atoms.size() == 2) found_c1 = true;
+  }
+  EXPECT_TRUE(found_c0);
+  EXPECT_TRUE(found_c1);
+}
+
+TEST(ExpansionTest, NonLinearProgramsExpandToo) {
+  Program dyck = MustParse(kDyckText);
+  ExpansionLimits limits;
+  limits.max_rule_apps = 3;
+  ExpansionSet set = EnumerateExpansions(dyck, limits);
+  EXPECT_GE(set.expansions.size(), 2u);
+}
+
+// ------------------------------------------------------------ boundedness
+
+TEST(BoundednessTest, Example42IsBounded) {
+  Program p = MustParse(kBoundedText);
+  BoundednessReport r = CheckBoundednessChom(p);
+  EXPECT_EQ(r.verdict, BoundednessReport::Verdict::kBounded);
+  EXPECT_LE(r.bound, 2u);
+}
+
+TEST(BoundednessTest, TcIsNotBounded) {
+  Program tc = MustParse(kTcText);
+  BoundednessReport r = CheckBoundednessChom(tc);
+  EXPECT_EQ(r.verdict, BoundednessReport::Verdict::kNoBoundFound);
+}
+
+TEST(BoundednessTest, ReachIsNotBounded) {
+  Program reach = MustParse(kReachText);
+  BoundednessReport r = CheckBoundednessChom(reach);
+  EXPECT_EQ(r.verdict, BoundednessReport::Verdict::kNoBoundFound);
+}
+
+TEST(BoundednessTest, FiniteChainIsBoundedBothWays) {
+  Program p = MustParse(kFiniteChainText);
+  EXPECT_EQ(CheckBoundednessChom(p).verdict, BoundednessReport::Verdict::kBounded);
+  Result<BoundednessReport> chain = CheckBoundednessChain(p);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value().verdict, BoundednessReport::Verdict::kBounded);
+  EXPECT_EQ(chain.value().bound, 2u);  // longest word: ab
+}
+
+TEST(BoundednessTest, ChainDecisionIsExactForInfiniteLanguages) {
+  for (const char* text : {kTcText, kAbStarText, kDyckText}) {
+    Result<BoundednessReport> r = CheckBoundednessChain(MustParse(text));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().verdict, BoundednessReport::Verdict::kNoBoundFound);
+    EXPECT_FALSE(r.value().horizon_limited);  // exact, not a semi-decision
+  }
+}
+
+TEST(BoundednessTest, ChainDecisionRejectsNonChain) {
+  EXPECT_FALSE(CheckBoundednessChain(MustParse(kReachText)).ok());
+}
+
+TEST(BoundednessTest, VerdictsAgreeWithEmpiricalIterations) {
+  // Bounded verdict => flat iterations; unbounded => growing iterations.
+  Program bounded = MustParse(kBoundedText);
+  Program tc = MustParse(kTcText);
+  uint32_t bounded_max = 0;
+  std::vector<uint32_t> tc_iters;
+  for (uint32_t n : {4u, 8u, 16u}) {
+    // Bounded program instance.
+    {
+      Database db(bounded);
+      std::vector<uint32_t> c;
+      for (uint32_t i = 0; i < n; ++i) {
+        c.push_back(db.InternConst("c" + std::to_string(i)));
+      }
+      for (uint32_t i = 0; i + 1 < n; ++i) {
+        db.AddFact(bounded.preds.Find("E"), {c[i], c[i + 1]});
+      }
+      db.AddFact(bounded.preds.Find("A"), {c[0]});
+      bounded_max = std::max(bounded_max, MeasureConvergenceIterations(bounded, db));
+    }
+    // TC instance (path).
+    {
+      StGraph sg = PathGraph(n);
+      GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+      tc_iters.push_back(MeasureConvergenceIterations(tc, gdb.db));
+    }
+  }
+  EXPECT_LE(bounded_max, 3u);
+  EXPECT_LT(tc_iters[0], tc_iters[1]);
+  EXPECT_LT(tc_iters[1], tc_iters[2]);
+}
+
+TEST(BoundednessTest, MutuallyRecursiveBoundedProgram) {
+  // P/Q mutual recursion that is nonetheless bounded: the recursive rules
+  // re-derive facts already derivable by the initialization rules.
+  Program p = MustParse(R"(
+@target P.
+P(X) :- A(X).
+Q(X) :- A(X).
+P(X) :- Q(X), A(X).
+Q(X) :- P(X), A(X).
+)");
+  BoundednessReport r = CheckBoundednessChom(p);
+  EXPECT_EQ(r.verdict, BoundednessReport::Verdict::kBounded);
+}
+
+}  // namespace
+}  // namespace dlcirc

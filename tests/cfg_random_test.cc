@@ -1,0 +1,140 @@
+// Randomized CFG property sweep: random small grammars must satisfy the
+// cross-invariants between the analyses —
+//   * IsFiniteLanguage consistent with bounded word enumeration growth,
+//   * FindPumping succeeds exactly on infinite languages and its pumped
+//     words are accepted,
+//   * ToCnf preserves the language (CYK over CNF vs direct enumeration),
+//   * chain-program round trip preserves word acceptance.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/lang/cfg.h"
+#include "src/lang/chain_datalog.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+namespace {
+
+// Random epsilon-free grammar: up to 4 nonterminals, 2 terminals, 8
+// productions of rhs length 1-3.
+Cfg RandomCfg(Rng& rng) {
+  Cfg g;
+  uint32_t num_nts = 2 + static_cast<uint32_t>(rng.NextBounded(3));
+  for (uint32_t i = 0; i < num_nts; ++i) g.AddNonterminal("N" + std::to_string(i));
+  uint32_t a = g.AddTerminal("a"), b = g.AddTerminal("b");
+  g.SetStart(0);
+  uint32_t num_prods = 3 + static_cast<uint32_t>(rng.NextBounded(6));
+  for (uint32_t i = 0; i < num_prods; ++i) {
+    std::vector<GSymbol> rhs;
+    uint32_t len = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    for (uint32_t j = 0; j < len; ++j) {
+      if (rng.NextBool(0.55)) {
+        rhs.push_back(GSymbol::T(rng.NextBool(0.5) ? a : b));
+      } else {
+        rhs.push_back(GSymbol::N(static_cast<uint32_t>(rng.NextBounded(num_nts))));
+      }
+    }
+    // The first production is rooted at the start symbol so the grammar
+    // always round-trips to a program with an IDB target.
+    uint32_t lhs = i == 0 ? g.start() : static_cast<uint32_t>(rng.NextBounded(num_nts));
+    g.AddProduction(lhs, std::move(rhs));
+  }
+  return g;
+}
+
+class RandomCfgTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCfgTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                           13, 14, 15, 16));
+
+TEST_P(RandomCfgTest, FinitenessConsistentWithEnumeration) {
+  Rng rng(GetParam());
+  Cfg g = RandomCfg(rng);
+  bool finite = g.IsFiniteLanguage();
+  // Enumerate generously; a finite language must stop producing new words.
+  auto words7 = g.EnumerateWords(7, 5000);
+  auto words10 = g.EnumerateWords(10, 5000);
+  if (finite) {
+    EXPECT_EQ(words7.size(), words10.size())
+        << "finite language kept growing beyond length 7";
+  }
+  if (!finite && words10.size() < 5000) {
+    // Infinite language: must keep growing somewhere within small lengths
+    // (pumping constant of these tiny grammars is small).
+    EXPECT_GT(words10.size(), words7.empty() ? 0 : words7.size() - 1);
+  }
+}
+
+TEST_P(RandomCfgTest, PumpingIffInfinite) {
+  Rng rng(GetParam() + 100);
+  Cfg g = RandomCfg(rng);
+  Result<CfgPumping> pump = g.FindPumping();
+  EXPECT_EQ(pump.ok(), !g.IsFiniteLanguage());
+  if (pump.ok()) {
+    const CfgPumping& p = pump.value();
+    EXPECT_GE(p.v.size() + p.x.size(), 1u);
+    for (int i = 0; i <= 2; ++i) {
+      std::vector<uint32_t> word = p.u;
+      for (int k = 0; k < i; ++k) word.insert(word.end(), p.v.begin(), p.v.end());
+      word.insert(word.end(), p.w.begin(), p.w.end());
+      for (int k = 0; k < i; ++k) word.insert(word.end(), p.x.begin(), p.x.end());
+      word.insert(word.end(), p.y.begin(), p.y.end());
+      EXPECT_TRUE(g.Accepts(word)) << "pump i=" << i;
+    }
+  }
+}
+
+TEST_P(RandomCfgTest, CnfPreservesLanguage) {
+  Rng rng(GetParam() + 200);
+  Cfg g = RandomCfg(rng);
+  Cfg cnf = g.ToCnf();
+  // Compare accepted word sets up to length 6 by brute force over {a,b}^<=6.
+  for (uint32_t len = 1; len <= 6; ++len) {
+    for (uint32_t bits = 0; bits < (1u << len); ++bits) {
+      std::vector<uint32_t> w;
+      for (uint32_t i = 0; i < len; ++i) w.push_back((bits >> i) & 1);
+      EXPECT_EQ(g.Accepts(w), cnf.Accepts(w)) << "len=" << len;
+    }
+  }
+}
+
+TEST_P(RandomCfgTest, EnumeratedWordsAreAccepted) {
+  Rng rng(GetParam() + 300);
+  Cfg g = RandomCfg(rng);
+  for (const auto& w : g.EnumerateWords(7, 200)) {
+    EXPECT_TRUE(g.Accepts(w));
+  }
+}
+
+TEST_P(RandomCfgTest, ChainProgramRoundTripPreservesAcceptance) {
+  Rng rng(GetParam() + 400);
+  Cfg g = RandomCfg(rng);
+  Program p = CfgToChainProgram(g);
+  Result<Cfg> back_r = ChainProgramToCfg(p);
+  ASSERT_TRUE(back_r.ok()) << back_r.error();
+  const Cfg& back = back_r.value();
+  // Terminal ids shift on the way back: a production-less nonterminal of g
+  // becomes an EDB predicate (hence a terminal) in the round trip. Map by
+  // NAME; words over {a,b} are unaffected semantically because such symbols
+  // derive nothing in g and cannot appear in accepted {a,b}-words.
+  uint32_t back_a = back.terminals().Find("a");
+  uint32_t back_b = back.terminals().Find("b");
+  ASSERT_NE(back_a, Interner::kNotFound);
+  ASSERT_NE(back_b, Interner::kNotFound);
+  for (uint32_t len = 1; len <= 5; ++len) {
+    for (uint32_t bits = 0; bits < (1u << len); ++bits) {
+      std::vector<uint32_t> w, back_w;
+      for (uint32_t i = 0; i < len; ++i) {
+        uint32_t bit = (bits >> i) & 1;
+        w.push_back(bit);
+        back_w.push_back(bit == 0 ? back_a : back_b);
+      }
+      EXPECT_EQ(g.Accepts(w), back.Accepts(back_w));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlcirc

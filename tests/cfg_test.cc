@@ -1,0 +1,217 @@
+// CFG tests: productive/reachable/useful analyses, emptiness, the
+// finiteness decision underlying Proposition 5.5, CYK recognition,
+// bounded word enumeration, shortest yields, and the constructive pumping
+// lemma used by the Theorem 5.11 reduction.
+#include <gtest/gtest.h>
+
+#include "src/lang/cfg.h"
+
+namespace dlcirc {
+namespace {
+
+// Grammar helpers ----------------------------------------------------------
+
+Cfg MakeFiniteAb() {
+  // S -> a | a b : finite language {a, ab}.
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t a = g.AddTerminal("a"), b = g.AddTerminal("b");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::T(a)});
+  g.AddProduction(s, {GSymbol::T(a), GSymbol::T(b)});
+  return g;
+}
+
+Cfg MakeAStar() {
+  // S -> a | S a : infinite regular language a+.
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t a = g.AddTerminal("a");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::T(a)});
+  g.AddProduction(s, {GSymbol::N(s), GSymbol::T(a)});
+  return g;
+}
+
+Cfg MakeAnBn() {
+  // S -> a b | a S b : {a^n b^n}.
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t a = g.AddTerminal("a"), b = g.AddTerminal("b");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::T(a), GSymbol::T(b)});
+  g.AddProduction(s, {GSymbol::T(a), GSymbol::N(s), GSymbol::T(b)});
+  return g;
+}
+
+TEST(CfgTest, ProductiveAndReachable) {
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t dead = g.AddNonterminal("Dead");       // unproductive: Dead -> Dead a
+  uint32_t orphan = g.AddNonterminal("Orphan");   // unreachable
+  uint32_t a = g.AddTerminal("a");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::T(a)});
+  g.AddProduction(dead, {GSymbol::N(dead), GSymbol::T(a)});
+  g.AddProduction(s, {GSymbol::N(dead)});
+  g.AddProduction(orphan, {GSymbol::T(a)});
+  auto productive = g.ProductiveNonterminals();
+  EXPECT_TRUE(productive[s]);
+  EXPECT_FALSE(productive[dead]);
+  EXPECT_TRUE(productive[orphan]);
+  auto reachable = g.ReachableNonterminals();
+  EXPECT_TRUE(reachable[dead]);
+  EXPECT_FALSE(reachable[orphan]);
+  auto useful = g.UsefulNonterminals();
+  EXPECT_TRUE(useful[s]);
+  EXPECT_FALSE(useful[dead]);
+  EXPECT_FALSE(useful[orphan]);
+}
+
+TEST(CfgTest, EmptyLanguageDetection) {
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t a = g.AddTerminal("a");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::N(s), GSymbol::T(a)});  // no base case
+  EXPECT_TRUE(g.IsEmptyLanguage());
+  EXPECT_TRUE(g.IsFiniteLanguage());  // empty is finite
+}
+
+TEST(CfgTest, FinitenessDichotomy) {
+  EXPECT_TRUE(MakeFiniteAb().IsFiniteLanguage());
+  EXPECT_FALSE(MakeAStar().IsFiniteLanguage());
+  EXPECT_FALSE(MakeAnBn().IsFiniteLanguage());
+  EXPECT_FALSE(MakeDyck1Cfg().IsFiniteLanguage());
+}
+
+TEST(CfgTest, FinitenessIgnoresUselessCycles) {
+  // Cycle on an unproductive nonterminal must not count as infinite.
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t d = g.AddNonterminal("D");
+  uint32_t a = g.AddTerminal("a");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::T(a)});
+  g.AddProduction(d, {GSymbol::N(d), GSymbol::T(a)});
+  EXPECT_TRUE(g.IsFiniteLanguage());
+}
+
+TEST(CfgTest, UnitCycleAloneIsFinite) {
+  // S -> A, A -> S, S -> a: derivations cycle through units but |L| = 1.
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t a_nt = g.AddNonterminal("A");
+  uint32_t a = g.AddTerminal("a");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::N(a_nt)});
+  g.AddProduction(a_nt, {GSymbol::N(s)});
+  g.AddProduction(s, {GSymbol::T(a)});
+  EXPECT_TRUE(g.IsFiniteLanguage());
+  EXPECT_TRUE(g.Accepts({a}));
+  EXPECT_FALSE(g.Accepts({a, a}));
+}
+
+TEST(CfgTest, CykRecognition) {
+  Cfg anbn = MakeAnBn();
+  uint32_t a = anbn.terminals().Find("a"), b = anbn.terminals().Find("b");
+  EXPECT_TRUE(anbn.Accepts({a, b}));
+  EXPECT_TRUE(anbn.Accepts({a, a, b, b}));
+  EXPECT_TRUE(anbn.Accepts({a, a, a, b, b, b}));
+  EXPECT_FALSE(anbn.Accepts({a, b, a, b}));
+  EXPECT_FALSE(anbn.Accepts({a}));
+  EXPECT_FALSE(anbn.Accepts({b, a}));
+  EXPECT_FALSE(anbn.Accepts({}));
+}
+
+TEST(CfgTest, DyckRecognition) {
+  Cfg d = MakeDyck1Cfg();
+  uint32_t l = d.terminals().Find("L"), r = d.terminals().Find("R");
+  EXPECT_TRUE(d.Accepts({l, r}));
+  EXPECT_TRUE(d.Accepts({l, l, r, r}));
+  EXPECT_TRUE(d.Accepts({l, r, l, r}));
+  EXPECT_TRUE(d.Accepts({l, l, r, r, l, r}));
+  EXPECT_FALSE(d.Accepts({l, l, r}));
+  EXPECT_FALSE(d.Accepts({r, l}));
+  EXPECT_FALSE(d.Accepts({l}));
+}
+
+TEST(CfgTest, ShortestYields) {
+  Cfg d = MakeDyck1Cfg();
+  auto lens = d.ShortestYieldLengths();
+  EXPECT_EQ(lens[d.start()], 2u);
+  auto w = d.ShortestYield(d.start());
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 2u);
+  EXPECT_TRUE(d.Accepts(*w));
+}
+
+TEST(CfgTest, EnumerateWordsProducesExactlyTheLanguagePrefix) {
+  Cfg anbn = MakeAnBn();
+  auto words = anbn.EnumerateWords(6, 100);
+  // a^n b^n for n = 1, 2, 3.
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0].size(), 2u);
+  EXPECT_EQ(words[1].size(), 4u);
+  EXPECT_EQ(words[2].size(), 6u);
+  for (const auto& w : words) EXPECT_TRUE(anbn.Accepts(w));
+}
+
+TEST(CfgTest, EnumerateWordsDyckCounts) {
+  // Dyck words of length 2k are counted by Catalan numbers: 1, 2, 5.
+  Cfg d = MakeDyck1Cfg();
+  auto words = d.EnumerateWords(6, 1000);
+  size_t len2 = 0, len4 = 0, len6 = 0;
+  for (const auto& w : words) {
+    if (w.size() == 2) ++len2;
+    if (w.size() == 4) ++len4;
+    if (w.size() == 6) ++len6;
+  }
+  EXPECT_EQ(len2, 1u);
+  EXPECT_EQ(len4, 2u);
+  EXPECT_EQ(len6, 5u);
+}
+
+TEST(CfgTest, PumpingFailsOnFiniteLanguage) {
+  EXPECT_FALSE(MakeFiniteAb().FindPumping().ok());
+}
+
+void CheckPumping(const Cfg& g) {
+  Result<CfgPumping> r = g.FindPumping();
+  ASSERT_TRUE(r.ok()) << r.error();
+  const CfgPumping& p = r.value();
+  EXPECT_GE(p.v.size() + p.x.size(), 1u);
+  for (int i = 0; i <= 3; ++i) {
+    std::vector<uint32_t> word = p.u;
+    for (int k = 0; k < i; ++k) word.insert(word.end(), p.v.begin(), p.v.end());
+    word.insert(word.end(), p.w.begin(), p.w.end());
+    for (int k = 0; k < i; ++k) word.insert(word.end(), p.x.begin(), p.x.end());
+    word.insert(word.end(), p.y.begin(), p.y.end());
+    EXPECT_TRUE(g.Accepts(word)) << "pump i=" << i << " rejected";
+  }
+}
+
+TEST(CfgTest, PumpingOnAStar) { CheckPumping(MakeAStar()); }
+TEST(CfgTest, PumpingOnAnBn) { CheckPumping(MakeAnBn()); }
+TEST(CfgTest, PumpingOnDyck) { CheckPumping(MakeDyck1Cfg()); }
+
+TEST(CfgTest, PumpingThroughUnitProductions) {
+  // S -> A, A -> a A b | a b : unit production upstream of the cycle.
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S"), a_nt = g.AddNonterminal("A");
+  uint32_t a = g.AddTerminal("a"), b = g.AddTerminal("b");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::N(a_nt)});
+  g.AddProduction(a_nt, {GSymbol::T(a), GSymbol::N(a_nt), GSymbol::T(b)});
+  g.AddProduction(a_nt, {GSymbol::T(a), GSymbol::T(b)});
+  CheckPumping(g);
+}
+
+TEST(CfgTest, ToStringMentionsProductions) {
+  std::string s = MakeDyck1Cfg().ToString();
+  EXPECT_NE(s.find("S ->"), std::string::npos);
+  EXPECT_NE(s.find("start: S"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,136 @@
+// Tests for the Knuth-style semiring CFL-reachability solver: agreement
+// with the Datalog engine over Boolean/Tropical/Viterbi/Fuzzy on chain
+// programs, and single-settlement behavior.
+#include <gtest/gtest.h>
+
+#include "src/cflr/cflr.h"
+#include "src/datalog/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/lang/chain_datalog.h"
+#include "src/semiring/instances.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kDyckText;
+using testing::kTcText;
+using testing::MustParse;
+
+// Compares CFLR output with the engine for the target nonterminal on every
+// vertex pair. The CFG's terminal order must match the graph's label order.
+template <typename S>
+void CheckAgainstEngine(const Program& program,
+                        const std::vector<std::string>& label_preds,
+                        const StGraph& sg,
+                        const std::vector<typename S::Value>& edge_values) {
+  Result<Cfg> cfg_r = ChainProgramToCfg(program);
+  ASSERT_TRUE(cfg_r.ok());
+  // Align CFG terminal ids with graph labels: terminal id of label_preds[l]
+  // must equal l. ChainProgramToCfg interns in predicate order, which for
+  // the corpus programs matches first-appearance order; verify.
+  const Cfg& cfg = cfg_r.value();
+  for (uint32_t l = 0; l < label_preds.size(); ++l) {
+    ASSERT_EQ(cfg.terminals().Find(label_preds[l]), l)
+        << "terminal order mismatch for " << label_preds[l];
+  }
+  GraphDatabase gdb = GraphToDatabase(program, sg.graph, label_preds);
+  GroundedProgram g = Ground(program, gdb.db);
+  std::vector<typename S::Value> edb(gdb.db.num_facts(), S::Zero());
+  for (uint32_t i = 0; i < sg.graph.num_edges(); ++i) {
+    edb[gdb.edge_vars[i]] = S::Plus(edb[gdb.edge_vars[i]], edge_values[i]);
+  }
+  auto engine = NaiveEvaluate<S>(g, edb);
+  ASSERT_TRUE(engine.converged);
+
+  Cfg cnf = cfg.ToCnf();
+  uint32_t start_nt = cnf.start();
+  auto solved = SolveCflReachability<S>(cnf, sg.graph, edge_values);
+  for (uint32_t u = 0; u < sg.graph.num_vertices(); ++u) {
+    for (uint32_t v = 0; v < sg.graph.num_vertices(); ++v) {
+      uint32_t fact = g.FindIdbFact(
+          program.target_pred, {VertexConst(gdb.db, u), VertexConst(gdb.db, v)});
+      typename S::Value expected =
+          fact == GroundedProgram::kNotFound ? S::Zero() : engine.values[fact];
+      auto it = solved.find(CflrKey(start_nt, u, v));
+      typename S::Value got = it == solved.end() ? S::Zero() : it->second;
+      EXPECT_TRUE(S::Eq(got, expected))
+          << "pair v" << u << "->v" << v << ": got " << S::ToString(got)
+          << " expected " << S::ToString(expected);
+    }
+  }
+}
+
+TEST(CflrTest, TcOverTropicalMatchesEngine) {
+  Program tc = MustParse(kTcText);
+  Rng rng(131);
+  for (int trial = 0; trial < 5; ++trial) {
+    StGraph sg = RandomGraph(10, 25, 1, rng);
+    std::vector<uint64_t> w = RandomWeights(sg.graph, 30, rng);
+    CheckAgainstEngine<TropicalSemiring>(tc, {"E"}, sg, w);
+  }
+}
+
+TEST(CflrTest, TcOverBooleanMatchesEngine) {
+  Program tc = MustParse(kTcText);
+  Rng rng(132);
+  StGraph sg = RandomGraph(12, 30, 1, rng);
+  std::vector<bool> ones(sg.graph.num_edges(), true);
+  CheckAgainstEngine<BooleanSemiring>(tc, {"E"}, sg, ones);
+}
+
+TEST(CflrTest, DyckOverTropicalMatchesEngine) {
+  Program dyck = MustParse(kDyckText);
+  Rng rng(133);
+  for (int trial = 0; trial < 4; ++trial) {
+    StGraph sg = RandomGraph(8, 20, 2, rng);
+    std::vector<uint64_t> w = RandomWeights(sg.graph, 9, rng);
+    CheckAgainstEngine<TropicalSemiring>(dyck, {"L", "R"}, sg, w);
+  }
+}
+
+TEST(CflrTest, DyckOverViterbiMatchesEngine) {
+  Program dyck = MustParse(kDyckText);
+  Rng rng(134);
+  StGraph sg = WordPath({0, 0, 1, 1, 0, 1}, 2);
+  std::vector<double> w;
+  for (size_t i = 0; i < sg.graph.num_edges(); ++i) {
+    w.push_back(ViterbiSemiring::RandomValue(rng) + 0.01);
+  }
+  CheckAgainstEngine<ViterbiSemiring>(dyck, {"L", "R"}, sg, w);
+}
+
+TEST(CflrTest, DyckOverFuzzyMatchesEngine) {
+  Program dyck = MustParse(kDyckText);
+  Rng rng(135);
+  StGraph sg = RandomGraph(7, 16, 2, rng);
+  std::vector<double> w;
+  for (size_t i = 0; i < sg.graph.num_edges(); ++i) {
+    w.push_back(FuzzySemiring::RandomValue(rng));
+  }
+  CheckAgainstEngine<FuzzySemiring>(dyck, {"L", "R"}, sg, w);
+}
+
+TEST(CflrTest, ZeroEdgesAreIgnored) {
+  Program tc = MustParse(kTcText);
+  StGraph sg = PathGraph(3);
+  std::vector<uint64_t> w = {5, TropicalSemiring::kInf, 7};  // middle edge absent
+  Cfg cnf = ChainProgramToCfg(tc).value().ToCnf();
+  auto solved = SolveCflReachability<TropicalSemiring>(cnf, sg.graph, w);
+  EXPECT_TRUE(solved.count(CflrKey(cnf.start(), 0, 1)));
+  EXPECT_FALSE(solved.count(CflrKey(cnf.start(), 0, 3)));
+}
+
+TEST(CflrTest, PathShortestDistances) {
+  Program tc = MustParse(kTcText);
+  StGraph sg = PathGraph(5);
+  std::vector<uint64_t> w = {1, 2, 3, 4, 5};
+  Cfg cnf = ChainProgramToCfg(tc).value().ToCnf();
+  auto solved = SolveCflReachability<TropicalSemiring>(cnf, sg.graph, w);
+  EXPECT_EQ(solved.at(CflrKey(cnf.start(), 0, 5)), 15u);
+  EXPECT_EQ(solved.at(CflrKey(cnf.start(), 1, 3)), 5u);
+}
+
+}  // namespace
+}  // namespace dlcirc

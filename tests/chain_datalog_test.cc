@@ -1,0 +1,164 @@
+// Tests for the Proposition 5.2 bridge: chain Datalog <-> CFG round trips,
+// left-linear detection, NFA construction for RPQs, and the semantic
+// equivalence "CFG accepts label word w  <=>  chain program derives T(s,t)
+// on the w-labeled path".
+#include <gtest/gtest.h>
+
+#include "src/datalog/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/lang/chain_datalog.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kAbStarText;
+using testing::kDyckText;
+using testing::kFiniteChainText;
+using testing::kReachText;
+using testing::kTcText;
+using testing::MustParse;
+
+TEST(ChainToCfgTest, TcBecomesEStarGrammar) {
+  Program tc = MustParse(kTcText);
+  Result<Cfg> cfg = ChainProgramToCfg(tc);
+  ASSERT_TRUE(cfg.ok()) << cfg.error();
+  EXPECT_EQ(cfg.value().num_nonterminals(), 1u);
+  EXPECT_EQ(cfg.value().num_terminals(), 1u);
+  EXPECT_FALSE(cfg.value().IsFiniteLanguage());
+}
+
+TEST(ChainToCfgTest, RejectsNonChainPrograms) {
+  EXPECT_FALSE(ChainProgramToCfg(MustParse(kReachText)).ok());
+}
+
+TEST(ChainToCfgTest, FiniteChainDetected) {
+  Result<Cfg> cfg = ChainProgramToCfg(MustParse(kFiniteChainText));
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg.value().IsFiniteLanguage());
+}
+
+TEST(ChainToCfgTest, DyckGrammarRoundTrip) {
+  Program dyck = MustParse(kDyckText);
+  Result<Cfg> cfg_r = ChainProgramToCfg(dyck);
+  ASSERT_TRUE(cfg_r.ok());
+  const Cfg& cfg = cfg_r.value();
+  EXPECT_EQ(cfg.num_terminals(), 2u);
+  EXPECT_FALSE(cfg.IsFiniteLanguage());
+  // Round trip back to a program.
+  Program p2 = CfgToChainProgram(cfg);
+  Result<Cfg> cfg2 = ChainProgramToCfg(p2);
+  ASSERT_TRUE(cfg2.ok());
+  // Same word acceptance up to length 6.
+  auto words1 = cfg.EnumerateWords(6, 100);
+  auto words2 = cfg2.value().EnumerateWords(6, 100);
+  EXPECT_EQ(words1, words2);
+}
+
+// The semantic heart of Prop 5.2: for every word w up to length k,
+//   CFG accepts w  <=>  program derives T(path_start, path_end) on the
+//   w-labeled path instance.
+void CheckWordPathEquivalence(const Program& program, const Cfg& cfg,
+                              const std::vector<std::string>& label_preds,
+                              uint32_t max_len) {
+  uint32_t nl = static_cast<uint32_t>(label_preds.size());
+  std::vector<std::vector<uint32_t>> words = {{}};
+  for (uint32_t len = 1; len <= max_len; ++len) {
+    std::vector<std::vector<uint32_t>> next;
+    for (const auto& w : words) {
+      if (w.size() != len - 1) continue;
+      for (uint32_t l = 0; l < nl; ++l) {
+        auto w2 = w;
+        w2.push_back(l);
+        next.push_back(w2);
+      }
+    }
+    for (const auto& w : next) {
+      StGraph sg = WordPath(w, nl);
+      GraphDatabase gdb = GraphToDatabase(program, sg.graph, label_preds);
+      GroundedProgram g = Ground(program, gdb.db);
+      uint32_t fact = g.FindIdbFact(
+          program.target_pred,
+          {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+      bool derived = fact != GroundedProgram::kNotFound;
+      EXPECT_EQ(derived, cfg.Accepts(w)) << "word length " << w.size();
+    }
+    words.insert(words.end(), next.begin(), next.end());
+  }
+}
+
+TEST(ChainToCfgTest, DyckWordPathEquivalence) {
+  Program dyck = MustParse(kDyckText);
+  Result<Cfg> cfg = ChainProgramToCfg(dyck);
+  ASSERT_TRUE(cfg.ok());
+  CheckWordPathEquivalence(dyck, cfg.value(), {"L", "R"}, 6);
+}
+
+TEST(ChainToCfgTest, AbStarWordPathEquivalence) {
+  Program p = MustParse(kAbStarText);
+  Result<Cfg> cfg = ChainProgramToCfg(p);
+  ASSERT_TRUE(cfg.ok());
+  CheckWordPathEquivalence(p, cfg.value(), {"A", "B"}, 5);
+}
+
+TEST(LeftLinearTest, Detection) {
+  EXPECT_TRUE(IsLeftLinearChain(MustParse(kTcText)));
+  EXPECT_TRUE(IsLeftLinearChain(MustParse(kAbStarText)));
+  EXPECT_TRUE(IsLeftLinearChain(MustParse(kFiniteChainText)));
+  EXPECT_FALSE(IsLeftLinearChain(MustParse(kDyckText)));  // nonlinear
+  // Right-linear: IDB not leftmost.
+  EXPECT_FALSE(IsLeftLinearChain(
+      MustParse("T(X,Y) :- E(X,Y).\nT(X,Y) :- E(X,Z), T(Z,Y).")));
+}
+
+TEST(LeftLinearToNfaTest, AbStarNfaMatchesLanguage) {
+  Program p = MustParse(kAbStarText);
+  Result<ChainNfa> r = LeftLinearChainToNfa(p);
+  ASSERT_TRUE(r.ok()) << r.error();
+  Dfa d = Dfa::Determinize(r.value().nfa);
+  // Language is a b(+ else?): T := A | T B  => a b*.
+  ASSERT_EQ(r.value().label_preds.size(), 2u);
+  uint32_t a = 0, b = 1;
+  if (r.value().label_preds[0] == "B") std::swap(a, b);
+  EXPECT_TRUE(d.Accepts({a}));
+  EXPECT_TRUE(d.Accepts({a, b, b}));
+  EXPECT_FALSE(d.Accepts({b}));
+  EXPECT_FALSE(d.Accepts({a, a}));
+  EXPECT_FALSE(d.IsFiniteLanguage());
+}
+
+TEST(LeftLinearToNfaTest, TcNfaIsEPlus) {
+  Program tc = MustParse(kTcText);
+  Result<ChainNfa> r = LeftLinearChainToNfa(tc);
+  ASSERT_TRUE(r.ok());
+  Dfa d = Dfa::Determinize(r.value().nfa);
+  EXPECT_TRUE(d.Accepts({0}));
+  EXPECT_TRUE(d.Accepts({0, 0, 0}));
+  EXPECT_FALSE(d.Accepts({}));
+}
+
+TEST(LeftLinearToNfaTest, MultiTerminalBodiesThread) {
+  // T(X,Y) :- A(X,Y). T(X,Y) :- T(X,Z), B(Z,W), C(W,Y). Language: a (bc)*.
+  Program p = MustParse(
+      "@target T.\nT(X,Y) :- A(X,Y).\nT(X,Y) :- T(X,Z), B(Z,W), C(W,Y).");
+  Result<ChainNfa> r = LeftLinearChainToNfa(p);
+  ASSERT_TRUE(r.ok()) << r.error();
+  Dfa d = Dfa::Determinize(r.value().nfa);
+  // label order: A, B, C by first appearance.
+  EXPECT_TRUE(d.Accepts({0}));
+  EXPECT_TRUE(d.Accepts({0, 1, 2}));
+  EXPECT_TRUE(d.Accepts({0, 1, 2, 1, 2}));
+  EXPECT_FALSE(d.Accepts({0, 1}));
+  EXPECT_FALSE(d.Accepts({0, 2, 1}));
+}
+
+TEST(CfgToChainProgramTest, ProducesValidChainProgram) {
+  Program p = CfgToChainProgram(MakeDyck1Cfg());
+  ProgramAnalysis a = Analyze(p);
+  EXPECT_TRUE(a.is_basic_chain);
+  EXPECT_EQ(p.preds.Name(p.target_pred), "S");
+}
+
+}  // namespace
+}  // namespace dlcirc

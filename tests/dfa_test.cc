@@ -1,0 +1,166 @@
+// DFA/NFA tests: determinization, minimization, finiteness, longest word,
+// pumping triples (Theorem 5.9), word enumeration, and the graph x DFA
+// product construction.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/lang/dfa.h"
+
+namespace dlcirc {
+namespace {
+
+// NFA for a b* over labels {0=a, 1=b}.
+Nfa MakeAbStarNfa() {
+  Nfa n;
+  n.num_states = 2;
+  n.num_labels = 2;
+  n.start = 0;
+  n.accept = {false, true};
+  n.transitions = {{0, 0, 1}, {1, 1, 1}};
+  return n;
+}
+
+// NFA for the finite language {a, ab}.
+Nfa MakeFiniteNfa() {
+  Nfa n;
+  n.num_states = 3;
+  n.num_labels = 2;
+  n.start = 0;
+  n.accept = {false, true, true};
+  n.transitions = {{0, 0, 1}, {1, 1, 2}};
+  return n;
+}
+
+// Nondeterministic: (a|b)* a (a|b) — needs subset construction.
+Nfa MakeSecondToLastA() {
+  Nfa n;
+  n.num_states = 3;
+  n.num_labels = 2;
+  n.start = 0;
+  n.accept = {false, false, true};
+  n.transitions = {{0, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 0, 2}, {1, 1, 2}};
+  return n;
+}
+
+TEST(DfaTest, DeterminizeAcceptsSameLanguage) {
+  Dfa d = Dfa::Determinize(MakeSecondToLastA());
+  // Brute force all words up to length 6.
+  for (uint32_t len = 0; len <= 6; ++len) {
+    for (uint32_t bits = 0; bits < (1u << len); ++bits) {
+      std::vector<uint32_t> w;
+      for (uint32_t i = 0; i < len; ++i) w.push_back((bits >> i) & 1);
+      bool expected = len >= 2 && w[len - 2] == 0;
+      EXPECT_EQ(d.Accepts(w), expected);
+    }
+  }
+}
+
+TEST(DfaTest, DeterminizeIsDeterministicAndComplete) {
+  Dfa d = Dfa::Determinize(MakeAbStarNfa());
+  EXPECT_TRUE(d.Accepts({0}));
+  EXPECT_TRUE(d.Accepts({0, 1, 1, 1}));
+  EXPECT_FALSE(d.Accepts({1}));
+  EXPECT_FALSE(d.Accepts({0, 0}));
+  EXPECT_FALSE(d.Accepts({}));
+}
+
+TEST(DfaTest, MinimizePreservesLanguageAndShrinks) {
+  Dfa d = Dfa::Determinize(MakeSecondToLastA());
+  Dfa m = d.Minimize();
+  EXPECT_LE(m.num_states(), d.num_states());
+  EXPECT_EQ(m.num_states(), 4u);  // known minimal DFA size for this language
+  for (uint32_t len = 0; len <= 6; ++len) {
+    for (uint32_t bits = 0; bits < (1u << len); ++bits) {
+      std::vector<uint32_t> w;
+      for (uint32_t i = 0; i < len; ++i) w.push_back((bits >> i) & 1);
+      EXPECT_EQ(m.Accepts(w), d.Accepts(w));
+    }
+  }
+}
+
+TEST(DfaTest, MinimizeEmptyLanguage) {
+  Nfa n;
+  n.num_states = 1;
+  n.num_labels = 1;
+  n.start = 0;
+  n.accept = {false};
+  Dfa d = Dfa::Determinize(n).Minimize();
+  EXPECT_TRUE(d.IsEmptyLanguage());
+  EXPECT_EQ(d.num_states(), 1u);
+}
+
+TEST(DfaTest, FinitenessDichotomy) {
+  EXPECT_FALSE(Dfa::Determinize(MakeAbStarNfa()).IsFiniteLanguage());
+  EXPECT_TRUE(Dfa::Determinize(MakeFiniteNfa()).IsFiniteLanguage());
+}
+
+TEST(DfaTest, FinitenessIgnoresUselessCycles) {
+  // State 2 has a self-loop but is not co-reachable.
+  Dfa d(3, 1, 0, {false, true, false},
+        {{1}, {2}, {2}});
+  // 0 -a-> 1 (accept) -a-> 2 -a-> 2 (dead-ish loop).
+  EXPECT_TRUE(d.IsFiniteLanguage());
+  EXPECT_EQ(d.LongestAcceptedWordLength(), 1u);
+}
+
+TEST(DfaTest, LongestAcceptedWord) {
+  Dfa d = Dfa::Determinize(MakeFiniteNfa());
+  EXPECT_EQ(d.LongestAcceptedWordLength(), 2u);
+}
+
+TEST(DfaTest, PumpingTripleOnInfiniteLanguage) {
+  Dfa d = Dfa::Determinize(MakeAbStarNfa());
+  Result<DfaPumping> r = d.FindPumping();
+  ASSERT_TRUE(r.ok()) << r.error();
+  const DfaPumping& p = r.value();
+  EXPECT_GE(p.y.size(), 1u);
+  for (int i = 0; i <= 4; ++i) {
+    std::vector<uint32_t> w = p.x;
+    for (int k = 0; k < i; ++k) w.insert(w.end(), p.y.begin(), p.y.end());
+    w.insert(w.end(), p.z.begin(), p.z.end());
+    EXPECT_TRUE(d.Accepts(w)) << "pump i=" << i;
+  }
+}
+
+TEST(DfaTest, PumpingFailsOnFiniteLanguage) {
+  EXPECT_FALSE(Dfa::Determinize(MakeFiniteNfa()).FindPumping().ok());
+}
+
+TEST(DfaTest, EnumerateWords) {
+  Dfa d = Dfa::Determinize(MakeAbStarNfa());
+  auto words = d.EnumerateWords(3, 100);
+  // a, ab, abb.
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(words[1], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(words[2], (std::vector<uint32_t>{0, 1, 1}));
+}
+
+TEST(ProductTest, ProductTracksWordPathsJointly) {
+  // Graph: path with labels a b b; language a b*: all prefixes from v0 match.
+  StGraph sg = WordPath({0, 1, 1}, 2);
+  Dfa d = Dfa::Determinize(MakeAbStarNfa());
+  GraphDfaProduct prod = BuildGraphDfaProduct(sg.graph, d);
+  EXPECT_EQ(prod.edge_origin.size(), prod.graph.num_edges());
+  // Each product edge must originate from a graph edge with a live DFA move.
+  for (uint32_t pe = 0; pe < prod.graph.num_edges(); ++pe) {
+    uint32_t origin = prod.edge_origin[pe];
+    EXPECT_LT(origin, sg.graph.num_edges());
+  }
+  // Reachability in the product from (v0, start) to (v3, accepting state)
+  // mirrors language acceptance of the full word a b b.
+  EXPECT_TRUE(d.Accepts({0, 1, 1}));
+}
+
+TEST(ProductTest, ProductSizeBound) {
+  // |product edges| <= |G edges| * |DFA states| (Theorem 5.9's O(m) claim
+  // for a fixed language).
+  Rng rng(9);
+  StGraph sg = RandomGraph(20, 60, 2, rng);
+  Dfa d = Dfa::Determinize(MakeAbStarNfa());
+  GraphDfaProduct prod = BuildGraphDfaProduct(sg.graph, d);
+  EXPECT_LE(prod.graph.num_edges(), sg.graph.num_edges() * d.num_states());
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,252 @@
+// Engine tests: grounding + naive/semi-naive fixpoints over many semirings,
+// including the paper's Example 2.3 provenance polynomial computed over
+// Sorp(X), iteration-count behavior (boundedness, Definition 4.1), and
+// non-convergence over non-stable semirings.
+#include <gtest/gtest.h>
+
+#include "src/datalog/engine.h"
+#include "src/datalog/grounding.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kBoundedText;
+using testing::kDyckText;
+using testing::kTcText;
+using testing::MakeFig1;
+using testing::MustParse;
+
+TEST(GroundingTest, Fig1DerivesAllReachablePairs) {
+  Program tc = MustParse(kTcText);
+  testing::Fig1 f = MakeFig1(tc);
+  GroundedProgram g = Ground(tc, f.db);
+  // Reachable pairs: s->{u1,u2,v1,v2,t}, u1->{v1,v2,t}, u2->{v2,t},
+  // v1->{t}, v2->{t} = 5+3+2+1+1 = 12 T-facts.
+  EXPECT_EQ(g.num_idb_facts(), 12u);
+  EXPECT_EQ(g.target_facts().size(), 12u);
+  EXPECT_NE(g.FindIdbFact(tc.preds.Find("T"), {f.c_s, f.c_t}), GroundedProgram::kNotFound);
+  EXPECT_EQ(g.num_edb_vars(), 7u);
+  EXPECT_GT(g.TotalSize(), 12u);
+}
+
+TEST(GroundingTest, RulesOfHeadIndexIsConsistent) {
+  Program tc = MustParse(kTcText);
+  testing::Fig1 f = MakeFig1(tc);
+  GroundedProgram g = Ground(tc, f.db);
+  size_t total = 0;
+  for (uint32_t fact = 0; fact < g.num_idb_facts(); ++fact) {
+    for (uint32_t rid : g.RulesOfHead(fact)) {
+      EXPECT_EQ(g.rules()[rid].head, fact);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, g.rules().size());
+}
+
+TEST(EngineTest, Example23ProvenancePolynomial) {
+  // The paper's Example 2.3: p(T(s,t)) = x_{s,u1}x_{u1,v1}x_{v1,t}
+  //   + x_{s,u1}x_{u1,v2}x_{v2,t} + x_{s,u2}x_{u2,v2}x_{v2,t}.
+  Program tc = MustParse(kTcText);
+  testing::Fig1 f = MakeFig1(tc);
+  GroundedProgram g = Ground(tc, f.db);
+  auto result = NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(7));
+  ASSERT_TRUE(result.converged);
+  uint32_t fact = g.FindIdbFact(tc.preds.Find("T"), {f.c_s, f.c_t});
+  Poly expected = AbsorbReduce({{f.x_s_u1, f.x_u1_v1, f.x_v1_t},
+                                {f.x_s_u1, f.x_u1_v2, f.x_v2_t},
+                                {f.x_s_u2, f.x_u2_v2, f.x_v2_t}});
+  EXPECT_EQ(result.values[fact], expected)
+      << "got " << result.values[fact].ToString();
+}
+
+TEST(EngineTest, BooleanMatchesReachabilityOnRandomGraphs) {
+  Program tc = MustParse(kTcText);
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    StGraph sg = RandomGraph(12, 30, 1, rng);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    GroundedProgram g = Ground(tc, gdb.db);
+    std::vector<bool> edb(gdb.db.num_facts(), true);
+    auto result = NaiveEvaluate<BooleanSemiring>(g, edb);
+    ASSERT_TRUE(result.converged);
+    // Compare against BFS for every pair (u,v), u reaching v via >= 1 edge.
+    for (uint32_t u = 0; u < sg.graph.num_vertices(); ++u) {
+      std::vector<bool> reach = Reachable(sg.graph, u);
+      for (uint32_t v = 0; v < sg.graph.num_vertices(); ++v) {
+        uint32_t fact = g.FindIdbFact(
+            tc.preds.Find("T"), {VertexConst(gdb.db, u), VertexConst(gdb.db, v)});
+        bool derived = fact != GroundedProgram::kNotFound && result.values[fact];
+        bool expected = reach[v] && (u != v || [&] {
+                          // self-reachability needs a cycle through u
+                          for (const auto& e : sg.graph.edges()) {
+                            if (e.dst == u && Reachable(sg.graph, u)[e.src]) return true;
+                          }
+                          return false;
+                        }());
+        EXPECT_EQ(derived, expected) << "pair v" << u << " v" << v;
+      }
+    }
+  }
+}
+
+TEST(EngineTest, TropicalMatchesBellmanFord) {
+  Program tc = MustParse(kTcText);
+  Rng rng(32);
+  for (int trial = 0; trial < 10; ++trial) {
+    StGraph sg = RandomGraph(15, 45, 1, rng);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    std::vector<uint64_t> weights = RandomWeights(sg.graph, 50, rng);
+    GroundedProgram g = Ground(tc, gdb.db);
+    // edb values: weight per edge fact (parallel edges deduped by AddFact ->
+    // min would be needed; RandomGraph never emits duplicates).
+    std::vector<uint64_t> edb(gdb.db.num_facts(), TropicalSemiring::kInf);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      edb[gdb.edge_vars[i]] = std::min(edb[gdb.edge_vars[i]], weights[i]);
+    }
+    auto result = NaiveEvaluate<TropicalSemiring>(g, edb);
+    ASSERT_TRUE(result.converged);
+    std::vector<uint64_t> dist = BellmanFordDistances(sg.graph, weights, sg.s);
+    for (uint32_t v = 1; v < sg.graph.num_vertices(); ++v) {
+      uint32_t fact = g.FindIdbFact(
+          tc.preds.Find("T"), {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, v)});
+      uint64_t got = fact == GroundedProgram::kNotFound ? TropicalSemiring::kInf
+                                                        : result.values[fact];
+      EXPECT_EQ(got, dist[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(EngineTest, SemiNaiveAgreesWithNaive) {
+  Program tc = MustParse(kTcText);
+  Rng rng(33);
+  for (int trial = 0; trial < 8; ++trial) {
+    StGraph sg = RandomGraph(12, 28, 1, rng);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    std::vector<uint64_t> weights = RandomWeights(sg.graph, 20, rng);
+    GroundedProgram g = Ground(tc, gdb.db);
+    std::vector<uint64_t> edb(gdb.db.num_facts());
+    for (size_t i = 0; i < weights.size(); ++i) edb[gdb.edge_vars[i]] = weights[i];
+    auto naive = NaiveEvaluate<TropicalSemiring>(g, edb);
+    auto semi = SemiNaiveEvaluate<TropicalSemiring>(g, edb);
+    ASSERT_TRUE(naive.converged);
+    ASSERT_TRUE(semi.converged);
+    EXPECT_EQ(naive.values, semi.values);
+    EXPECT_EQ(naive.iterations, semi.iterations);
+  }
+}
+
+TEST(EngineTest, CyclicGraphConvergesByAbsorption) {
+  Program tc = MustParse(kTcText);
+  StGraph sg = CycleWithTails(4);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  auto result =
+      NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(gdb.db.num_facts()));
+  EXPECT_TRUE(result.converged);
+  uint32_t fact = g.FindIdbFact(
+      tc.preds.Find("T"), {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+  ASSERT_NE(fact, GroundedProgram::kNotFound);
+  // Exactly one simple path: s -> c1 -> c2 -> c3 -> c4 -> t (5 edges).
+  EXPECT_EQ(result.values[fact].NumMonomials(), 1u);
+  EXPECT_EQ(result.values[fact].monomials[0].size(), 5u);
+}
+
+TEST(EngineTest, CountingDivergesOnCycle) {
+  // Over the counting semiring the infinite walk sum is undefined: naive
+  // evaluation must report non-convergence instead of silently stopping.
+  Program tc = MustParse(kTcText);
+  StGraph sg = CycleWithTails(3);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  std::vector<uint64_t> edb(gdb.db.num_facts(), 1);
+  auto result = NaiveEvaluate<CountingSemiring>(g, edb, 50);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(EngineTest, IterationCountGrowsWithPathLengthForTc) {
+  // TC is unbounded: iterations to fixpoint grow with the instance.
+  Program tc = MustParse(kTcText);
+  uint32_t prev = 0;
+  for (uint32_t n : {4u, 8u, 16u}) {
+    StGraph sg = PathGraph(n);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    GroundedProgram g = Ground(tc, gdb.db);
+    std::vector<bool> edb(gdb.db.num_facts(), true);
+    auto result = NaiveEvaluate<BooleanSemiring>(g, edb);
+    ASSERT_TRUE(result.converged);
+    EXPECT_GT(result.iterations, prev);
+    prev = result.iterations;
+  }
+}
+
+TEST(EngineTest, BoundedProgramIterationCountIsFlat) {
+  // Example 4.2 is bounded: fixpoint in O(1) iterations on any input.
+  Program p = MustParse(kBoundedText);
+  uint32_t a_pred = p.preds.Find("A"), e_pred = p.preds.Find("E");
+  uint32_t max_iters = 0;
+  Rng rng(44);
+  for (uint32_t n : {4u, 8u, 16u, 32u}) {
+    Database db(p);
+    std::vector<uint32_t> c;
+    for (uint32_t i = 0; i < n; ++i) c.push_back(db.InternConst("c" + std::to_string(i)));
+    for (uint32_t i = 0; i + 1 < n; ++i) db.AddFact(e_pred, {c[i], c[i + 1]});
+    for (uint32_t i = 0; i < n; i += 3) db.AddFact(a_pred, {c[i]});
+    GroundedProgram g = Ground(p, db);
+    std::vector<bool> edb(db.num_facts(), true);
+    auto result = NaiveEvaluate<BooleanSemiring>(g, edb);
+    ASSERT_TRUE(result.converged);
+    max_iters = std::max(max_iters, result.iterations);
+  }
+  EXPECT_LE(max_iters, 3u);
+}
+
+TEST(EngineTest, DyckOnBalancedWordPath) {
+  // Word ( ( ) ) ( ) : S(v0,v6) must hold with the unique parse monomial.
+  Program dyck = MustParse(kDyckText);
+  StGraph sg = WordPath({0, 0, 1, 1, 0, 1}, 2);  // 0=L, 1=R
+  GraphDatabase gdb = GraphToDatabase(dyck, sg.graph, {"L", "R"});
+  GroundedProgram g = Ground(dyck, gdb.db);
+  auto result =
+      NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(gdb.db.num_facts()));
+  ASSERT_TRUE(result.converged);
+  uint32_t fact = g.FindIdbFact(
+      dyck.preds.Find("S"), {VertexConst(gdb.db, 0), VertexConst(gdb.db, 6)});
+  ASSERT_NE(fact, GroundedProgram::kNotFound);
+  // All 6 edges used exactly once.
+  ASSERT_EQ(result.values[fact].NumMonomials(), 1u);
+  EXPECT_EQ(result.values[fact].monomials[0].size(), 6u);
+  // Unbalanced prefix (v0, v3) is NOT derivable: ( ( ) is not Dyck.
+  EXPECT_EQ(g.FindIdbFact(dyck.preds.Find("S"),
+                          {VertexConst(gdb.db, 0), VertexConst(gdb.db, 3)}),
+            GroundedProgram::kNotFound);
+}
+
+TEST(EngineTest, ViterbiAndFuzzyAgreeWithSorpEvaluation) {
+  // Evaluating the Sorp polynomial under an assignment must equal direct
+  // fixpoint evaluation under the same assignment (homomorphism property,
+  // the formal basis of "one symbolic run certifies all semirings").
+  Program tc = MustParse(kTcText);
+  testing::Fig1 f = MakeFig1(tc);
+  GroundedProgram g = Ground(tc, f.db);
+  auto sorp = NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(7));
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> assign(7);
+    for (auto& v : assign) v = ViterbiSemiring::RandomValue(rng);
+    auto direct = NaiveEvaluate<ViterbiSemiring>(g, assign);
+    ASSERT_TRUE(direct.converged);
+    for (uint32_t fact = 0; fact < g.num_idb_facts(); ++fact) {
+      EXPECT_EQ(EvalPoly<ViterbiSemiring>(sorp.values[fact], assign),
+                direct.values[fact]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,122 @@
+// Tests for formulas: tree invariants, metrics, evaluation, the
+// circuit->formula expansion of Proposition 3.3 (explicit expansion must
+// match the DP-predicted size), and the formula->circuit embedding.
+#include <gtest/gtest.h>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/formula.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+
+namespace dlcirc {
+namespace {
+
+TEST(FormulaBuilderTest, FoldsConstants) {
+  FormulaBuilder fb(2);
+  uint32_t x = fb.Input(0);
+  EXPECT_EQ(fb.Plus(fb.Zero(), x), x);
+  EXPECT_EQ(fb.Times(fb.One(), x), x);
+  uint32_t z = fb.Times(fb.Zero(), x);
+  EXPECT_EQ(fb.KindOf(z), GateKind::kZero);
+}
+
+TEST(FormulaTest, MetricsOnSmallTree) {
+  FormulaBuilder fb(3);
+  uint32_t r = fb.Plus(fb.Times(fb.Input(0), fb.Input(1)), fb.Input(2));
+  Formula f = fb.Build(r);
+  EXPECT_EQ(f.Size(), 5u);
+  EXPECT_EQ(f.Depth(), 2u);
+  EXPECT_EQ(f.NumLeaves(), 3u);
+  EXPECT_TRUE(f.IsTree());
+}
+
+TEST(FormulaTest, EvaluateMatchesDirectComputation) {
+  FormulaBuilder fb(3);
+  uint32_t r = fb.Plus(fb.Times(fb.Input(0), fb.Input(1)), fb.Input(2));
+  Formula f = fb.Build(r);
+  EXPECT_EQ(f.Evaluate<CountingSemiring>({2, 3, 4}), 10u);
+  EXPECT_EQ(f.Evaluate<TropicalSemiring>({2, 3, 4}), 4u);
+}
+
+TEST(FormulaTest, RandomFormulaIsTreeAndSizedSanely) {
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    Formula f = RandomFormula(rng, 5, 100);
+    EXPECT_TRUE(f.IsTree());
+    EXPECT_GE(f.Size(), 1u);
+    EXPECT_LE(f.Size(), 200u);
+  }
+}
+
+TEST(CircuitToFormulaTest, ExpandsSharedGates) {
+  CircuitBuilder b(2);
+  GateId g = b.Plus(b.Input(0), b.Input(1));
+  Circuit c = b.Build({b.Times(g, g)});
+  Result<Formula> f = CircuitToFormula(c, 0, 1000);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().Size(), 7u);
+  EXPECT_EQ(f.value().Size(), c.FormulaSizes()[0].exact());
+  // Same function: (x0+x1)^2 over Counting with x0=2,x1=3 -> 25.
+  EXPECT_EQ(f.value().Evaluate<CountingSemiring>({2, 3}), 25u);
+  EXPECT_EQ(c.EvaluateOutput<CountingSemiring>({2, 3}), 25u);
+}
+
+TEST(CircuitToFormulaTest, RespectsSizeCap) {
+  CircuitBuilder b(1);
+  GateId g = b.Input(0);
+  for (int i = 0; i < 30; ++i) g = b.Times(g, g);
+  Circuit c = b.Build({g});
+  Result<Formula> f = CircuitToFormula(c, 0, 1 << 20);
+  ASSERT_FALSE(f.ok());
+  EXPECT_NE(f.error().find("cap"), std::string::npos);
+}
+
+TEST(CircuitToFormulaTest, PredictedSizeMatchesExplicitOnRandomDags) {
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Random DAG: layer of inputs then random binary ops with reuse.
+    CircuitBuilder b(4);
+    std::vector<GateId> pool;
+    for (uint32_t v = 0; v < 4; ++v) pool.push_back(b.Input(v));
+    for (int i = 0; i < 12; ++i) {
+      GateId x = pool[rng.NextBounded(pool.size())];
+      GateId y = pool[rng.NextBounded(pool.size())];
+      pool.push_back(rng.NextBool(0.5) ? b.Plus(x, y) : b.Times(x, y));
+    }
+    Circuit c = b.Build({pool.back()});
+    BigCount predicted = c.FormulaSizes()[0];
+    if (predicted.saturated() || predicted.exact() > 100000) continue;
+    Result<Formula> f = CircuitToFormula(c, 0, 100000);
+    ASSERT_TRUE(f.ok());
+    // Explicit expansion may be SMALLER due to constant folding, never larger.
+    EXPECT_LE(f.value().Size(), predicted.exact());
+    // With no constants in the pool, sizes must match exactly.
+    EXPECT_EQ(f.value().Size(), predicted.exact());
+  }
+}
+
+TEST(FormulaToCircuitTest, RoundTripPreservesSemantics) {
+  Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    Formula f = RandomFormula(rng, 5, 80);
+    Circuit c = FormulaToCircuit(f, {});
+    std::vector<uint64_t> assign(5);
+    for (auto& v : assign) v = rng.NextBounded(20);
+    EXPECT_EQ(f.Evaluate<CountingSemiring>(assign),
+              c.EvaluateOutput<CountingSemiring>(assign));
+    // Dedup can only shrink.
+    EXPECT_LE(c.Size(), f.Size());
+  }
+}
+
+TEST(FormulaTest, IsTreeDetectsSharing) {
+  std::vector<Formula::Node> nodes = {
+      {GateKind::kInput, 0, 0},
+      {GateKind::kPlus, 0, 0},  // shares child 0 twice
+  };
+  // Constructor CHECKs tree shape.
+  EXPECT_DEATH(Formula(nodes, 1, 1), "tree");
+}
+
+}  // namespace
+}  // namespace dlcirc

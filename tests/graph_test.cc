@@ -1,0 +1,157 @@
+// Tests for the graph substrate: generators (shape invariants of the
+// Karchmer-Wigderson layered family, word paths, cycles), edge indexes, and
+// the numeric baselines (BFS reachability, Bellman-Ford, Floyd-Warshall,
+// Tarjan SCC).
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+
+namespace dlcirc {
+namespace {
+
+TEST(GeneratorTest, PathGraphShape) {
+  StGraph g = PathGraph(5);
+  EXPECT_EQ(g.graph.num_vertices(), 6u);
+  EXPECT_EQ(g.graph.num_edges(), 5u);
+  EXPECT_EQ(g.s, 0u);
+  EXPECT_EQ(g.t, 5u);
+}
+
+TEST(GeneratorTest, WordPathCarriesLabels) {
+  StGraph g = WordPath({2, 0, 1}, 3);
+  ASSERT_EQ(g.graph.num_edges(), 3u);
+  EXPECT_EQ(g.graph.edge(0).label, 2u);
+  EXPECT_EQ(g.graph.edge(1).label, 0u);
+  EXPECT_EQ(g.graph.edge(2).label, 1u);
+}
+
+TEST(GeneratorTest, CycleWithTailsHasOneSimplePath) {
+  StGraph g = CycleWithTails(3);
+  std::vector<bool> reach = Reachable(g.graph, g.s);
+  EXPECT_TRUE(reach[g.t]);
+  // Cycle present: c3 reaches c1.
+  EXPECT_TRUE(Reachable(g.graph, 3)[1]);
+}
+
+TEST(GeneratorTest, LayeredGraphInvariants) {
+  Rng rng(1);
+  StGraph g = LayeredGraph(4, 5, 0.5, rng);
+  EXPECT_EQ(g.graph.num_vertices(), 2u + 4 * 5);
+  // Every edge advances exactly one layer; all s-t paths have 6 edges.
+  auto layer_of = [&](uint32_t v) -> int {
+    if (v == g.s) return 0;
+    if (v == g.t) return 6;
+    return 1 + static_cast<int>((v - 1) / 4);
+  };
+  for (const LabeledEdge& e : g.graph.edges()) {
+    EXPECT_EQ(layer_of(e.dst), layer_of(e.src) + 1);
+  }
+  // Generator guarantees forward progress: t reachable from s.
+  EXPECT_TRUE(Reachable(g.graph, g.s)[g.t]);
+}
+
+TEST(GeneratorTest, RandomGraphRespectsBounds) {
+  Rng rng(2);
+  StGraph g = RandomGraph(10, 30, 2, rng);
+  EXPECT_LE(g.graph.num_edges(), 30u);
+  for (const LabeledEdge& e : g.graph.edges()) {
+    EXPECT_NE(e.src, e.dst);  // no self loops
+    EXPECT_LT(e.label, 2u);
+  }
+}
+
+TEST(GeneratorTest, RandomConnectedGraphReachesT) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    StGraph g = RandomConnectedGraph(12, 20, 1, rng);
+    EXPECT_TRUE(Reachable(g.graph, g.s)[g.t]);
+  }
+}
+
+TEST(GeneratorTest, RandomWeightsInRange) {
+  Rng rng(4);
+  StGraph g = PathGraph(10);
+  auto w = RandomWeights(g.graph, 7, rng);
+  ASSERT_EQ(w.size(), 10u);
+  for (uint64_t v : w) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 7u);
+  }
+}
+
+TEST(AlgorithmsTest, ReachableOnDisconnectedGraph) {
+  LabeledGraph g(4, 1);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(2, 3, 0);
+  std::vector<bool> r = Reachable(g, 0);
+  EXPECT_TRUE(r[0]);
+  EXPECT_TRUE(r[1]);
+  EXPECT_FALSE(r[2]);
+  EXPECT_FALSE(r[3]);
+}
+
+TEST(AlgorithmsTest, BellmanFordAgainstFloydWarshall) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    StGraph g = RandomGraph(12, 40, 1, rng);
+    auto w = RandomWeights(g.graph, 30, rng);
+    auto fw = FloydWarshallDistances(g.graph, w);
+    for (uint32_t src : {0u, 3u, 7u}) {
+      auto bf = BellmanFordDistances(g.graph, w, src);
+      for (uint32_t v = 0; v < g.graph.num_vertices(); ++v) {
+        EXPECT_EQ(bf[v], fw[src][v]) << src << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(AlgorithmsTest, BellmanFordPicksCheaperOfParallelPaths) {
+  LabeledGraph g(3, 1);
+  g.AddEdge(0, 1, 0);  // w=10
+  g.AddEdge(1, 2, 0);  // w=10
+  g.AddEdge(0, 2, 0);  // w=25
+  auto d = BellmanFordDistances(g, {10, 10, 25}, 0);
+  EXPECT_EQ(d[2], 20u);
+}
+
+TEST(AlgorithmsTest, SccOnCycleAndDag) {
+  // 0 -> 1 -> 2 -> 0 cycle plus 2 -> 3.
+  std::vector<std::vector<uint32_t>> adj = {{1}, {2}, {0, 3}, {}};
+  std::vector<uint32_t> comp = StronglyConnectedComponents(4, adj);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(AlgorithmsTest, SccSingletons) {
+  std::vector<std::vector<uint32_t>> adj = {{1}, {2}, {}};
+  std::vector<uint32_t> comp = StronglyConnectedComponents(3, adj);
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+}
+
+TEST(LabeledGraphTest, EdgeIndexes) {
+  LabeledGraph g(3, 2);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(0, 2, 1);
+  g.AddEdge(1, 2, 0);
+  auto out = g.OutEdgeIndex();
+  auto in = g.InEdgeIndex();
+  EXPECT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[1].size(), 1u);
+  EXPECT_EQ(in[2].size(), 2u);
+  EXPECT_EQ(in[0].size(), 0u);
+}
+
+TEST(LabeledGraphTest, AddVerticesExtends) {
+  LabeledGraph g(2, 1);
+  uint32_t first = g.AddVertices(3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  g.AddEdge(4, 0, 0);  // new vertex usable
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,173 @@
+// Tests for the Theorem 3.1 / 4.3 / Prop 3.7 generic circuit: symbolic
+// equality with the engine fixpoint (hence with the tight-proof-tree
+// polynomial, via Prop 2.4), layer accounting for bounded vs unbounded
+// programs, polynomial-size bound, and the any-semiring UCQ case.
+#include <gtest/gtest.h>
+
+#include "src/constructions/grounded_circuit.h"
+#include "src/datalog/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kBoundedText;
+using testing::kDyckText;
+using testing::kTcText;
+using testing::MakeFig1;
+using testing::MustParse;
+
+// Evaluates every circuit output in Sorp and compares with the engine.
+void CheckSymbolicAgreement(const GroundedProgram& g, const Circuit& c) {
+  auto engine = NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+  ASSERT_TRUE(engine.converged);
+  auto vals = c.Evaluate<SorpSemiring>(IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+  ASSERT_EQ(vals.size(), g.num_idb_facts());
+  for (uint32_t f = 0; f < g.num_idb_facts(); ++f) {
+    EXPECT_EQ(vals[f], engine.values[f])
+        << "fact " << f << ": circuit " << vals[f].ToString() << " engine "
+        << engine.values[f].ToString();
+  }
+}
+
+TEST(GroundedCircuitTest, Fig1SymbolicAgreement) {
+  Program tc = MustParse(kTcText);
+  testing::Fig1 f = MakeFig1(tc);
+  GroundedProgram g = Ground(tc, f.db);
+  GroundedCircuitResult r = GroundedProgramCircuit(g);
+  CheckSymbolicAgreement(g, r.circuit);
+}
+
+TEST(GroundedCircuitTest, RandomGraphsSymbolicAgreement) {
+  Program tc = MustParse(kTcText);
+  Rng rng(81);
+  for (int trial = 0; trial < 6; ++trial) {
+    StGraph sg = RandomGraph(8, 14, 1, rng);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    GroundedProgram g = Ground(tc, gdb.db);
+    GroundedCircuitResult r = GroundedProgramCircuit(g);
+    CheckSymbolicAgreement(g, r.circuit);
+  }
+}
+
+TEST(GroundedCircuitTest, DyckSymbolicAgreement) {
+  Program dyck = MustParse(kDyckText);
+  StGraph sg = WordPath({0, 0, 1, 1, 0, 1}, 2);
+  GraphDatabase gdb = GraphToDatabase(dyck, sg.graph, {"L", "R"});
+  GroundedProgram g = Ground(dyck, gdb.db);
+  GroundedCircuitResult r = GroundedProgramCircuit(g);
+  CheckSymbolicAgreement(g, r.circuit);
+}
+
+TEST(GroundedCircuitTest, TropicalAgreementOnLargerGraphs) {
+  Program tc = MustParse(kTcText);
+  Rng rng(82);
+  StGraph sg = RandomGraph(24, 70, 1, rng);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  GroundedCircuitResult r = GroundedProgramCircuit(g);
+  std::vector<uint64_t> weights = RandomWeights(sg.graph, 30, rng);
+  std::vector<uint64_t> edb(gdb.db.num_facts());
+  for (size_t i = 0; i < weights.size(); ++i) edb[gdb.edge_vars[i]] = weights[i];
+  auto engine = NaiveEvaluate<TropicalSemiring>(g, edb);
+  auto vals = r.circuit.Evaluate<TropicalSemiring>(edb);
+  for (uint32_t f = 0; f < g.num_idb_facts(); ++f) EXPECT_EQ(vals[f], engine.values[f]);
+}
+
+TEST(GroundedCircuitTest, StructuralFixpointOnShallowInstances) {
+  // On a short path the circuit stabilizes structurally well before N+1.
+  Program tc = MustParse(kTcText);
+  StGraph sg = PathGraph(4);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  GroundedCircuitResult r = GroundedProgramCircuit(g);
+  EXPECT_TRUE(r.reached_structural_fixpoint);
+  EXPECT_LT(r.layers_used, g.num_idb_facts() + 1);
+}
+
+TEST(GroundedCircuitTest, BoundedProgramUsesConstantLayers) {
+  // Example 4.2 (Theorem 4.3): the boundedness constant k — observed as the
+  // engine's convergence iteration, which is flat across growing inputs —
+  // yields a constant-layer circuit that still agrees symbolically.
+  Program p = MustParse(kBoundedText);
+  uint32_t a_pred = p.preds.Find("A"), e_pred = p.preds.Find("E");
+  uint32_t max_layers = 0;
+  for (uint32_t n : {6u, 12u, 24u}) {
+    Database db(p);
+    std::vector<uint32_t> c;
+    for (uint32_t i = 0; i < n; ++i) c.push_back(db.InternConst("c" + std::to_string(i)));
+    for (uint32_t i = 0; i + 1 < n; ++i) db.AddFact(e_pred, {c[i], c[i + 1]});
+    for (uint32_t i = 0; i < n; i += 2) db.AddFact(a_pred, {c[i]});
+    GroundedProgram g = Ground(p, db);
+    auto engine = NaiveEvaluate<SorpSemiring>(
+        g, IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+    ASSERT_TRUE(engine.converged);
+    GroundedCircuitOptions opts;
+    opts.max_layers = engine.iterations;  // Theorem 4.3's constant k
+    GroundedCircuitResult r = GroundedProgramCircuit(g, opts);
+    CheckSymbolicAgreement(g, r.circuit);
+    max_layers = std::max(max_layers, r.layers_used);
+  }
+  EXPECT_LE(max_layers, 4u);
+}
+
+TEST(GroundedCircuitTest, PolynomialSizeBound) {
+  // Size <= c * K * M * log M with a sane constant (Theorem 3.1).
+  Program tc = MustParse(kTcText);
+  Rng rng(83);
+  StGraph sg = RandomGraph(16, 40, 1, rng);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  GroundedCircuitResult r = GroundedProgramCircuit(g);
+  double m = static_cast<double>(g.TotalSize());
+  double k = static_cast<double>(r.layers_used);
+  EXPECT_LE(static_cast<double>(r.circuit.Size()), 4.0 * k * m + 100.0);
+}
+
+TEST(GroundedCircuitTest, UcqCaseCountsProofTreesOverCounting) {
+  // Non-recursive program = UCQ (Prop 3.7): with non-absorptive options the
+  // circuit is valid over the counting semiring and counts derivations.
+  Program p = MustParse(R"(
+@target Q.
+Q(X,Z) :- R(X,Y), S(Y,Z).
+Q(X,Z) :- Tt(X,Z).
+)");
+  Database db(p);
+  uint32_t a = db.InternConst("a"), b1 = db.InternConst("b1"),
+           b2 = db.InternConst("b2"), c = db.InternConst("c");
+  uint32_t r_p = p.preds.Find("R"), s_p = p.preds.Find("S"), t_p = p.preds.Find("Tt");
+  db.AddFact(r_p, {a, b1});
+  db.AddFact(r_p, {a, b2});
+  db.AddFact(s_p, {b1, c});
+  db.AddFact(s_p, {b2, c});
+  db.AddFact(t_p, {a, c});
+  GroundedProgram g = Ground(p, db);
+  GroundedCircuitOptions opts;
+  opts.builder = CircuitBuilder::Options{};  // no absorptive rewrites
+  GroundedCircuitResult r = GroundedProgramCircuit(g, opts);
+  // Q(a,c) has 3 derivations: via b1, via b2, via Tt.
+  uint32_t fact = g.FindIdbFact(p.preds.Find("Q"), {a, c});
+  ASSERT_NE(fact, GroundedProgram::kNotFound);
+  std::vector<uint64_t> ones(db.num_facts(), 1);
+  auto vals = r.circuit.Evaluate<CountingSemiring>(ones);
+  EXPECT_EQ(vals[fact], 3u);
+  // Depth is O(log |I|): tiny here.
+  EXPECT_LE(r.circuit.Depth(), 8u);
+}
+
+TEST(GroundedCircuitTest, DepthScalesWithLayersTimesLog) {
+  Program tc = MustParse(kTcText);
+  StGraph sg = PathGraph(12);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  GroundedCircuitResult r = GroundedProgramCircuit(g);
+  // Depth <= layers * (1 + ceil(log2(max rule fanin)) + log2(#rules/head)).
+  EXPECT_LE(r.circuit.Depth(), r.layers_used * 8);
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,206 @@
+// Cross-module integration properties:
+//   * all four TC provenance constructions agree symbolically with the
+//     engine and with each other,
+//   * the Sorp ->> Why projection commutes with circuit evaluation,
+//   * semi-naive == naive over symbolic semirings,
+//   * the finite-RPQ circuit agrees with the product-reduction circuit on
+//     finite languages,
+//   * CfgToChainProgram round trips through the engine,
+//   * Spira balancing applied to real construction outputs (not just random
+//     formulas) preserves values.
+#include <gtest/gtest.h>
+
+#include "src/circuit/spira.h"
+#include "src/constructions/finite_rpq_circuit.h"
+#include "src/constructions/grounded_circuit.h"
+#include "src/constructions/path_circuits.h"
+#include "src/constructions/reductions.h"
+#include "src/constructions/uvg_circuit.h"
+#include "src/datalog/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/lang/chain_datalog.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kTcText;
+using testing::MustParse;
+
+std::vector<Poly> IdentityVars(size_t m) {
+  std::vector<Poly> v;
+  for (size_t i = 0; i < m; ++i) v.push_back(SorpSemiring::Var(static_cast<uint32_t>(i)));
+  return v;
+}
+
+TEST(IntegrationTest, FourTcConstructionsAgreeSymbolically) {
+  Program tc = MustParse(kTcText);
+  Rng rng(201);
+  for (int trial = 0; trial < 4; ++trial) {
+    StGraph sg = RandomConnectedGraph(7, 12, 1, rng);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    GroundedProgram g = Ground(tc, gdb.db);
+    uint32_t fact = g.FindIdbFact(
+        tc.preds.Find("T"), {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+    ASSERT_NE(fact, GroundedProgram::kNotFound);
+    auto engine =
+        NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+    Poly truth = engine.values[fact];
+
+    Poly grounded = GroundedProgramCircuit(g)
+                        .circuit.Evaluate<SorpSemiring>(
+                            IdentityTagging<SorpSemiring>(g.num_edb_vars()))[fact];
+    Poly uvg = UvgCircuit(g).circuit.Evaluate<SorpSemiring>(
+        IdentityTagging<SorpSemiring>(g.num_edb_vars()))[fact];
+    // Graph-based constructions share the database's provenance variables
+    // (duplicate edges in the generator map to one fact, so edge_vars is
+    // not the identity in general).
+    uint32_t nv = gdb.db.num_facts();
+    Poly bf = BellmanFordCircuit(sg.graph, gdb.edge_vars, nv, sg.s, sg.t)
+                  .EvaluateOutput<SorpSemiring>(IdentityVars(nv));
+    Poly sq = RepeatedSquaringCircuit(sg.graph, gdb.edge_vars, nv, {{sg.s, sg.t}})
+                  .EvaluateOutput<SorpSemiring>(IdentityVars(nv));
+    EXPECT_EQ(grounded, truth);
+    EXPECT_EQ(uvg, truth);
+    EXPECT_EQ(bf, truth);
+    EXPECT_EQ(sq, truth);
+  }
+}
+
+TEST(IntegrationTest, WhyProjectionCommutesWithCircuitEvaluation) {
+  // Evaluating in Sorp then projecting == evaluating in Why directly.
+  Program tc = MustParse(kTcText);
+  Rng rng(202);
+  StGraph sg = RandomConnectedGraph(6, 10, 1, rng);
+  Circuit c = BellmanFordCircuitIdentity(sg);
+  size_t m = sg.graph.num_edges();
+  std::vector<Poly> sorp_vars = IdentityVars(m);
+  std::vector<Poly> why_vars;
+  for (size_t i = 0; i < m; ++i) why_vars.push_back(WhySemiring::Var(static_cast<uint32_t>(i)));
+  Poly via_sorp = ProjectToWhy(c.EvaluateOutput<SorpSemiring>(sorp_vars));
+  Poly via_why = c.EvaluateOutput<WhySemiring>(why_vars);
+  EXPECT_EQ(via_sorp, via_why);
+}
+
+TEST(IntegrationTest, SemiNaiveMatchesNaiveOverSorp) {
+  Program tc = MustParse(kTcText);
+  Rng rng(203);
+  StGraph sg = RandomGraph(8, 18, 1, rng);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  auto tagging = IdentityTagging<SorpSemiring>(g.num_edb_vars());
+  auto naive = NaiveEvaluate<SorpSemiring>(g, tagging);
+  auto semi = SemiNaiveEvaluate<SorpSemiring>(g, tagging);
+  ASSERT_TRUE(naive.converged && semi.converged);
+  for (uint32_t f = 0; f < g.num_idb_facts(); ++f) {
+    EXPECT_EQ(naive.values[f], semi.values[f]);
+  }
+}
+
+TEST(IntegrationTest, FiniteRpqAgreesWithProductReduction) {
+  // On a FINITE language both the Thm 5.8 circuit and the Thm 5.9 product
+  // circuit compute the same polynomial.
+  Nfa nfa;
+  nfa.num_states = 3;
+  nfa.num_labels = 2;
+  nfa.start = 0;
+  nfa.accept = {false, true, true};
+  nfa.transitions = {{0, 0, 1}, {1, 1, 2}};
+  Dfa dfa = Dfa::Determinize(nfa);
+  Rng rng(204);
+  for (int trial = 0; trial < 4; ++trial) {
+    StGraph sg = RandomGraph(7, 16, 2, rng);
+    std::vector<uint32_t> vars(sg.graph.num_edges());
+    for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+    uint32_t nv = static_cast<uint32_t>(vars.size());
+    Circuit direct = FiniteRpqCircuit(sg.graph, vars, nv, dfa, sg.s, sg.t).value();
+    Circuit product = RpqViaProductCircuit(sg.graph, vars, nv, dfa, sg.s, sg.t);
+    Poly a = direct.EvaluateOutput<SorpSemiring>(IdentityVars(nv));
+    Poly b = product.EvaluateOutput<SorpSemiring>(IdentityVars(nv));
+    EXPECT_EQ(a, b) << "trial " << trial;
+  }
+}
+
+TEST(IntegrationTest, CfgChainProgramRoundTripSemantics) {
+  // Dyck CFG -> chain program -> engine agrees with CYK on word paths.
+  Cfg dyck = MakeDyck1Cfg();
+  Program prog = CfgToChainProgram(dyck);
+  Rng rng(205);
+  for (int trial = 0; trial < 10; ++trial) {
+    uint32_t len = 2 + 2 * static_cast<uint32_t>(rng.NextBounded(3));
+    std::vector<uint32_t> word;
+    for (uint32_t i = 0; i < len; ++i) word.push_back(static_cast<uint32_t>(rng.NextBounded(2)));
+    StGraph sg = WordPath(word, 2);
+    GraphDatabase gdb = GraphToDatabase(prog, sg.graph, {"L", "R"});
+    GroundedProgram g = Ground(prog, gdb.db);
+    bool derived = g.FindIdbFact(prog.target_pred,
+                                 {VertexConst(gdb.db, sg.s),
+                                  VertexConst(gdb.db, sg.t)}) !=
+                   GroundedProgram::kNotFound;
+    EXPECT_EQ(derived, dyck.Accepts(word)) << "trial " << trial;
+  }
+}
+
+TEST(IntegrationTest, SpiraOnConstructionOutputFormulas) {
+  // Expand a real Bellman-Ford circuit into a formula, balance it, compare
+  // values over Tropical and Fuzzy.
+  Rng rng(206);
+  StGraph sg = RandomConnectedGraph(5, 8, 1, rng);
+  Circuit c = BellmanFordCircuitIdentity(sg);
+  Result<Formula> f = CircuitToFormula(c, 0, 1u << 20);
+  ASSERT_TRUE(f.ok()) << f.error();
+  SpiraResult balanced = BalanceFormulaAbsorptive(f.value());
+  for (int i = 0; i < 20; ++i) {
+    std::vector<uint64_t> w(sg.graph.num_edges());
+    for (auto& v : w) v = TropicalSemiring::RandomValue(rng);
+    EXPECT_EQ(c.EvaluateOutput<TropicalSemiring>(w),
+              balanced.formula.Evaluate<TropicalSemiring>(w));
+  }
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> w(sg.graph.num_edges());
+    for (auto& v : w) v = FuzzySemiring::RandomValue(rng);
+    EXPECT_EQ(c.EvaluateOutput<FuzzySemiring>(w),
+              balanced.formula.Evaluate<FuzzySemiring>(w));
+  }
+}
+
+TEST(IntegrationTest, DfaMinimizeIsIdempotent) {
+  Program ab = MustParse(testing::kAbStarText);
+  Dfa d = Dfa::Determinize(LeftLinearChainToNfa(ab).value().nfa);
+  Dfa m1 = d.Minimize();
+  Dfa m2 = m1.Minimize();
+  EXPECT_EQ(m1.num_states(), m2.num_states());
+}
+
+TEST(IntegrationTest, GroundedCircuitValidOverCountingOnDags) {
+  // On DAG instances TC has finitely many proof trees, so a non-absorptive
+  // grounded circuit is valid over the counting semiring: it counts paths.
+  Program tc = MustParse(kTcText);
+  Rng rng(207);
+  StGraph sg = LayeredGraph(3, 3, 0.7, rng);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  GroundedCircuitOptions opts;
+  opts.builder = CircuitBuilder::Options{};  // no idempotent rewrites
+  GroundedCircuitResult r = GroundedProgramCircuit(g, opts);
+  uint32_t fact = g.FindIdbFact(
+      tc.preds.Find("T"), {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+  ASSERT_NE(fact, GroundedProgram::kNotFound);
+  std::vector<uint64_t> ones(g.num_edb_vars(), 1);
+  uint64_t circuit_count = r.circuit.Evaluate<CountingSemiring>(ones)[fact];
+  // Reference path count via DP (vertices are in topological order).
+  std::vector<uint64_t> dp(sg.graph.num_vertices(), 0);
+  dp[sg.s] = 1;
+  for (uint32_t v = 0; v < sg.graph.num_vertices(); ++v) {
+    for (const LabeledEdge& e : sg.graph.edges()) {
+      if (e.src == v) dp[e.dst] += dp[v];
+    }
+  }
+  EXPECT_EQ(circuit_count, dp[sg.t]);
+}
+
+}  // namespace
+}  // namespace dlcirc

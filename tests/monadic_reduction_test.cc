@@ -1,0 +1,190 @@
+// Tests for the Theorem 6.8 reduction: expansion-word CQs, the accept(Pi)
+// decision procedure, pumping search on the canonical unbounded monadic
+// programs, and end-to-end instance equivalence (target derivable <=> s-t
+// reachable) plus circuit-level provenance transfer on a gadget program.
+#include <gtest/gtest.h>
+
+#include "src/constructions/grounded_circuit.h"
+#include "src/constructions/monadic_reduction.h"
+#include "src/datalog/engine.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/semiring/instances.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kReachText;
+using testing::kTcText;
+using testing::MustParse;
+
+// Reach program rule ids: 0 = U(X) :- A(X) (init), 1 = U(X) :- U(Y), E(X,Y).
+constexpr uint32_t kInit = 0, kRec = 1;
+
+TEST(MonadicWordTest, WordCqShapes) {
+  Program reach = MustParse(kReachText);
+  // Word [rec, rec, init]: E(v0,v1), E(v1,v2), A(v2).
+  Result<Cq> cq = MonadicWordCq(reach, {kRec, kRec, kInit}, true);
+  ASSERT_TRUE(cq.ok()) << cq.error();
+  EXPECT_EQ(cq.value().atoms.size(), 3u);
+  EXPECT_EQ(cq.value().free_vars.size(), 1u);
+}
+
+TEST(MonadicWordTest, RejectsBrokenChains) {
+  Program reach = MustParse(kReachText);
+  // Init rule in the middle.
+  EXPECT_FALSE(MonadicWordCq(reach, {kInit, kRec}, true).ok());
+  // Incomplete word with require_complete.
+  EXPECT_FALSE(MonadicWordCq(reach, {kRec}, true).ok());
+  EXPECT_TRUE(MonadicWordCq(reach, {kRec}, false).ok());
+}
+
+TEST(MonadicWordTest, AcceptanceMatchesExpectation) {
+  Program reach = MustParse(kReachText);
+  // Complete words are accepted; recursive-only prefixes are not (no A).
+  EXPECT_TRUE(MonadicWordAccepted(reach, {kInit}).value());
+  EXPECT_TRUE(MonadicWordAccepted(reach, {kRec, kInit}).value());
+  EXPECT_TRUE(MonadicWordAccepted(reach, {kRec, kRec, kRec, kInit}).value());
+  EXPECT_FALSE(MonadicWordAccepted(reach, {kRec}).value());
+  EXPECT_FALSE(MonadicWordAccepted(reach, {kRec, kRec}).value());
+}
+
+TEST(MonadicWordTest, RejectsNonMonadicPrograms) {
+  Program tc = MustParse(kTcText);
+  EXPECT_FALSE(MonadicWordCq(tc, {0}, false).ok());
+  EXPECT_FALSE(FindMonadicPumping(tc).ok());
+}
+
+TEST(MonadicPumpingTest, FindsTripleForReach) {
+  Program reach = MustParse(kReachText);
+  Result<MonadicPumping> pump = FindMonadicPumping(reach);
+  ASSERT_TRUE(pump.ok()) << pump.error();
+  EXPECT_GE(pump.value().x.size(), 1u);
+  EXPECT_GE(pump.value().y.size(), 1u);
+  EXPECT_GE(pump.value().zu.size(), 1u);
+  // Re-verify the two conditions independently for i up to 4.
+  for (uint32_t i = 0; i <= 4; ++i) {
+    RuleWord w = pump.value().x;
+    for (uint32_t k = 0; k < i; ++k) {
+      w.insert(w.end(), pump.value().y.begin(), pump.value().y.end());
+    }
+    w.insert(w.end(), pump.value().zu.begin(), pump.value().zu.end());
+    EXPECT_TRUE(MonadicWordAccepted(reach, w).value()) << "i=" << i;
+    for (size_t plen = 1; plen < w.size(); ++plen) {
+      RuleWord prefix(w.begin(), w.begin() + plen);
+      EXPECT_FALSE(MonadicWordAccepted(reach, prefix).value())
+          << "i=" << i << " plen=" << plen;
+    }
+  }
+}
+
+// Two-atom-body monadic program: gadgets with interior vertices.
+constexpr const char* kTwoStepReach = R"(
+@target U.
+U(X) :- A(X).
+U(X) :- U(Y), E(X,Z), F(Z,Y).
+)";
+
+TEST(MonadicPumpingTest, FindsTripleForTwoStepReach) {
+  Program p = MustParse(kTwoStepReach);
+  Result<MonadicPumping> pump = FindMonadicPumping(p);
+  ASSERT_TRUE(pump.ok()) << pump.error();
+}
+
+// Manual 2-wide, 2-layer layered graph where s-t connectivity is
+// controlled by including or excluding a bridging middle edge.
+StGraph ManualLayered(bool connected) {
+  // Vertices: 0=s, 1,2 = layer 1, 3,4 = layer 2, 5=t.
+  StGraph g{LabeledGraph(6, 1), 0, 5};
+  g.graph.AddEdge(0, 1, 0);  // s -> a1
+  g.graph.AddEdge(0, 2, 0);  // s -> a2
+  if (connected) g.graph.AddEdge(1, 3, 0);
+  g.graph.AddEdge(4, 4 /*self, ignored below*/, 0);
+  g.graph.AddEdge(3, 5, 0);  // b1 -> t
+  g.graph.AddEdge(4, 5, 0);  // b2 -> t
+  return g;
+}
+
+TEST(MonadicReductionTest, EquivalenceOnControlledInstances) {
+  Program reach = MustParse(kReachText);
+  MonadicPumping pump = FindMonadicPumping(reach).value();
+  for (bool connected : {true, false}) {
+    // Build a clean layered graph: s->1, s->2, (1->3 iff connected), 3->t.
+    StGraph g{LabeledGraph(5, 1), 0, 4};
+    g.graph.AddEdge(0, 1, 0);
+    g.graph.AddEdge(0, 2, 0);
+    if (connected) g.graph.AddEdge(1, 3, 0);
+    g.graph.AddEdge(3, 4, 0);
+    Result<MonadicReductionInstance> inst_r =
+        BuildTcToMonadicInstance(reach, pump, g);
+    ASSERT_TRUE(inst_r.ok()) << inst_r.error();
+    const MonadicReductionInstance& inst = inst_r.value();
+    GroundedProgram gp = Ground(reach, inst.db);
+    uint32_t fact = gp.FindIdbFact(reach.target_pred, {inst.source_const});
+    bool derived = fact != GroundedProgram::kNotFound;
+    EXPECT_EQ(derived, connected) << "connected=" << connected;
+  }
+}
+
+TEST(MonadicReductionTest, EquivalenceOnRandomLayeredGraphs) {
+  Program reach = MustParse(kReachText);
+  MonadicPumping pump = FindMonadicPumping(reach).value();
+  Rng rng(141);
+  for (int trial = 0; trial < 5; ++trial) {
+    StGraph g = LayeredGraph(3, 3, 0.4, rng);
+    Result<MonadicReductionInstance> inst_r =
+        BuildTcToMonadicInstance(reach, pump, g);
+    ASSERT_TRUE(inst_r.ok()) << inst_r.error();
+    GroundedProgram gp = Ground(reach, inst_r.value().db);
+    uint32_t fact =
+        gp.FindIdbFact(reach.target_pred, {inst_r.value().source_const});
+    bool derived = fact != GroundedProgram::kNotFound;
+    EXPECT_EQ(derived, Reachable(g.graph, g.s)[g.t]) << "trial " << trial;
+  }
+}
+
+TEST(MonadicReductionTest, TwoStepGadgetsPreserveEquivalence) {
+  Program p = MustParse(kTwoStepReach);
+  MonadicPumping pump = FindMonadicPumping(p).value();
+  Rng rng(142);
+  for (int trial = 0; trial < 4; ++trial) {
+    StGraph g = LayeredGraph(2, 2, 0.5, rng);
+    Result<MonadicReductionInstance> inst_r = BuildTcToMonadicInstance(p, pump, g);
+    ASSERT_TRUE(inst_r.ok()) << inst_r.error();
+    GroundedProgram gp = Ground(p, inst_r.value().db);
+    uint32_t fact =
+        gp.FindIdbFact(p.target_pred, {inst_r.value().source_const});
+    EXPECT_EQ(fact != GroundedProgram::kNotFound, Reachable(g.graph, g.s)[g.t]);
+  }
+}
+
+TEST(MonadicReductionTest, CircuitLevelProvenanceTransfer) {
+  // Build the Pi circuit on the hard instance, rewire the designated fact
+  // variables to TC edge variables, and compare the Tropical value with the
+  // shortest s-t path in the layered graph (uniform evaluation of the
+  // remaining facts at 1 = weight 0).
+  Program reach = MustParse(kReachText);
+  MonadicPumping pump = FindMonadicPumping(reach).value();
+  Rng rng(143);
+  StGraph g = LayeredGraph(2, 2, 0.8, rng);
+  MonadicReductionInstance inst =
+      BuildTcToMonadicInstance(reach, pump, g).value();
+  GroundedProgram gp = Ground(reach, inst.db);
+  GroundedCircuitResult circ = GroundedProgramCircuit(gp);
+  uint32_t fact = gp.FindIdbFact(reach.target_pred, {inst.source_const});
+  ASSERT_NE(fact, GroundedProgram::kNotFound);
+  // Rewire to TC edge variables.
+  CircuitBuilder::Options opts;
+  opts.absorptive = true;
+  Circuit pi_circuit = circ.circuit;
+  Circuit tc_circuit =
+      SubstituteInputs(pi_circuit, inst.fact_subs, inst.num_tc_vars, opts);
+  std::vector<uint64_t> weights = RandomWeights(g.graph, 20, rng);
+  uint64_t got = tc_circuit.Evaluate<TropicalSemiring>(weights)[fact];
+  uint64_t expected = BellmanFordDistances(g.graph, weights, g.s)[g.t];
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace dlcirc

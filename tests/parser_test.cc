@@ -1,0 +1,177 @@
+// Parser and program-analysis tests: round-trips, error reporting, and the
+// classification predicates (linear / monadic / chain / connected /
+// recursive) on the paper's program corpus.
+#include <gtest/gtest.h>
+
+#include "src/datalog/analysis.h"
+#include "src/datalog/parser.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kAbStarText;
+using testing::kBoundedText;
+using testing::kDyckText;
+using testing::kFiniteChainText;
+using testing::kReachText;
+using testing::kTcText;
+using testing::MustParse;
+
+TEST(ParserTest, ParsesTransitiveClosure) {
+  Program p = MustParse(kTcText);
+  EXPECT_EQ(p.rules.size(), 2u);
+  EXPECT_EQ(p.preds.Name(p.target_pred), "T");
+  EXPECT_EQ(p.arities[p.preds.Find("T")], 2u);
+  EXPECT_EQ(p.arities[p.preds.Find("E")], 2u);
+  std::vector<bool> idb = p.IdbMask();
+  EXPECT_TRUE(idb[p.preds.Find("T")]);
+  EXPECT_FALSE(idb[p.preds.Find("E")]);
+}
+
+TEST(ParserTest, DefaultTargetIsFirstHead) {
+  Program p = MustParse("T(X) :- A(X).");
+  EXPECT_EQ(p.preds.Name(p.target_pred), "T");
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  Program p = MustParse(kTcText);
+  Program p2 = MustParse(p.ToString());
+  EXPECT_EQ(p2.rules.size(), p.rules.size());
+  EXPECT_EQ(p2.ToString(), p.ToString());
+}
+
+TEST(ParserTest, CommentsAndWhitespaceIgnored)
+{
+  Program p = MustParse("% header\nT(X) :- A(X).  % trailing\n\n");
+  EXPECT_EQ(p.rules.size(), 1u);
+}
+
+TEST(ParserTest, RejectsUnsafeRule) {
+  Result<Program> r = ParseProgram("T(X,Y) :- E(X,X).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("unsafe"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsArityMismatch) {
+  Result<Program> r = ParseProgram("T(X) :- E(X,Y).\nT(X,Y) :- E(X,Y).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("arity"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsUnknownTarget) {
+  Result<Program> r = ParseProgram("@target Q.\nT(X) :- A(X).");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(ParserTest, RejectsEdbTarget) {
+  Result<Program> r = ParseProgram("@target A.\nT(X) :- A(X).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("IDB"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsNonGroundFact) {
+  Result<Program> r = ParseProgram("T(X).");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseProgram("T(X) :- !!!").ok());
+  EXPECT_FALSE(ParseProgram("T(X) :- A(X)").ok());  // missing dot
+  EXPECT_FALSE(ParseProgram("").ok());
+}
+
+TEST(ParserTest, ErrorsIncludeLineNumbers) {
+  Result<Program> r = ParseProgram("T(X) :- A(X).\nT(Y) :- A(Y,Z).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 2"), std::string::npos);
+}
+
+TEST(ParseFactsTest, LoadsGroundFacts) {
+  Program p = MustParse(kTcText);
+  Result<Database> db = ParseFacts(p, "E(a,b). E(b,c).");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().num_facts(), 2u);
+  EXPECT_EQ(db.value().relation(p.preds.Find("E")).size(), 2u);
+}
+
+TEST(ParseFactsTest, RejectsVariablesAndUnknownPreds) {
+  Program p = MustParse(kTcText);
+  EXPECT_FALSE(ParseFacts(p, "E(X,b).").ok());
+  EXPECT_FALSE(ParseFacts(p, "Q(a,b).").ok());
+  EXPECT_FALSE(ParseFacts(p, "E(a).").ok());
+}
+
+// ---------------------------------------------------------------- analyses
+
+TEST(AnalysisTest, TcIsLinearChainConnectedRecursive) {
+  Program p = MustParse(kTcText);
+  ProgramAnalysis a = Analyze(p);
+  EXPECT_TRUE(a.is_linear);
+  EXPECT_TRUE(a.is_basic_chain);
+  EXPECT_TRUE(a.is_connected);
+  EXPECT_TRUE(a.is_recursive);
+  EXPECT_FALSE(a.is_monadic);
+}
+
+TEST(AnalysisTest, ReachIsMonadicLinearConnected) {
+  Program p = MustParse(kReachText);
+  ProgramAnalysis a = Analyze(p);
+  EXPECT_TRUE(a.is_monadic);
+  EXPECT_TRUE(a.is_linear);
+  EXPECT_FALSE(a.is_basic_chain);  // monadic head is not a chain head
+  EXPECT_TRUE(a.is_connected);
+  EXPECT_TRUE(a.is_recursive);
+}
+
+TEST(AnalysisTest, BoundedProgramIsDisconnected) {
+  // T(X,Y) :- A(X), T(Z,Y): variable graph {X}, {Z,Y} is disconnected.
+  Program p = MustParse(kBoundedText);
+  ProgramAnalysis a = Analyze(p);
+  EXPECT_FALSE(a.is_connected);
+  EXPECT_TRUE(a.is_linear);
+}
+
+TEST(AnalysisTest, DyckIsChainButNotLinear) {
+  Program p = MustParse(kDyckText);
+  ProgramAnalysis a = Analyze(p);
+  EXPECT_TRUE(a.is_basic_chain);
+  EXPECT_FALSE(a.is_linear);  // S(X,Y) :- S(X,Z), S(Z,Y)
+  EXPECT_TRUE(a.is_recursive);
+}
+
+TEST(AnalysisTest, FiniteChainIsNonRecursive) {
+  Program p = MustParse(kFiniteChainText);
+  ProgramAnalysis a = Analyze(p);
+  EXPECT_TRUE(a.is_basic_chain);
+  EXPECT_FALSE(a.is_recursive);
+}
+
+TEST(AnalysisTest, AbStarIsChainLinearRecursive) {
+  Program p = MustParse(kAbStarText);
+  ProgramAnalysis a = Analyze(p);
+  EXPECT_TRUE(a.is_basic_chain);
+  EXPECT_TRUE(a.is_linear);
+  EXPECT_TRUE(a.is_recursive);
+}
+
+TEST(AnalysisTest, ChainRuleRejectsRepeatedVariables) {
+  // T(X,Y) :- E(X,Z), E(Z,Z) is not a chain (Z repeats / not distinct path).
+  Program p = MustParse("T(X,Y) :- E(X,Y).\nT(X,Y) :- E(X,X), E(X,Y).");
+  EXPECT_FALSE(IsChainRule(p, p.rules[1]));
+}
+
+TEST(AnalysisTest, ChainRuleRejectsBrokenPath) {
+  Program p = MustParse("T(X,Y) :- E(X,Z), E(Y,Z).");
+  EXPECT_FALSE(IsChainRule(p, p.rules[0]));
+}
+
+TEST(AnalysisTest, CountIdbBodyAtoms) {
+  Program p = MustParse(kDyckText);
+  EXPECT_EQ(CountIdbBodyAtoms(p, p.rules[0]), 0);
+  EXPECT_EQ(CountIdbBodyAtoms(p, p.rules[1]), 1);
+  EXPECT_EQ(CountIdbBodyAtoms(p, p.rules[2]), 2);
+}
+
+}  // namespace
+}  // namespace dlcirc

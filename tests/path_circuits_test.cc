@@ -1,0 +1,209 @@
+// Tests for the TC circuit constructions (Theorems 3.5, 5.6, 5.7): symbolic
+// agreement with the engine/proof trees, numeric agreement with
+// Bellman-Ford / Floyd-Warshall over Tropical and with BFS over Boolean,
+// and the claimed size/depth bounds with explicit constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/constructions/path_circuits.h"
+#include "src/datalog/engine.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kTcText;
+using testing::MustParse;
+
+// Sorp value of T(s,t) according to the Datalog engine (ground truth).
+Poly EngineTruth(const StGraph& sg) {
+  Program tc = MustParse(kTcText);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  auto engine =
+      NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(gdb.db.num_facts()));
+  uint32_t fact = g.FindIdbFact(
+      tc.preds.Find("T"), {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+  if (fact == GroundedProgram::kNotFound) return SorpSemiring::Zero();
+  // Note: gdb.edge_vars[i] == i because edges are inserted in order and
+  // RandomGraph/WordPath emit no duplicates.
+  return engine.values[fact];
+}
+
+std::vector<Poly> IdentityVars(size_t m) {
+  std::vector<Poly> v;
+  for (size_t i = 0; i < m; ++i) v.push_back(SorpSemiring::Var(static_cast<uint32_t>(i)));
+  return v;
+}
+
+TEST(LayeredCircuitTest, SymbolicAgreementOnLayeredGraphs) {
+  Rng rng(91);
+  for (int trial = 0; trial < 5; ++trial) {
+    StGraph sg = LayeredGraph(3, 3, 0.5, rng);
+    Circuit c = LayeredGraphCircuitIdentity(sg);
+    Poly got = c.EvaluateOutput<SorpSemiring>(IdentityVars(sg.graph.num_edges()));
+    EXPECT_EQ(got, EngineTruth(sg)) << "trial " << trial;
+  }
+}
+
+TEST(LayeredCircuitTest, LinearSizeBound) {
+  // Theorem 3.5: size O(m).
+  Rng rng(92);
+  for (uint32_t width : {4u, 8u}) {
+    StGraph sg = LayeredGraph(width, 6, 0.5, rng);
+    Circuit c = LayeredGraphCircuitIdentity(sg);
+    EXPECT_LE(c.Size(), 3 * sg.graph.num_edges() + 10);
+  }
+}
+
+TEST(LayeredCircuitTest, CountsPathsOverCountingSemiring) {
+  // DAG => valid over any semiring: count s-t paths.
+  Rng rng(93);
+  StGraph sg = LayeredGraph(3, 4, 0.6, rng);
+  Circuit c = LayeredGraphCircuitIdentity(sg);
+  std::vector<uint64_t> ones(sg.graph.num_edges(), 1);
+  uint64_t circuit_count = c.EvaluateOutput<CountingSemiring>(ones);
+  // Reference: DP path count.
+  std::vector<uint64_t> dp(sg.graph.num_vertices(), 0);
+  dp[sg.s] = 1;
+  // Vertices of LayeredGraph are emitted in topological order (s, layers, t).
+  for (uint32_t v = 0; v < sg.graph.num_vertices(); ++v) {
+    for (const LabeledEdge& e : sg.graph.edges()) {
+      if (e.src == v) dp[e.dst] += dp[v];
+    }
+  }
+  EXPECT_EQ(circuit_count, dp[sg.t]);
+}
+
+TEST(LayeredCircuitTest, RejectsCyclicGraphs) {
+  StGraph sg = CycleWithTails(3);
+  EXPECT_DEATH(LayeredGraphCircuitIdentity(sg), "acyclic");
+}
+
+TEST(BellmanFordCircuitTest, SymbolicAgreement) {
+  Rng rng(94);
+  for (int trial = 0; trial < 6; ++trial) {
+    StGraph sg = RandomGraph(7, 13, 1, rng);
+    Circuit c = BellmanFordCircuitIdentity(sg);
+    Poly got = c.EvaluateOutput<SorpSemiring>(IdentityVars(sg.graph.num_edges()));
+    EXPECT_EQ(got, EngineTruth(sg)) << "trial " << trial;
+  }
+}
+
+TEST(BellmanFordCircuitTest, CyclesAreAbsorbed) {
+  StGraph sg = CycleWithTails(4);
+  Circuit c = BellmanFordCircuitIdentity(sg);
+  Poly got = c.EvaluateOutput<SorpSemiring>(IdentityVars(sg.graph.num_edges()));
+  EXPECT_EQ(got.NumMonomials(), 1u);  // the single simple path
+  EXPECT_EQ(got, EngineTruth(sg));
+}
+
+TEST(BellmanFordCircuitTest, TropicalMatchesBellmanFordBaseline) {
+  Rng rng(95);
+  for (int trial = 0; trial < 5; ++trial) {
+    StGraph sg = RandomGraph(30, 120, 1, rng);
+    std::vector<uint64_t> w = RandomWeights(sg.graph, 40, rng);
+    Circuit c = BellmanFordCircuitIdentity(sg);
+    uint64_t got = c.EvaluateOutput<TropicalSemiring>(w);
+    uint64_t expected = BellmanFordDistances(sg.graph, w, sg.s)[sg.t];
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(BellmanFordCircuitTest, SizeAndDepthBounds) {
+  // Theorem 5.6: size O(mn), depth O(n log n).
+  Rng rng(96);
+  StGraph sg = RandomGraph(20, 60, 1, rng);
+  Circuit c = BellmanFordCircuitIdentity(sg);
+  double n = sg.graph.num_vertices(), m = sg.graph.num_edges();
+  EXPECT_LE(static_cast<double>(c.Size()), 4.0 * m * n + 100.0);
+  EXPECT_LE(static_cast<double>(c.Depth()), 3.0 * n * std::log2(n) + 20.0);
+}
+
+TEST(SquaringCircuitTest, SymbolicAgreement) {
+  Rng rng(97);
+  for (int trial = 0; trial < 6; ++trial) {
+    StGraph sg = RandomGraph(7, 14, 1, rng);
+    Circuit c = RepeatedSquaringCircuitIdentity(sg);
+    Poly got = c.EvaluateOutput<SorpSemiring>(IdentityVars(sg.graph.num_edges()));
+    EXPECT_EQ(got, EngineTruth(sg)) << "trial " << trial;
+  }
+}
+
+TEST(SquaringCircuitTest, TropicalMatchesFloydWarshallAllPairs) {
+  Rng rng(98);
+  StGraph sg = RandomGraph(18, 70, 1, rng);
+  std::vector<uint64_t> w = RandomWeights(sg.graph, 25, rng);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t u = 0; u < sg.graph.num_vertices(); ++u) {
+    for (uint32_t v = 0; v < sg.graph.num_vertices(); ++v) {
+      if (u != v) pairs.emplace_back(u, v);
+    }
+  }
+  std::vector<uint32_t> vars(sg.graph.num_edges());
+  for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+  Circuit c = RepeatedSquaringCircuit(sg.graph, vars,
+                                      static_cast<uint32_t>(vars.size()), pairs);
+  auto fw = FloydWarshallDistances(sg.graph, w);
+  auto vals = c.Evaluate<TropicalSemiring>(w);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(vals[i], fw[pairs[i].first][pairs[i].second])
+        << pairs[i].first << "->" << pairs[i].second;
+  }
+}
+
+TEST(SquaringCircuitTest, DepthIsLogSquared) {
+  // Theorem 5.7: depth O(log^2 n); check slope across sizes.
+  Rng rng(99);
+  for (uint32_t n : {8u, 16u, 32u}) {
+    StGraph sg = RandomGraph(n, 3 * n, 1, rng);
+    Circuit c = RepeatedSquaringCircuitIdentity(sg);
+    double log_n = std::log2(static_cast<double>(n));
+    EXPECT_LE(static_cast<double>(c.Depth()), 3.0 * log_n * log_n + 10.0) << "n=" << n;
+  }
+}
+
+TEST(SquaringCircuitTest, SizeIsCubicish) {
+  Rng rng(100);
+  StGraph sg = RandomGraph(16, 80, 1, rng);
+  Circuit c = RepeatedSquaringCircuitIdentity(sg);
+  double n = sg.graph.num_vertices();
+  EXPECT_LE(static_cast<double>(c.Size()), 3.0 * n * n * n * std::log2(n) + 100.0);
+}
+
+TEST(SquaringCircuitTest, BooleanMatchesReachability) {
+  Rng rng(101);
+  StGraph sg = RandomGraph(15, 40, 1, rng);
+  std::vector<bool> ones(sg.graph.num_edges(), true);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t v = 1; v < sg.graph.num_vertices(); ++v) pairs.emplace_back(0, v);
+  std::vector<uint32_t> vars(sg.graph.num_edges());
+  for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+  Circuit c = RepeatedSquaringCircuit(sg.graph, vars,
+                                      static_cast<uint32_t>(vars.size()), pairs);
+  auto vals = c.Evaluate<BooleanSemiring>(ones);
+  std::vector<bool> reach = Reachable(sg.graph, 0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(vals[i], reach[pairs[i].second]) << "v" << pairs[i].second;
+  }
+}
+
+TEST(PathCircuitsTest, AllThreeAgreeOnLayeredGraphs) {
+  Rng rng(102);
+  StGraph sg = LayeredGraph(3, 4, 0.5, rng);
+  std::vector<uint64_t> w = RandomWeights(sg.graph, 9, rng);
+  uint64_t a = LayeredGraphCircuitIdentity(sg).EvaluateOutput<TropicalSemiring>(w);
+  uint64_t b = BellmanFordCircuitIdentity(sg).EvaluateOutput<TropicalSemiring>(w);
+  uint64_t c = RepeatedSquaringCircuitIdentity(sg).EvaluateOutput<TropicalSemiring>(w);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,134 @@
+// Tight proof tree enumeration tests: the Figure 1 count of 3 proof trees
+// for T(s,t), the Proposition 2.4 golden identity (enumerated tight-tree
+// polynomial == Sorp fixpoint of the engine), cycle finiteness, fringe
+// statistics, and budget truncation.
+#include <gtest/gtest.h>
+
+#include "src/datalog/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/provenance/proof_tree.h"
+#include "src/semiring/provenance_poly.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kDyckText;
+using testing::kTcText;
+using testing::MakeFig1;
+using testing::MustParse;
+
+TEST(ProofTreeTest, Fig1HasExactlyThreeProofTrees) {
+  // "There are two other proof trees for T(s,t)" (Fig. 1 caption).
+  Program tc = MustParse(kTcText);
+  testing::Fig1 f = MakeFig1(tc);
+  GroundedProgram g = Ground(tc, f.db);
+  uint32_t fact = g.FindIdbFact(tc.preds.Find("T"), {f.c_s, f.c_t});
+  TightProvenanceResult r = EnumerateTightProvenance(g, fact);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.num_trees, 3u);
+  EXPECT_EQ(r.poly.NumMonomials(), 3u);
+  EXPECT_EQ(r.min_leaves, 3u);
+  EXPECT_EQ(r.max_leaves, 3u);
+}
+
+TEST(ProofTreeTest, Proposition24GoldenIdentity) {
+  // Engine fixpoint over Sorp == absorption-reduced tight-tree polynomial,
+  // for every derivable fact, on assorted small instances.
+  Program tc = MustParse(kTcText);
+  Rng rng(71);
+  for (int trial = 0; trial < 6; ++trial) {
+    StGraph sg = RandomGraph(7, 12, 1, rng);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    GroundedProgram g = Ground(tc, gdb.db);
+    auto engine =
+        NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(gdb.db.num_facts()));
+    ASSERT_TRUE(engine.converged);
+    for (uint32_t fact = 0; fact < g.num_idb_facts(); ++fact) {
+      TightProvenanceResult r = EnumerateTightProvenance(g, fact);
+      ASSERT_FALSE(r.truncated) << "instance too dense for exact enumeration";
+      EXPECT_EQ(r.poly, engine.values[fact])
+          << "fact " << g.FactToString(tc, gdb.db, fact) << ": trees say "
+          << r.poly.ToString() << " engine says " << engine.values[fact].ToString();
+    }
+  }
+}
+
+TEST(ProofTreeTest, CycleHasFinitelyManyTightTrees) {
+  Program tc = MustParse(kTcText);
+  StGraph sg = CycleWithTails(5);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  uint32_t fact = g.FindIdbFact(
+      tc.preds.Find("T"), {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+  ASSERT_NE(fact, GroundedProgram::kNotFound);
+  TightProvenanceResult r = EnumerateTightProvenance(g, fact);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GE(r.num_trees, 1u);
+  // The one simple path survives absorption.
+  EXPECT_EQ(r.poly.NumMonomials(), 1u);
+}
+
+TEST(ProofTreeTest, DyckProofTreesMatchEngine) {
+  Program dyck = MustParse(kDyckText);
+  // Word ( ) ( ) — two parses via the concatenation rule orderings collapse
+  // by absorption to one monomial over all four edges.
+  StGraph sg = WordPath({0, 1, 0, 1}, 2);
+  GraphDatabase gdb = GraphToDatabase(dyck, sg.graph, {"L", "R"});
+  GroundedProgram g = Ground(dyck, gdb.db);
+  auto engine =
+      NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(gdb.db.num_facts()));
+  ASSERT_TRUE(engine.converged);
+  for (uint32_t fact = 0; fact < g.num_idb_facts(); ++fact) {
+    TightProvenanceResult r = EnumerateTightProvenance(g, fact);
+    ASSERT_FALSE(r.truncated);
+    EXPECT_EQ(r.poly, engine.values[fact]);
+  }
+}
+
+TEST(ProofTreeTest, FringeGrowsLinearlyOnPathsForTc) {
+  // TC tight trees on a path of n edges have exactly n leaves (a single
+  // maximal tree) — the polynomial fringe property in its simplest form.
+  Program tc = MustParse(kTcText);
+  for (uint32_t n : {3u, 6u, 9u}) {
+    StGraph sg = PathGraph(n);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    GroundedProgram g = Ground(tc, gdb.db);
+    uint32_t fact = g.FindIdbFact(
+        tc.preds.Find("T"), {VertexConst(gdb.db, 0), VertexConst(gdb.db, n)});
+    TightProvenanceResult r = EnumerateTightProvenance(g, fact);
+    EXPECT_EQ(r.num_trees, 1u);
+    EXPECT_EQ(r.max_leaves, n);
+  }
+}
+
+TEST(ProofTreeTest, BudgetTruncationIsReported) {
+  Program tc = MustParse(kTcText);
+  Rng rng(72);
+  StGraph sg = LayeredGraph(4, 6, 0.9, rng);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  uint32_t fact = g.FindIdbFact(
+      tc.preds.Find("T"),
+      {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+  ASSERT_NE(fact, GroundedProgram::kNotFound);
+  ProvenanceLimits limits;
+  limits.max_trees = 5;
+  TightProvenanceResult r = EnumerateTightProvenance(g, fact, limits);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(ProofTreeTest, UnderivableFactHasZeroPolynomial) {
+  Program tc = MustParse(kTcText);
+  StGraph sg = PathGraph(3);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  // T(v3, v0) is not derivable at all — not even a grounded fact.
+  EXPECT_EQ(g.FindIdbFact(tc.preds.Find("T"),
+                          {VertexConst(gdb.db, 3), VertexConst(gdb.db, 0)}),
+            GroundedProgram::kNotFound);
+}
+
+}  // namespace
+}  // namespace dlcirc

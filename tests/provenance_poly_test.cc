@@ -1,0 +1,154 @@
+// Tests for the free absorptive provenance polynomial semirings Sorp(X) and
+// Why(X): monomial operations, absorption reduction, canonical forms, the
+// evaluation homomorphism into concrete absorptive semirings, and the
+// Sorp ->> Why projection.
+#include <gtest/gtest.h>
+
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+namespace {
+
+using S = SorpSemiring;
+using W = WhySemiring;
+
+TEST(MonomialTest, DividesIsMultisetInclusion) {
+  EXPECT_TRUE(MonomialDivides({}, {1, 2}));
+  EXPECT_TRUE(MonomialDivides({1}, {1, 2}));
+  EXPECT_TRUE(MonomialDivides({1, 1}, {1, 1, 2}));
+  EXPECT_FALSE(MonomialDivides({1, 1}, {1, 2}));  // multiplicity matters
+  EXPECT_FALSE(MonomialDivides({3}, {1, 2}));
+  EXPECT_TRUE(MonomialDivides({2, 5}, {1, 2, 4, 5}));
+}
+
+TEST(MonomialTest, TimesIsMultisetUnion) {
+  EXPECT_EQ(MonomialTimes({1, 3}, {2, 3}), (Monomial{1, 2, 3, 3}));
+  EXPECT_EQ(MonomialTimes({}, {7}), (Monomial{7}));
+}
+
+TEST(MonomialTest, SupportDropsExponents) {
+  EXPECT_EQ(MonomialSupport({1, 1, 2, 2, 2}), (Monomial{1, 2}));
+}
+
+TEST(AbsorbReduceTest, RemovesDivisibleMonomials) {
+  Poly p = AbsorbReduce({{1, 2}, {1}, {1, 1}, {3}});
+  // x1 absorbs x1*x2 and x1^2.
+  EXPECT_EQ(p.monomials, (std::vector<Monomial>{{1}, {3}}));
+}
+
+TEST(AbsorbReduceTest, EmptyMonomialAbsorbsEverything) {
+  Poly p = AbsorbReduce({{1, 2}, {}, {3}});
+  EXPECT_EQ(p, S::One());
+}
+
+TEST(AbsorbReduceTest, DeduplicatesIdenticalMonomials) {
+  Poly p = AbsorbReduce({{2}, {2}, {2}});
+  EXPECT_EQ(p.monomials.size(), 1u);
+}
+
+TEST(SorpTest, OnePlusAnythingIsOne) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Poly p = S::RandomValue(rng);
+    EXPECT_EQ(S::Plus(S::One(), p), S::One());
+  }
+}
+
+TEST(SorpTest, TimesKeepsExponents) {
+  Poly x = S::Var(1);
+  Poly xx = S::Times(x, x);
+  EXPECT_EQ(xx.monomials, (std::vector<Monomial>{{1, 1}}));
+  // x + x^2 = x by absorption.
+  EXPECT_EQ(S::Plus(x, xx), x);
+}
+
+TEST(WhyTest, TimesIsIdempotentOnVariables) {
+  Poly x = W::Var(1);
+  EXPECT_EQ(W::Times(x, x), x);
+}
+
+TEST(SorpTest, DistributivityProducesCrossProducts) {
+  Poly a = S::Plus(S::Var(1), S::Var(2));
+  Poly b = S::Plus(S::Var(3), S::Var(4));
+  Poly ab = S::Times(a, b);
+  EXPECT_EQ(ab.monomials.size(), 4u);
+  EXPECT_EQ(ab.ToString(), "x1*x3 + x1*x4 + x2*x3 + x2*x4");
+}
+
+TEST(PolyToStringTest, RendersExponentsAndConstants) {
+  EXPECT_EQ(S::Zero().ToString(), "0");
+  EXPECT_EQ(S::One().ToString(), "1");
+  Poly p = AbsorbReduce({{0, 0, 2}});
+  EXPECT_EQ(p.ToString(), "x0^2*x2");
+}
+
+TEST(PolyTest, MaxDegree) {
+  EXPECT_EQ(S::Zero().MaxDegree(), 0u);
+  EXPECT_EQ(S::One().MaxDegree(), 0u);
+  Poly p = AbsorbReduce({{1, 2, 2}, {4}});
+  EXPECT_EQ(p.MaxDegree(), 3u);
+}
+
+// EvalPoly must be a homomorphism: eval(p+q) = eval(p)+eval(q) and
+// eval(p*q) = eval(p)*eval(q) over every absorptive semiring.
+template <typename Target>
+void CheckEvalHomomorphism(uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < 120; ++i) {
+    Poly p = S::RandomValue(rng), q = S::RandomValue(rng);
+    std::vector<typename Target::Value> assign;
+    for (int v = 0; v < 5; ++v) assign.push_back(Target::RandomValue(rng));
+    auto ep = EvalPoly<Target>(p, assign);
+    auto eq = EvalPoly<Target>(q, assign);
+    EXPECT_TRUE(Target::Eq(EvalPoly<Target>(S::Plus(p, q), assign),
+                           Target::Plus(ep, eq)))
+        << "plus hom fails: p=" << p.ToString() << " q=" << q.ToString();
+    EXPECT_TRUE(Target::Eq(EvalPoly<Target>(S::Times(p, q), assign),
+                           Target::Times(ep, eq)))
+        << "times hom fails: p=" << p.ToString() << " q=" << q.ToString();
+  }
+}
+
+TEST(EvalPolyTest, HomomorphismIntoTropical) {
+  CheckEvalHomomorphism<TropicalSemiring>(11);
+}
+TEST(EvalPolyTest, HomomorphismIntoBoolean) {
+  CheckEvalHomomorphism<BooleanSemiring>(12);
+}
+TEST(EvalPolyTest, HomomorphismIntoViterbi) {
+  CheckEvalHomomorphism<ViterbiSemiring>(13);
+}
+TEST(EvalPolyTest, HomomorphismIntoFuzzy) {
+  CheckEvalHomomorphism<FuzzySemiring>(14);
+}
+TEST(EvalPolyTest, HomomorphismIntoLukasiewicz) {
+  CheckEvalHomomorphism<LukasiewiczSemiring>(15);
+}
+
+TEST(EvalPolyTest, EvaluatesConcretePolynomial) {
+  // p = x0*x1 + x2 over Tropical with x0=2, x1=3, x2=10: min(2+3, 10) = 5.
+  Poly p = S::Plus(S::Times(S::Var(0), S::Var(1)), S::Var(2));
+  std::vector<uint64_t> assign = {2, 3, 10};
+  EXPECT_EQ(EvalPoly<TropicalSemiring>(p, assign), 5u);
+}
+
+TEST(ProjectToWhyTest, ProjectionIsHomomorphismSample) {
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    Poly p = S::RandomValue(rng), q = S::RandomValue(rng);
+    EXPECT_EQ(ProjectToWhy(S::Plus(p, q)),
+              W::Plus(ProjectToWhy(p), ProjectToWhy(q)));
+    EXPECT_EQ(ProjectToWhy(S::Times(p, q)),
+              W::Times(ProjectToWhy(p), ProjectToWhy(q)));
+  }
+}
+
+TEST(ProjectToWhyTest, CollapsesExponents) {
+  Poly p = AbsorbReduce({{1, 1, 2}, {3, 3}});
+  EXPECT_EQ(ProjectToWhy(p).monomials, (std::vector<Monomial>{{3}, {1, 2}}));
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,230 @@
+// Tests for the lower-bound reductions of Theorems 5.9 and 5.11: instance
+// answer-equivalence, circuit-level provenance preservation after input
+// rewiring, and depth/size preservation factors.
+#include <gtest/gtest.h>
+
+#include "src/cflr/cflr.h"
+#include "src/constructions/path_circuits.h"
+#include "src/constructions/reductions.h"
+#include "src/datalog/engine.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/lang/chain_datalog.h"
+#include "src/semiring/provenance_poly.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kAbStarText;
+using testing::kTcText;
+using testing::MustParse;
+
+std::vector<Poly> IdentityVars(size_t m) {
+  std::vector<Poly> v;
+  for (size_t i = 0; i < m; ++i) v.push_back(SorpSemiring::Var(static_cast<uint32_t>(i)));
+  return v;
+}
+
+// Ground-truth TC provenance of T(s,t) via the engine.
+Poly TcTruth(const StGraph& sg) {
+  Program tc = MustParse(kTcText);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  auto engine =
+      NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(gdb.db.num_facts()));
+  uint32_t fact = g.FindIdbFact(
+      tc.preds.Find("T"), {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+  return fact == GroundedProgram::kNotFound ? SorpSemiring::Zero()
+                                            : engine.values[fact];
+}
+
+// ---------------------------------------------------------------- TC -> RPQ
+
+TEST(TcToRpqTest, RewiredRpqCircuitComputesTcProvenance) {
+  // Language a b* (infinite): pump to get (x, y, z), expand a TC instance,
+  // build the RPQ circuit on the gadget graph, rewire inputs, compare.
+  Program ab = MustParse(kAbStarText);
+  Result<ChainNfa> nfa = LeftLinearChainToNfa(ab);
+  ASSERT_TRUE(nfa.ok());
+  Dfa dfa = Dfa::Determinize(nfa.value().nfa);
+  Result<DfaPumping> pump = dfa.FindPumping();
+  ASSERT_TRUE(pump.ok());
+
+  Rng rng(121);
+  for (int trial = 0; trial < 4; ++trial) {
+    StGraph sg = RandomGraph(6, 10, 1, rng);
+    LabeledReductionInstance inst = BuildTcToRpqInstance(sg, pump.value(), 2);
+    // RPQ circuit on the labeled instance (identity variables).
+    std::vector<uint32_t> vars(inst.labeled.num_edges());
+    for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+    Circuit rpq = RpqViaProductCircuit(inst.labeled, vars,
+                                       static_cast<uint32_t>(vars.size()), dfa,
+                                       inst.s_bar, inst.t_bar);
+    // Rewire: gadget-first edges -> original variables, others -> 1.
+    Circuit tc_circuit =
+        SubstituteInputs(rpq, inst.edge_subs, inst.num_tc_vars,
+                         CircuitBuilder::Options{.plus_idempotent = true,
+                                                 .absorptive = true});
+    Poly got =
+        tc_circuit.EvaluateOutput<SorpSemiring>(IdentityVars(inst.num_tc_vars));
+    EXPECT_EQ(got, TcTruth(sg)) << "trial " << trial;
+  }
+}
+
+TEST(TcToRpqTest, RewiringPreservesDepthAndSize) {
+  Program ab = MustParse(kAbStarText);
+  Dfa dfa = Dfa::Determinize(LeftLinearChainToNfa(ab).value().nfa);
+  DfaPumping pump = dfa.FindPumping().value();
+  Rng rng(122);
+  StGraph sg = RandomGraph(8, 16, 1, rng);
+  LabeledReductionInstance inst = BuildTcToRpqInstance(sg, pump, 2);
+  std::vector<uint32_t> vars(inst.labeled.num_edges());
+  for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+  Circuit rpq = RpqViaProductCircuit(inst.labeled, vars,
+                                     static_cast<uint32_t>(vars.size()), dfa,
+                                     inst.s_bar, inst.t_bar);
+  Circuit tc_circuit = SubstituteInputs(
+      rpq, inst.edge_subs, inst.num_tc_vars,
+      CircuitBuilder::Options{.plus_idempotent = true, .absorptive = true});
+  EXPECT_LE(tc_circuit.Depth(), rpq.Depth());
+  EXPECT_LE(tc_circuit.Size(), rpq.Size());
+}
+
+TEST(TcToRpqTest, InstanceBlowupIsLinear) {
+  // |Ibar| = O(|I|): each edge becomes |y| edges plus constant prefix/suffix.
+  Program ab = MustParse(kAbStarText);
+  Dfa dfa = Dfa::Determinize(LeftLinearChainToNfa(ab).value().nfa);
+  DfaPumping pump = dfa.FindPumping().value();
+  Rng rng(123);
+  StGraph sg = RandomGraph(20, 50, 1, rng);
+  LabeledReductionInstance inst = BuildTcToRpqInstance(sg, pump, 2);
+  EXPECT_LE(inst.labeled.num_edges(),
+            pump.y.size() * sg.graph.num_edges() + pump.x.size() + pump.z.size());
+}
+
+// ---------------------------------------------------------------- RPQ -> TC
+
+TEST(RpqViaProductTest, MatchesEngineOnRandomLabeledGraphs) {
+  Program ab = MustParse(kAbStarText);
+  Dfa dfa = Dfa::Determinize(LeftLinearChainToNfa(ab).value().nfa);
+  Rng rng(124);
+  for (int trial = 0; trial < 5; ++trial) {
+    StGraph sg = RandomGraph(7, 14, 2, rng);
+    GraphDatabase gdb = GraphToDatabase(ab, sg.graph, {"A", "B"});
+    GroundedProgram g = Ground(ab, gdb.db);
+    auto engine = NaiveEvaluate<SorpSemiring>(
+        g, IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+    uint32_t fact = g.FindIdbFact(
+        ab.target_pred, {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+    Poly expected =
+        fact == GroundedProgram::kNotFound ? SorpSemiring::Zero() : engine.values[fact];
+    std::vector<uint32_t> vars(sg.graph.num_edges());
+    for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = gdb.edge_vars[i];
+    Circuit c = RpqViaProductCircuit(sg.graph, vars, gdb.db.num_facts(), dfa,
+                                     sg.s, sg.t);
+    Poly got = c.EvaluateOutput<SorpSemiring>(IdentityVars(gdb.db.num_facts()));
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(RpqViaProductTest, DepthMatchesTcDepthShape) {
+  // The reduction preserves the O(log^2 n) depth of the squaring circuit.
+  Program ab = MustParse(kAbStarText);
+  Dfa dfa = Dfa::Determinize(LeftLinearChainToNfa(ab).value().nfa);
+  Rng rng(125);
+  for (uint32_t n : {8u, 16u}) {
+    StGraph sg = RandomGraph(n, 3 * n, 2, rng);
+    std::vector<uint32_t> vars(sg.graph.num_edges());
+    for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+    Circuit rpq = RpqViaProductCircuit(sg.graph, vars,
+                                       static_cast<uint32_t>(vars.size()), dfa,
+                                       sg.s, sg.t);
+    StGraph plain = RandomGraph(n * dfa.num_states(), 3 * n, 1, rng);
+    Circuit tc = RepeatedSquaringCircuitIdentity(plain);
+    // Same asymptotic regime: within a small constant factor of each other.
+    EXPECT_LE(rpq.Depth(), 3 * tc.Depth() + 20);
+  }
+}
+
+// ---------------------------------------------------------------- TC -> CFG
+
+TEST(TcToCfgTest, DyckInstanceEquivalentToReachability) {
+  Cfg dyck = MakeDyck1Cfg();
+  Result<CfgPumping> pump = dyck.FindPumping();
+  ASSERT_TRUE(pump.ok());
+  Program dyck_prog = MustParse(testing::kDyckText);
+  Rng rng(126);
+  for (int trial = 0; trial < 3; ++trial) {
+    uint32_t layers = 2 + trial;
+    StGraph sg = LayeredGraph(2, layers, 0.4, rng);
+    uint32_t path_len = layers + 1;  // every s-t path has layers+1 edges
+    Result<LabeledReductionInstance> inst_r =
+        BuildTcToCfgInstance(sg, path_len, pump.value(), 2);
+    ASSERT_TRUE(inst_r.ok()) << inst_r.error();
+    const LabeledReductionInstance& inst = inst_r.value();
+    // Evaluate the chain program on the instance.
+    GraphDatabase gdb = GraphToDatabase(dyck_prog, inst.labeled, {"L", "R"});
+    GroundedProgram g = Ground(dyck_prog, gdb.db);
+    uint32_t fact =
+        g.FindIdbFact(dyck_prog.target_pred, {VertexConst(gdb.db, inst.s_bar),
+                                              VertexConst(gdb.db, inst.t_bar)});
+    bool derived = fact != GroundedProgram::kNotFound;
+    bool reachable = Reachable(sg.graph, sg.s)[sg.t];
+    EXPECT_EQ(derived, reachable) << "trial " << trial;
+  }
+}
+
+TEST(TcToCfgTest, ProvenanceTransfersThroughSubstitution) {
+  // Build a circuit for the CFG instance via the grounded construction and
+  // rewire it into a TC circuit; compare with ground truth.
+  Cfg dyck = MakeDyck1Cfg();
+  CfgPumping pump = dyck.FindPumping().value();
+  Program dyck_prog = MustParse(testing::kDyckText);
+  Rng rng(127);
+  StGraph sg = LayeredGraph(2, 2, 0.6, rng);
+  uint32_t path_len = 3;
+  LabeledReductionInstance inst =
+      BuildTcToCfgInstance(sg, path_len, pump, 2).value();
+  GraphDatabase gdb = GraphToDatabase(dyck_prog, inst.labeled, {"L", "R"});
+  GroundedProgram g = Ground(dyck_prog, gdb.db);
+  uint32_t fact =
+      g.FindIdbFact(dyck_prog.target_pred, {VertexConst(gdb.db, inst.s_bar),
+                                            VertexConst(gdb.db, inst.t_bar)});
+  // Engine truth on the gadget instance, then substitute variables.
+  auto engine = NaiveEvaluate<SorpSemiring>(
+      g, IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+  Poly gadget_poly =
+      fact == GroundedProgram::kNotFound ? SorpSemiring::Zero() : engine.values[fact];
+  // Substitute: gadget edge var -> Var(original) or One. gdb.edge_vars[i]
+  // is the provenance var of instance edge i.
+  std::vector<Poly> assignment(g.num_edb_vars(), SorpSemiring::One());
+  for (uint32_t ei = 0; ei < inst.labeled.num_edges(); ++ei) {
+    const InputSubstitution& s = inst.edge_subs[ei];
+    assignment[gdb.edge_vars[ei]] = s.kind == InputSubstitution::Kind::kVar
+                                        ? SorpSemiring::Var(s.var)
+                                        : SorpSemiring::One();
+  }
+  Poly transferred = EvalPoly<SorpSemiring>(gadget_poly, assignment);
+  EXPECT_EQ(transferred, TcTruth(sg));
+}
+
+TEST(TcToCfgTest, RejectsEmptyVPumping) {
+  // a+ grammar: S -> S a | a pumps with empty v.
+  Cfg g;
+  uint32_t s = g.AddNonterminal("S");
+  uint32_t a = g.AddTerminal("a");
+  g.SetStart(s);
+  g.AddProduction(s, {GSymbol::N(s), GSymbol::T(a)});
+  g.AddProduction(s, {GSymbol::T(a)});
+  CfgPumping pump = g.FindPumping().value();
+  if (pump.v.empty()) {
+    Rng rng(128);
+    StGraph sg = LayeredGraph(2, 2, 0.5, rng);
+    EXPECT_FALSE(BuildTcToCfgInstance(sg, 3, pump, 1).ok());
+  }
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,90 @@
+// Property tests: every declared semiring satisfies the commutative-semiring
+// axioms and its declared trait flags; positive semirings pass the positivity
+// homomorphism check; absorptive semirings are 0-stable; the counterexample
+// semirings (TropicalZ, Arctic) demonstrably fail absorption.
+#include <gtest/gtest.h>
+
+#include "src/semiring/axioms.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+namespace {
+
+constexpr int kIters = 300;
+
+template <typename S>
+class SemiringAxiomsTest : public ::testing::Test {};
+
+using AllSemirings =
+    ::testing::Types<BooleanSemiring, TropicalSemiring, TropicalZSemiring,
+                     CountingSemiring, ViterbiSemiring, FuzzySemiring,
+                     LukasiewiczSemiring, CapacitySemiring, ArcticSemiring,
+                     SorpSemiring, WhySemiring>;
+TYPED_TEST_SUITE(SemiringAxiomsTest, AllSemirings);
+
+TYPED_TEST(SemiringAxiomsTest, SatisfiesAxiomsAndDeclaredTraits) {
+  Rng rng(42);
+  EXPECT_EQ(CheckSemiringAxioms<TypeParam>(rng, kIters), "");
+}
+
+TYPED_TEST(SemiringAxiomsTest, PositiveSemiringsPassPositivity) {
+  if (!TypeParam::kIsPositive) GTEST_SKIP() << "not declared positive";
+  Rng rng(43);
+  EXPECT_EQ(CheckPositive<TypeParam>(rng, kIters), "");
+}
+
+TYPED_TEST(SemiringAxiomsTest, AbsorptiveImpliesZeroStable) {
+  if (!TypeParam::kIsAbsorptive) GTEST_SKIP() << "not absorptive";
+  Rng rng(44);
+  EXPECT_EQ(CheckPStable<TypeParam>(rng, /*p=*/0, kIters), "");
+}
+
+TYPED_TEST(SemiringAxiomsTest, AbsorptiveImpliesPlusIdempotent) {
+  // Paper Section 2.2: absorption forces x+x = x(1+1) = x.
+  if (!TypeParam::kIsAbsorptive) GTEST_SKIP() << "not absorptive";
+  static_assert(!TypeParam::kIsAbsorptive || TypeParam::kIsIdempotent);
+}
+
+TEST(CounterexampleTest, TropicalZIsNotAbsorptive) {
+  using S = TropicalZSemiring;
+  EXPECT_FALSE(S::Eq(S::Plus(S::One(), -5), S::One()));
+}
+
+TEST(CounterexampleTest, ArcticIsNotAbsorptive) {
+  using S = ArcticSemiring;
+  EXPECT_FALSE(S::Eq(S::Plus(S::One(), 5), S::One()));
+}
+
+TEST(CounterexampleTest, ArcticIsNotPStableForSmallP) {
+  // 1 + u + ... + u^p keeps growing under max-plus for u > 0.
+  using S = ArcticSemiring;
+  Rng rng(45);
+  for (unsigned p = 0; p < 3; ++p) {
+    EXPECT_NE(CheckPStable<S>(rng, p, 200), "") << "p=" << p;
+  }
+}
+
+TEST(NaturalOrderTest, TropicalOrderIsReverseNumeric) {
+  using S = TropicalSemiring;
+  EXPECT_TRUE(NaturalLeq<S>(S::Zero(), 7));   // inf <= 7 (0 is bottom)
+  EXPECT_TRUE(NaturalLeq<S>(9, 3));           // min(9,3)=3
+  EXPECT_FALSE(NaturalLeq<S>(3, 9));
+}
+
+TEST(NaturalOrderTest, BooleanOrder) {
+  using S = BooleanSemiring;
+  EXPECT_TRUE(NaturalLeq<S>(false, true));
+  EXPECT_FALSE(NaturalLeq<S>(true, false));
+}
+
+TEST(PowerHelpersTest, TimesPowAndPlusPow) {
+  using S = CountingSemiring;
+  EXPECT_EQ(TimesPow<S>(3, 4), 81u);
+  EXPECT_EQ(TimesPow<S>(3, 0), 1u);
+  EXPECT_EQ(PlusPow<S>(5, 3), 15u);
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,147 @@
+// Tests for the Spira depth reduction (Theorem 3.2 analogue): the balanced
+// formula must be equivalent over absorptive semirings (checked symbolically
+// in Sorp(X) and numerically over Tropical/Boolean/Fuzzy/Viterbi) and its
+// depth must be O(log size). Also verifies the absorptive identity can fail
+// over non-absorptive semirings, i.e. the restriction in the paper is real.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/circuit/formula.h"
+#include "src/circuit/spira.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+
+namespace dlcirc {
+namespace {
+
+double DepthBound(uint64_t size) {
+  return kSpiraDepthSlope * std::log2(static_cast<double>(size) + 1) +
+         kSpiraDepthOffset;
+}
+
+TEST(SpiraTest, SmallFormulaIsUntouched) {
+  FormulaBuilder fb(2);
+  Formula f = fb.Build(fb.Plus(fb.Input(0), fb.Input(1)));
+  SpiraResult r = BalanceFormulaAbsorptive(f);
+  EXPECT_EQ(r.balanced_depth, f.Depth());
+  EXPECT_EQ(r.original_size, f.Size());
+}
+
+TEST(SpiraTest, EquivalentInSorpOnRandomFormulas) {
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    Formula f = RandomFormula(rng, 4, 60);
+    SpiraResult r = BalanceFormulaAbsorptive(f);
+    std::vector<Poly> vars;
+    for (uint32_t v = 0; v < 4; ++v) vars.push_back(SorpSemiring::Var(v));
+    EXPECT_EQ(f.Evaluate<SorpSemiring>(vars).ToString(),
+              r.formula.Evaluate<SorpSemiring>(vars).ToString())
+        << "trial " << trial;
+  }
+}
+
+template <typename S>
+void CheckNumericEquivalence(uint64_t seed, uint32_t size) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    Formula f = RandomFormula(rng, 6, size);
+    SpiraResult r = BalanceFormulaAbsorptive(f);
+    for (int a = 0; a < 10; ++a) {
+      std::vector<typename S::Value> assign;
+      for (int v = 0; v < 6; ++v) assign.push_back(S::RandomValue(rng));
+      EXPECT_TRUE(S::Eq(f.Evaluate<S>(assign), r.formula.Evaluate<S>(assign)))
+          << S::Name() << " trial " << trial;
+    }
+  }
+}
+
+TEST(SpiraTest, EquivalentOverTropical) {
+  CheckNumericEquivalence<TropicalSemiring>(7, 300);
+}
+TEST(SpiraTest, EquivalentOverBoolean) {
+  CheckNumericEquivalence<BooleanSemiring>(8, 300);
+}
+TEST(SpiraTest, EquivalentOverFuzzy) { CheckNumericEquivalence<FuzzySemiring>(9, 300); }
+TEST(SpiraTest, EquivalentOverViterbi) {
+  CheckNumericEquivalence<ViterbiSemiring>(10, 150);
+}
+TEST(SpiraTest, EquivalentOverLukasiewicz) {
+  CheckNumericEquivalence<LukasiewiczSemiring>(11, 150);
+}
+
+TEST(SpiraTest, DepthIsLogarithmicInSize) {
+  Rng rng(55);
+  for (uint32_t size : {100u, 400u, 1600u, 6400u}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      Formula f = RandomFormula(rng, 8, size);
+      SpiraResult r = BalanceFormulaAbsorptive(f);
+      EXPECT_LE(r.balanced_depth, DepthBound(r.original_size))
+          << "size=" << f.Size() << " depth=" << r.balanced_depth;
+    }
+  }
+}
+
+TEST(SpiraTest, ReducesDepthOfPathologicalChain) {
+  // Left-deep chain x0 * x1 * ... has linear depth; Spira must flatten it.
+  FormulaBuilder fb(64);
+  uint32_t acc = fb.Input(0);
+  for (uint32_t i = 1; i < 64; ++i) acc = fb.Times(acc, fb.Input(i % 64));
+  Formula f = fb.Build(acc);
+  EXPECT_EQ(f.Depth(), 63u);
+  SpiraResult r = BalanceFormulaAbsorptive(f);
+  EXPECT_LE(r.balanced_depth, DepthBound(f.Size()));
+  // Check equivalence over Tropical (sum of all vars).
+  std::vector<uint64_t> assign(64, 1);
+  EXPECT_EQ(r.formula.Evaluate<TropicalSemiring>(assign), 64u);
+}
+
+TEST(SpiraTest, AbsorptiveIdentityFailsOverArctic) {
+  // F = x0 * x1 with G = x1: (F[G:=1] x G) + F[G:=0] = x0*x1 + ... over
+  // a non-absorptive semiring B*G + B != B in general. Construct the Spira
+  // combination manually and exhibit an Arctic counterexample, documenting
+  // why the reduction demands absorption.
+  FormulaBuilder fb(2);
+  Formula f = fb.Build(fb.Plus(fb.Input(0), fb.Times(fb.Input(0), fb.Input(1))));
+  // Take G = the x1 leaf. F[G:=1] = x0 + x0 ; F[G:=0] = x0.
+  // Spira form: (x0 + x0) * x1 + x0.
+  FormulaBuilder sb(2);
+  uint32_t spira_root =
+      sb.Plus(sb.Times(sb.Plus(sb.Input(0), sb.Input(0)), sb.Input(1)), sb.Input(0));
+  Formula spira = sb.Build(spira_root);
+  using A = ArcticSemiring;
+  std::vector<int64_t> assign = {0, 5};  // x0=0, x1=5 (max-plus)
+  // Original: max(0, 0+5) = 5. Spira form: max(max(0,0)+5, 0) = 5. Equal here;
+  // but with x1 > 0 the results differ for F = x0 (G=x0 case). Use direct
+  // algebra instead: B + B*G != B over Arctic when G > 0.
+  int64_t b_val = 3, g_val = 5;
+  EXPECT_NE(A::Plus(b_val, A::Times(b_val, g_val)), b_val);
+  // Over Tropical (absorptive) the same identity holds: min(3, 3+5) = 3.
+  using T = TropicalSemiring;
+  EXPECT_EQ(T::Plus(3, T::Times(3, 5)), 3u);
+  (void)f;
+  (void)spira;
+  (void)assign;
+}
+
+TEST(SpiraTest, BalancedFormulaIsStillATree) {
+  Rng rng(66);
+  Formula f = RandomFormula(rng, 5, 500);
+  SpiraResult r = BalanceFormulaAbsorptive(f);
+  EXPECT_TRUE(r.formula.IsTree());
+}
+
+TEST(SpiraTest, SizeBlowupIsPolynomial) {
+  // Spira can square the size at worst; for our separator it stays modest.
+  Rng rng(77);
+  for (uint32_t size : {200u, 800u}) {
+    Formula f = RandomFormula(rng, 6, size);
+    SpiraResult r = BalanceFormulaAbsorptive(f);
+    double s = static_cast<double>(r.original_size);
+    EXPECT_LE(static_cast<double>(r.balanced_size), s * s + 100.0)
+        << "original=" << r.original_size << " balanced=" << r.balanced_size;
+  }
+}
+
+}  // namespace
+}  // namespace dlcirc

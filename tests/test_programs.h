@@ -1,0 +1,93 @@
+// Shared corpus of Datalog programs and instances used across test suites,
+// mirroring the paper's running examples.
+#ifndef DLCIRC_TESTS_TEST_PROGRAMS_H_
+#define DLCIRC_TESTS_TEST_PROGRAMS_H_
+
+#include <string>
+
+#include "src/datalog/parser.h"
+#include "src/util/check.h"
+
+namespace dlcirc {
+namespace testing {
+
+/// Transitive closure (Example 2.1, left program).
+inline constexpr const char* kTcText = R"(
+@target T.
+T(X,Y) :- E(X,Y).
+T(X,Y) :- T(X,Z), E(Z,Y).
+)";
+
+/// Monadic reachability from A-nodes (Example 2.1, right program).
+inline constexpr const char* kReachText = R"(
+@target U.
+U(X) :- A(X).
+U(X) :- U(Y), E(X,Y).
+)";
+
+/// The bounded program of Example 4.2.
+inline constexpr const char* kBoundedText = R"(
+@target T.
+T(X,Y) :- E(X,Y).
+T(X,Y) :- A(X), T(Z,Y).
+)";
+
+/// Dyck-1 reachability (Example 6.4): nonlinear chain program with the
+/// polynomial fringe property.
+inline constexpr const char* kDyckText = R"(
+@target S.
+S(X,Y) :- L(X,Z), R(Z,Y).
+S(X,Y) :- L(X,W), S(W,Z), R(Z,Y).
+S(X,Y) :- S(X,Z), S(Z,Y).
+)";
+
+/// Left-linear chain program for the infinite regular language a b* (an RPQ).
+inline constexpr const char* kAbStarText = R"(
+@target T.
+T(X,Y) :- A(X,Y).
+T(X,Y) :- T(X,Z), B(Z,Y).
+)";
+
+/// Chain program for the FINITE language {a, ab}: bounded.
+inline constexpr const char* kFiniteChainText = R"(
+@target T.
+T(X,Y) :- A(X,Y).
+T(X,Y) :- A(X,Z), B(Z,Y).
+)";
+
+inline Program MustParse(const std::string& text) {
+  Result<Program> r = ParseProgram(text);
+  DLCIRC_CHECK(r.ok()) << r.error();
+  return std::move(r).value();
+}
+
+/// The EDB of Figure 1: s->u1, s->u2, u1->v1, u1->v2, u2->v2, v1->t, v2->t.
+/// Returns the database plus the edge variables keyed by name for checks.
+struct Fig1 {
+  Database db;
+  uint32_t x_s_u1, x_s_u2, x_u1_v1, x_u1_v2, x_u2_v2, x_v1_t, x_v2_t;
+  uint32_t c_s, c_t;  // domain constants
+};
+
+inline Fig1 MakeFig1(const Program& tc) {
+  Database db(tc);
+  uint32_t s = db.InternConst("s"), u1 = db.InternConst("u1"),
+           u2 = db.InternConst("u2"), v1 = db.InternConst("v1"),
+           v2 = db.InternConst("v2"), t = db.InternConst("t");
+  uint32_t e = tc.preds.Find("E");
+  DLCIRC_CHECK_NE(e, Interner::kNotFound);
+  Fig1 f{std::move(db), 0, 0, 0, 0, 0, 0, 0, s, t};
+  f.x_s_u1 = f.db.AddFact(e, {s, u1});
+  f.x_s_u2 = f.db.AddFact(e, {s, u2});
+  f.x_u1_v1 = f.db.AddFact(e, {u1, v1});
+  f.x_u1_v2 = f.db.AddFact(e, {u1, v2});
+  f.x_u2_v2 = f.db.AddFact(e, {u2, v2});
+  f.x_v1_t = f.db.AddFact(e, {v1, t});
+  f.x_v2_t = f.db.AddFact(e, {v2, t});
+  return f;
+}
+
+}  // namespace testing
+}  // namespace dlcirc
+
+#endif  // DLCIRC_TESTS_TEST_PROGRAMS_H_

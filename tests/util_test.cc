@@ -1,0 +1,127 @@
+// Unit tests for src/util: Result, Interner, Rng, Table, power-law fitting,
+// and saturating BigCount arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/bigcount.h"
+#include "src/util/fit.h"
+#include "src/util/interner.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace dlcirc {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.error().empty());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Result<int>::Error("bad input");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "bad input");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(InternerTest, AssignsDenseIdsInOrder) {
+  Interner in;
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.Intern("b"), 1u);
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.Name(1), "b");
+}
+
+TEST(InternerTest, FindReturnsNotFoundForUnknown) {
+  Interner in;
+  in.Intern("x");
+  EXPECT_EQ(in.Find("x"), 0u);
+  EXPECT_EQ(in.Find("y"), Interner::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BoundedAndRangeRespectLimits) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(TableTest, RendersAlignedMarkdown) {
+  Table t({"n", "size"});
+  t.AddRow({"1", "10"});
+  t.AddRow({"100", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("| n   | size |"), std::string::npos);
+  EXPECT_NE(s.find("| 100 | 2    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(FitTest, RecoversQuadraticExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x);
+  }
+  PowerFit fit = FitPowerLaw(xs, ys);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.constant, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitTest, ThetaRatioSpreadFlatForMatchingShape) {
+  std::vector<double> ys = {10, 20, 40, 80}, fs = {5, 10, 20, 40};
+  EXPECT_NEAR(ThetaRatioSpread(ys, fs), 1.0, 1e-12);
+}
+
+TEST(BigCountTest, ExactSmallSums) {
+  BigCount a(3), b(4);
+  BigCount c = a + b;
+  EXPECT_FALSE(c.saturated());
+  EXPECT_EQ(c.exact(), 7u);
+  EXPECT_EQ(c.ToString(), "7");
+}
+
+TEST(BigCountTest, SaturatesAndTracksLog) {
+  BigCount big(std::numeric_limits<uint64_t>::max() - 1);
+  BigCount c = big + BigCount(1000);
+  EXPECT_TRUE(c.saturated());
+  EXPECT_NEAR(c.log2(), 64.0, 0.01);
+  BigCount d = c + c;  // log grows by one past saturation
+  EXPECT_NEAR(d.log2(), 65.0, 0.01);
+  EXPECT_EQ(d.ToString().substr(0, 3), "~2^");
+}
+
+TEST(BigCountTest, ZeroHasNegInfLog) {
+  BigCount z;
+  EXPECT_EQ(z.exact(), 0u);
+  BigCount s = z + BigCount(8);
+  EXPECT_EQ(s.exact(), 8u);
+  EXPECT_NEAR(s.log2(), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,216 @@
+// Tests for the Ullman-Van Gelder circuit (Theorem 6.2): symbolic agreement
+// with the engine on linear programs (Corollary 6.3) and on Dyck-1 (Example
+// 6.4), stage count O(log fringe), and the log^2 depth shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/constructions/finite_rpq_circuit.h"
+#include "src/constructions/uvg_circuit.h"
+#include "src/datalog/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_db.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using testing::kDyckText;
+using testing::kReachText;
+using testing::kTcText;
+using testing::MustParse;
+
+void CheckUvgAgainstEngine(const Program& program, const Database& db) {
+  GroundedProgram g = Ground(program, db);
+  UvgResult r = UvgCircuit(g);
+  auto engine =
+      NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+  ASSERT_TRUE(engine.converged);
+  auto vals = r.circuit.Evaluate<SorpSemiring>(
+      IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+  for (uint32_t f = 0; f < g.num_idb_facts(); ++f) {
+    EXPECT_EQ(vals[f], engine.values[f])
+        << "fact " << f << ": uvg " << vals[f].ToString() << " engine "
+        << engine.values[f].ToString();
+  }
+}
+
+TEST(UvgCircuitTest, TcOnRandomGraphs) {
+  Program tc = MustParse(kTcText);
+  Rng rng(111);
+  for (int trial = 0; trial < 5; ++trial) {
+    StGraph sg = RandomGraph(7, 12, 1, rng);
+    GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+    CheckUvgAgainstEngine(tc, gdb.db);
+  }
+}
+
+TEST(UvgCircuitTest, TcOnCycles) {
+  Program tc = MustParse(kTcText);
+  StGraph sg = CycleWithTails(5);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  CheckUvgAgainstEngine(tc, gdb.db);
+}
+
+TEST(UvgCircuitTest, DyckOnBalancedWords) {
+  Program dyck = MustParse(kDyckText);
+  // ( ( ) ) ( ) and ( ) ( ) ( ).
+  for (const std::vector<uint32_t>& word :
+       {std::vector<uint32_t>{0, 0, 1, 1, 0, 1},
+        std::vector<uint32_t>{0, 1, 0, 1, 0, 1}}) {
+    StGraph sg = WordPath(word, 2);
+    GraphDatabase gdb = GraphToDatabase(dyck, sg.graph, {"L", "R"});
+    CheckUvgAgainstEngine(dyck, gdb.db);
+  }
+}
+
+TEST(UvgCircuitTest, DyckOnBranchingGraph) {
+  // A small graph with branching and re-use: two balanced loops sharing a
+  // midpoint (nonlinear derivations with shared subtrees).
+  Program dyck = MustParse(kDyckText);
+  LabeledGraph g(5, 2);
+  g.AddEdge(0, 1, 0);  // L
+  g.AddEdge(1, 2, 1);  // R
+  g.AddEdge(2, 3, 0);  // L
+  g.AddEdge(3, 4, 1);  // R
+  g.AddEdge(0, 3, 0);  // L (alternative)
+  GraphDatabase gdb = GraphToDatabase(dyck, g, {"L", "R"});
+  CheckUvgAgainstEngine(dyck, gdb.db);
+}
+
+TEST(UvgCircuitTest, MonadicReachProgram) {
+  // Linear monadic program (Corollary 6.3 applies).
+  Program reach = MustParse(kReachText);
+  Database db(reach);
+  uint32_t a_p = reach.preds.Find("A"), e_p = reach.preds.Find("E");
+  std::vector<uint32_t> c;
+  for (int i = 0; i < 7; ++i) c.push_back(db.InternConst("c" + std::to_string(i)));
+  // U(x) :- U(y), E(x, y): reachability along edges x -> y.
+  db.AddFact(a_p, {c[6]});
+  for (int i = 0; i < 6; ++i) db.AddFact(e_p, {c[i], c[i + 1]});
+  db.AddFact(e_p, {c[2], c[5]});  // shortcut
+  CheckUvgAgainstEngine(reach, db);
+}
+
+TEST(UvgCircuitTest, StageCountIsLogarithmic) {
+  Program tc = MustParse(kTcText);
+  Rng rng(112);
+  StGraph sg = RandomGraph(12, 30, 1, rng);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  UvgResult r = UvgCircuit(g);
+  double n_facts = static_cast<double>(g.num_idb_facts() + 2);
+  EXPECT_LE(r.stages_used,
+            static_cast<uint32_t>(6.0 * std::log2(n_facts) + 12.0));
+}
+
+TEST(UvgCircuitTest, DepthIsLogSquaredShape) {
+  // Depth <= c * log^2(input size) with an explicit constant across a sweep.
+  Program dyck = MustParse(kDyckText);
+  for (uint32_t k : {4u, 8u, 16u}) {
+    std::vector<uint32_t> word;
+    for (uint32_t i = 0; i < k; ++i) word.push_back(0);
+    for (uint32_t i = 0; i < k; ++i) word.push_back(1);  // ( ^k ) ^k
+    StGraph sg = WordPath(word, 2);
+    GraphDatabase gdb = GraphToDatabase(dyck, sg.graph, {"L", "R"});
+    GroundedProgram g = Ground(dyck, gdb.db);
+    UvgResult r = UvgCircuit(g);
+    double m = static_cast<double>(g.num_edb_vars() + g.num_idb_facts());
+    double lg = std::log2(m + 2);
+    EXPECT_LE(static_cast<double>(r.circuit.Depth()), 8.0 * lg * lg + 30.0)
+        << "k=" << k << " depth=" << r.circuit.Depth();
+  }
+}
+
+TEST(UvgCircuitTest, ExplicitStageOverrideStillSound) {
+  // Extra stages beyond the default must not change the value (soundness of
+  // the doubling step: it only adds absorbed derivations).
+  Program tc = MustParse(kTcText);
+  StGraph sg = PathGraph(5);
+  GraphDatabase gdb = GraphToDatabase(tc, sg.graph, {"E"});
+  GroundedProgram g = Ground(tc, gdb.db);
+  UvgOptions opts;
+  opts.stages = 20;
+  UvgResult more = UvgCircuit(g, opts);
+  auto engine =
+      NaiveEvaluate<SorpSemiring>(g, IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+  auto vals =
+      more.circuit.Evaluate<SorpSemiring>(IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+  for (uint32_t f = 0; f < g.num_idb_facts(); ++f) EXPECT_EQ(vals[f], engine.values[f]);
+}
+
+TEST(FiniteRpqCircuitTest, RejectsInfiniteLanguage) {
+  // a b*: infinite.
+  Nfa n;
+  n.num_states = 2;
+  n.num_labels = 2;
+  n.start = 0;
+  n.accept = {false, true};
+  n.transitions = {{0, 0, 1}, {1, 1, 1}};
+  Dfa d = Dfa::Determinize(n);
+  StGraph sg = WordPath({0, 1}, 2);
+  std::vector<uint32_t> vars = {0, 1};
+  EXPECT_FALSE(FiniteRpqCircuit(sg.graph, vars, 2, d, sg.s, sg.t).ok());
+}
+
+TEST(FiniteRpqCircuitTest, MatchesEngineOnFiniteLanguage) {
+  // Language {a, ab} via the finite chain program of the corpus.
+  Program p = MustParse(testing::kFiniteChainText);
+  Nfa n;
+  n.num_states = 3;
+  n.num_labels = 2;
+  n.start = 0;
+  n.accept = {false, true, true};
+  n.transitions = {{0, 0, 1}, {1, 1, 2}};
+  Dfa d = Dfa::Determinize(n);
+  Rng rng(113);
+  for (int trial = 0; trial < 5; ++trial) {
+    StGraph sg = RandomGraph(8, 16, 2, rng);
+    GraphDatabase gdb = GraphToDatabase(p, sg.graph, {"A", "B"});
+    GroundedProgram g = Ground(p, gdb.db);
+    std::vector<uint32_t> vars(sg.graph.num_edges());
+    // Map edge index to its db provenance variable.
+    for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = gdb.edge_vars[i];
+    Result<Circuit> c =
+        FiniteRpqCircuit(sg.graph, vars, gdb.db.num_facts(), d, sg.s, sg.t);
+    ASSERT_TRUE(c.ok()) << c.error();
+    auto engine = NaiveEvaluate<SorpSemiring>(
+        g, IdentityTagging<SorpSemiring>(g.num_edb_vars()));
+    uint32_t fact = g.FindIdbFact(
+        p.target_pred, {VertexConst(gdb.db, sg.s), VertexConst(gdb.db, sg.t)});
+    Poly expected =
+        fact == GroundedProgram::kNotFound ? SorpSemiring::Zero() : engine.values[fact];
+    Poly got = c.value().EvaluateOutput<SorpSemiring>(
+        IdentityTagging<SorpSemiring>(gdb.db.num_facts()));
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(FiniteRpqCircuitTest, LinearSizeLogDepthBounds) {
+  // Theorem 5.8: size O(m), depth O(log n) for fixed finite L.
+  Nfa n;
+  n.num_states = 3;
+  n.num_labels = 2;
+  n.start = 0;
+  n.accept = {false, true, true};
+  n.transitions = {{0, 0, 1}, {1, 1, 2}};
+  Dfa d = Dfa::Determinize(n);
+  Rng rng(114);
+  for (uint32_t m : {50u, 100u, 200u}) {
+    StGraph sg = RandomGraph(m / 3, m, 2, rng);
+    std::vector<uint32_t> vars(sg.graph.num_edges());
+    for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;
+    Result<Circuit> c = FiniteRpqCircuit(sg.graph, vars,
+                                         static_cast<uint32_t>(vars.size()), d,
+                                         sg.s, sg.t);
+    ASSERT_TRUE(c.ok());
+    EXPECT_LE(c.value().Size(), 6 * sg.graph.num_edges() + 40) << "m=" << m;
+    EXPECT_LE(c.value().Depth(),
+              static_cast<uint32_t>(4.0 * std::log2(m) + 16.0));
+  }
+}
+
+}  // namespace
+}  // namespace dlcirc
