@@ -9,9 +9,11 @@ Circuit::Circuit(std::vector<Gate> gates, std::vector<GateId> outputs,
                  uint32_t num_vars)
     : gates_(std::move(gates)), outputs_(std::move(outputs)), num_vars_(num_vars) {
   DLCIRC_CHECK(IsWellFormed()) << "malformed circuit";
+  cone_ = ComputeOutputCone();
+  stats_ = ComputeStatsUncached();
 }
 
-std::vector<bool> Circuit::OutputCone() const {
+std::vector<bool> Circuit::ComputeOutputCone() const {
   std::vector<bool> in_cone(gates_.size(), false);
   for (GateId o : outputs_) in_cone[o] = true;
   for (size_t i = gates_.size(); i-- > 0;) {
@@ -25,8 +27,8 @@ std::vector<bool> Circuit::OutputCone() const {
   return in_cone;
 }
 
-Circuit::Stats Circuit::ComputeStats() const {
-  std::vector<bool> cone = OutputCone();
+Circuit::Stats Circuit::ComputeStatsUncached() const {
+  const std::vector<bool>& cone = OutputCone();
   std::vector<uint32_t> depth(gates_.size(), 0);
   Stats s;
   for (size_t i = 0; i < gates_.size(); ++i) {
@@ -93,7 +95,7 @@ bool Circuit::IsWellFormed() const {
 }
 
 std::string Circuit::ToDot() const {
-  std::vector<bool> cone = OutputCone();
+  const std::vector<bool>& cone = OutputCone();
   std::ostringstream ss;
   ss << "digraph circuit {\n  rankdir=BT;\n";
   for (size_t i = 0; i < gates_.size(); ++i) {

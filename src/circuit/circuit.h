@@ -54,19 +54,25 @@ class Circuit {
   /// Size of the input-variable space (valid var ids are [0, num_vars)).
   uint32_t num_vars() const { return num_vars_; }
 
-  Stats ComputeStats() const;
+  /// Stats are computed once at construction and cached, so Size()/Depth()
+  /// and repeated ComputeStats() calls are free.
+  const Stats& ComputeStats() const { return stats_; }
   /// Gates in the output cone (Stats().size).
-  uint64_t Size() const { return ComputeStats().size; }
+  uint64_t Size() const { return stats_.size; }
   /// Longest input-to-output path length in edges (Stats().depth).
-  uint32_t Depth() const { return ComputeStats().depth; }
+  uint32_t Depth() const { return stats_.depth; }
 
   /// Evaluates all outputs under `assignment` (one value per variable id)
-  /// over semiring S, bottom-up in one pass.
+  /// over semiring S, bottom-up in one pass. Work is restricted to the
+  /// output cone: gates outside it (including dead inputs, whose variable
+  /// ids need not be covered by `assignment`) are skipped.
   template <Semiring S>
   std::vector<typename S::Value> Evaluate(
       const std::vector<typename S::Value>& assignment) const {
+    const std::vector<bool>& cone = OutputCone();
     std::vector<typename S::Value> vals(gates_.size(), S::Zero());
     for (size_t i = 0; i < gates_.size(); ++i) {
+      if (!cone[i]) continue;
       const Gate& g = gates_[i];
       switch (g.kind) {
         case GateKind::kZero:
@@ -112,12 +118,19 @@ class Circuit {
   /// Graphviz rendering of the output cone (small circuits only).
   std::string ToDot() const;
 
+  /// Mask of gates reachable from some output (indexed by gate id).
+  /// Computed once at construction, like the stats.
+  const std::vector<bool>& OutputCone() const { return cone_; }
+
  private:
-  std::vector<bool> OutputCone() const;
+  std::vector<bool> ComputeOutputCone() const;
+  Stats ComputeStatsUncached() const;
 
   std::vector<Gate> gates_;
   std::vector<GateId> outputs_;
   uint32_t num_vars_ = 0;
+  std::vector<bool> cone_;
+  Stats stats_;
 };
 
 }  // namespace dlcirc

@@ -1,0 +1,227 @@
+// Batched evaluation: one EvalPlan, B assignments at once.
+//
+// This is the "millions of users" story: many concurrent queries share one
+// provenance circuit and differ only in their EDB tagging, so the topology
+// walk (gate dispatch, layer scheduling, memory traffic over the plan) is
+// paid once per batch instead of once per query. Values live in
+// structure-of-arrays layout — vals[slot * B + b] — so the inner loop over
+// the batch is a tight, contiguous, auto-vectorizable sweep.
+//
+// Parallelism composes with the Evaluator: wide layers are split across the
+// worker pool exactly as in single-assignment evaluation, with thresholds
+// scaled by the batch size.
+#ifndef DLCIRC_EVAL_BATCH_H_
+#define DLCIRC_EVAL_BATCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/eval/evaluator.h"
+#include "src/semiring/semiring.h"
+#include "src/util/check.h"
+
+namespace dlcirc {
+namespace eval {
+
+/// B assignments in variable-major SoA layout: value of variable v in batch
+/// lane b at values[v * batch_size + b].
+template <Semiring S>
+struct BatchAssignment {
+  size_t batch_size = 0;
+  std::vector<typename S::Value> values;  // num_vars * batch_size
+
+  /// Transposes per-query assignment vectors (each of length >= num_vars)
+  /// into SoA form. All assignments must cover [0, num_vars).
+  static BatchAssignment Pack(
+      const std::vector<std::vector<typename S::Value>>& assignments,
+      uint32_t num_vars) {
+    return PackRange(assignments, 0, assignments.size(), num_vars);
+  }
+
+  /// Packs lanes [start, start + count) of `assignments` directly — no
+  /// intermediate copy of the lane vectors (used by EvaluateBatch tiling).
+  static BatchAssignment PackRange(
+      const std::vector<std::vector<typename S::Value>>& assignments,
+      size_t start, size_t count, uint32_t num_vars) {
+    DLCIRC_CHECK_GT(count, 0u) << "empty batch";
+    DLCIRC_CHECK_LE(start + count, assignments.size());
+    BatchAssignment batch;
+    batch.batch_size = count;
+    batch.values.assign(static_cast<size_t>(num_vars) * count, S::Zero());
+    for (size_t b = 0; b < count; ++b) {
+      DLCIRC_CHECK_LE(num_vars, assignments[start + b].size());
+      for (uint32_t v = 0; v < num_vars; ++v) {
+        batch.values[static_cast<size_t>(v) * count + b] =
+            assignments[start + b][v];
+      }
+    }
+    return batch;
+  }
+};
+
+/// Evaluates `plan` under all lanes of `batch` at once. On return, `slots`
+/// holds plan.num_slots() * batch_size values in slot-major SoA layout:
+/// value of slot s in lane b at (*slots)[s * batch_size + b].
+template <Semiring S>
+void EvaluateBatchInto(const Evaluator& evaluator, const EvalPlan& plan,
+                       const BatchAssignment<S>& batch,
+                       std::vector<SlotValue<S>>* slots) {
+  const size_t B = batch.batch_size;
+  DLCIRC_CHECK_GT(B, 0u);
+  DLCIRC_CHECK_LE(static_cast<size_t>(plan.num_vars()) * B,
+                  batch.values.size());
+  slots->assign(plan.num_slots() * B, static_cast<SlotValue<S>>(S::Zero()));
+  const std::vector<Gate>& gates = plan.gates();
+  auto& vals = *slots;
+  const auto& in = batch.values;
+  evaluator.ForEachLayer(plan, /*work_per_gate=*/B, [&](size_t begin,
+                                                        size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Gate& g = gates[i];
+      const size_t row = i * B;
+      switch (g.kind) {
+        case GateKind::kZero:
+          break;  // rows start at S::Zero()
+        case GateKind::kOne:
+          for (size_t b = 0; b < B; ++b) vals[row + b] = S::One();
+          break;
+        case GateKind::kInput: {
+          const size_t src = static_cast<size_t>(g.a) * B;
+          for (size_t b = 0; b < B; ++b) vals[row + b] = in[src + b];
+          break;
+        }
+        case GateKind::kPlus: {
+          const size_t ra = static_cast<size_t>(g.a) * B;
+          const size_t rb = static_cast<size_t>(g.b) * B;
+          for (size_t b = 0; b < B; ++b) {
+            vals[row + b] = S::Plus(vals[ra + b], vals[rb + b]);
+          }
+          break;
+        }
+        case GateKind::kTimes: {
+          const size_t ra = static_cast<size_t>(g.a) * B;
+          const size_t rb = static_cast<size_t>(g.b) * B;
+          for (size_t b = 0; b < B; ++b) {
+            vals[row + b] = S::Times(vals[ra + b], vals[rb + b]);
+          }
+          break;
+        }
+      }
+    }
+  });
+}
+
+/// Convenience wrapper: evaluates and returns per-lane output vectors,
+/// result[b][k] = value of output k under assignment b (matching what
+/// Circuit::Evaluate would return for assignment b).
+///
+/// Lanes are processed in tiles sized so the slot-major value buffer stays
+/// within `tile_budget_bytes`: running all lanes of a huge plan at once
+/// inflates each layer's working set by the batch size and turns the sweep
+/// memory-bound, so beyond the budget it is faster to re-walk the (shared,
+/// already-compiled) plan once per tile. Small plans get one tile.
+template <Semiring S>
+std::vector<std::vector<typename S::Value>> EvaluateBatch(
+    const Evaluator& evaluator, const EvalPlan& plan,
+    const std::vector<std::vector<typename S::Value>>& assignments,
+    size_t tile_budget_bytes = size_t{32} << 20) {
+  const size_t B = assignments.size();
+  DLCIRC_CHECK_GT(B, 0u);
+  const size_t per_lane_bytes =
+      std::max<size_t>(1, plan.num_slots() * sizeof(typename S::Value));
+  const size_t tile =
+      std::min(B, std::max<size_t>(1, tile_budget_bytes / per_lane_bytes));
+  std::vector<std::vector<typename S::Value>> out(
+      B, std::vector<typename S::Value>());
+  for (size_t b = 0; b < B; ++b) out[b].reserve(plan.num_outputs());
+  std::vector<SlotValue<S>> slots;
+  for (size_t start = 0; start < B; start += tile) {
+    const size_t lanes = std::min(tile, B - start);
+    BatchAssignment<S> batch =
+        BatchAssignment<S>::PackRange(assignments, start, lanes, plan.num_vars());
+    EvaluateBatchInto<S>(evaluator, plan, batch, &slots);
+    for (uint32_t slot : plan.output_slots()) {
+      const size_t row = static_cast<size_t>(slot) * lanes;
+      for (size_t b = 0; b < lanes; ++b) {
+        out[start + b].push_back(static_cast<typename S::Value>(slots[row + b]));
+      }
+    }
+  }
+  return out;
+}
+
+/// Boolean batches taken to the SoA limit: 64 lanes per machine word. Lane b
+/// of slot s lives in bit (b % 64) of word vals[s * W + b / 64] with
+/// W = ceil(B / 64), so (+) is bitwise OR and (x) is bitwise AND — one word
+/// op evaluates a gate under 64 taggings at once. Returns result[b][k] =
+/// value of output k under assignment b, matching Circuit::Evaluate.
+inline std::vector<std::vector<bool>> EvaluateBooleanBitBatch(
+    const Evaluator& evaluator, const EvalPlan& plan,
+    const std::vector<std::vector<bool>>& assignments) {
+  const size_t B = assignments.size();
+  DLCIRC_CHECK_GT(B, 0u);
+  const size_t W = (B + 63) / 64;
+  // Pack assignments variable-major: word w of variable v at in[v * W + w].
+  std::vector<uint64_t> in(static_cast<size_t>(plan.num_vars()) * W, 0);
+  for (size_t b = 0; b < B; ++b) {
+    DLCIRC_CHECK_LE(plan.num_vars(), assignments[b].size());
+    const uint64_t bit = 1ULL << (b % 64);
+    for (uint32_t v = 0; v < plan.num_vars(); ++v) {
+      if (assignments[b][v]) in[static_cast<size_t>(v) * W + b / 64] |= bit;
+    }
+  }
+  std::vector<uint64_t> vals(plan.num_slots() * W, 0);
+  const std::vector<Gate>& gates = plan.gates();
+  evaluator.ForEachLayer(plan, /*work_per_gate=*/W, [&](size_t begin,
+                                                        size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Gate& g = gates[i];
+      const size_t row = i * W;
+      switch (g.kind) {
+        case GateKind::kZero:
+          break;  // rows start all-zero
+        case GateKind::kOne:
+          // Bits past lane B-1 are garbage either way; only the first B
+          // bits are ever unpacked.
+          for (size_t w = 0; w < W; ++w) vals[row + w] = ~0ULL;
+          break;
+        case GateKind::kInput: {
+          const size_t src = static_cast<size_t>(g.a) * W;
+          for (size_t w = 0; w < W; ++w) vals[row + w] = in[src + w];
+          break;
+        }
+        case GateKind::kPlus: {
+          const size_t ra = static_cast<size_t>(g.a) * W;
+          const size_t rb = static_cast<size_t>(g.b) * W;
+          for (size_t w = 0; w < W; ++w) {
+            vals[row + w] = vals[ra + w] | vals[rb + w];
+          }
+          break;
+        }
+        case GateKind::kTimes: {
+          const size_t ra = static_cast<size_t>(g.a) * W;
+          const size_t rb = static_cast<size_t>(g.b) * W;
+          for (size_t w = 0; w < W; ++w) {
+            vals[row + w] = vals[ra + w] & vals[rb + w];
+          }
+          break;
+        }
+      }
+    }
+  });
+  std::vector<std::vector<bool>> out(B,
+                                     std::vector<bool>(plan.num_outputs()));
+  for (size_t k = 0; k < plan.num_outputs(); ++k) {
+    const size_t row = static_cast<size_t>(plan.output_slots()[k]) * W;
+    for (size_t b = 0; b < B; ++b) {
+      out[b][k] = (vals[row + b / 64] >> (b % 64)) & 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace dlcirc
+
+#endif  // DLCIRC_EVAL_BATCH_H_

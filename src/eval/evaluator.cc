@@ -1,0 +1,188 @@
+#include "src/eval/evaluator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace dlcirc {
+namespace eval {
+
+EvalPlan EvalPlan::Build(const Circuit& circuit) {
+  const std::vector<Gate>& gates = circuit.gates();
+  const std::vector<bool>& cone = circuit.OutputCone();
+
+  // Layer of each cone gate: leaves at 0, internal gates one above their
+  // deepest child. The arena is topologically ordered, so one forward pass.
+  std::vector<uint32_t> layer(gates.size(), 0);
+  uint32_t num_layers = 0;
+  size_t cone_size = 0;
+  for (size_t i = 0; i < gates.size(); ++i) {
+    if (!cone[i]) continue;
+    ++cone_size;
+    const Gate& g = gates[i];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      layer[i] = 1 + std::max(layer[g.a], layer[g.b]);
+      num_layers = std::max(num_layers, layer[i]);
+    }
+  }
+  ++num_layers;  // layers are 0..max inclusive
+
+  EvalPlan plan;
+  plan.num_vars_ = circuit.num_vars();
+
+  // Counting sort of cone gates by layer; slots within a layer keep the
+  // original (topological) order, though any order would do.
+  std::vector<uint32_t> counts(num_layers, 0);
+  for (size_t i = 0; i < gates.size(); ++i) {
+    if (cone[i]) ++counts[layer[i]];
+  }
+  plan.layer_starts_.assign(num_layers + 1, 0);
+  for (uint32_t l = 0; l < num_layers; ++l) {
+    plan.layer_starts_[l + 1] = plan.layer_starts_[l] + counts[l];
+    plan.max_layer_width_ = std::max<size_t>(plan.max_layer_width_, counts[l]);
+  }
+
+  std::vector<uint32_t> slot_of(gates.size(), 0);
+  std::vector<uint32_t> cursor(plan.layer_starts_.begin(),
+                               plan.layer_starts_.end() - 1);
+  plan.gates_.resize(cone_size);
+  for (size_t i = 0; i < gates.size(); ++i) {
+    if (!cone[i]) continue;
+    uint32_t slot = cursor[layer[i]]++;
+    slot_of[i] = slot;
+    Gate g = gates[i];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      g.a = slot_of[g.a];  // children precede i, so already assigned
+      g.b = slot_of[g.b];
+    }
+    plan.gates_[slot] = g;
+  }
+
+  plan.output_slots_.reserve(circuit.outputs().size());
+  for (GateId o : circuit.outputs()) plan.output_slots_.push_back(slot_of[o]);
+  return plan;
+}
+
+// Persistent worker pool with a generation barrier: Run publishes a task
+// under the mutex, workers grab chunks from an atomic cursor, and the caller
+// participates then waits until every worker has retired the generation.
+class Evaluator::Pool {
+ public:
+  explicit Pool(int num_workers) {
+    workers_.reserve(num_workers);
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void Run(size_t begin, size_t end, size_t grain,
+           const std::function<void(size_t, size_t)>& fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = &fn;
+      end_ = end;
+      grain_ = grain;
+      next_.store(begin, std::memory_order_relaxed);
+      busy_workers_ = workers_.size();
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    Drain(fn, end, grain);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return busy_workers_ == 0; });
+  }
+
+ private:
+  void Drain(const std::function<void(size_t, size_t)>& fn, size_t end,
+             size_t grain) {
+    for (;;) {
+      size_t b = next_.fetch_add(grain, std::memory_order_relaxed);
+      if (b >= end) break;
+      fn(b, std::min(b + grain, end));
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::function<void(size_t, size_t)>* fn = fn_;
+      size_t end = end_, grain = grain_;
+      lock.unlock();
+      Drain(*fn, end, grain);
+      lock.lock();
+      if (--busy_workers_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;
+  size_t end_ = 0, grain_ = 1;
+  std::atomic<size_t> next_{0};
+  size_t busy_workers_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+Evaluator::Evaluator(EvalOptions options) : options_(options) {
+  num_threads_ = options_.num_threads;
+  if (num_threads_ <= 0) {
+    num_threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads_ <= 0) num_threads_ = 1;
+  }
+}
+
+Evaluator::~Evaluator() = default;
+
+void Evaluator::ParallelFor(size_t begin, size_t end, size_t grain,
+                            const std::function<void(size_t, size_t)>& fn) const {
+  if (begin >= end) return;
+  if (num_threads_ <= 1 || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  if (!pool_) pool_ = std::make_unique<Pool>(num_threads_ - 1);
+  pool_->Run(begin, end, grain, fn);
+}
+
+void Evaluator::ForEachLayer(
+    const EvalPlan& plan, size_t work_per_gate,
+    const std::function<void(size_t, size_t)>& eval_range) const {
+  if (work_per_gate == 0) work_per_gate = 1;
+  if (num_threads_ <= 1 ||
+      plan.num_slots() * work_per_gate < options_.min_parallel_work) {
+    eval_range(0, plan.num_slots());
+    return;
+  }
+  size_t grain =
+      std::max<size_t>(1, options_.min_work_per_chunk / work_per_gate);
+  const std::vector<uint32_t>& starts = plan.layer_starts();
+  for (size_t l = 0; l + 1 < starts.size(); ++l) {
+    size_t begin = starts[l], end = starts[l + 1];
+    if (end - begin <= grain) {
+      // Narrow layer: the barrier would cost more than it buys.
+      eval_range(begin, end);
+    } else {
+      ParallelFor(begin, end, grain, eval_range);
+    }
+  }
+}
+
+}  // namespace eval
+}  // namespace dlcirc

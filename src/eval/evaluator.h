@@ -1,0 +1,175 @@
+// Batched, parallel circuit evaluation engine.
+//
+// The seed Circuit::Evaluate walks the whole arena single-threaded for one
+// assignment at a time. This subsystem splits evaluation into a precomputed
+// EvalPlan (output-cone compaction + topological layering, done once per
+// circuit) and an Evaluator that executes plans either serially or with a
+// persistent worker pool that parallelizes within each layer. All gates in
+// one layer depend only on gates in strictly earlier layers, so a layer can
+// be evaluated in parallel with no synchronization beyond a barrier between
+// layers. See src/eval/README.md for the architecture and batch.h for the
+// structure-of-arrays batch API built on top of the same plans.
+#ifndef DLCIRC_EVAL_EVALUATOR_H_
+#define DLCIRC_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/circuit/circuit.h"
+#include "src/semiring/semiring.h"
+#include "src/util/check.h"
+
+namespace dlcirc {
+namespace eval {
+
+/// A circuit compiled for repeated evaluation: gates restricted to the
+/// output cone, renumbered into dense "slots", and grouped into topological
+/// layers. Slot ids are layer-ordered: layer L occupies the contiguous slot
+/// range [layer_starts()[L], layer_starts()[L+1]), and every child of a gate
+/// in layer L lives in a layer < L. Plans are immutable and cheap to share
+/// across threads and batches.
+class EvalPlan {
+ public:
+  /// Compiles `circuit` into a plan. O(gates) time and memory.
+  static EvalPlan Build(const Circuit& circuit);
+
+  /// Cone gates, slot-indexed; children of kPlus/kTimes are slot ids.
+  const std::vector<Gate>& gates() const { return gates_; }
+  /// Layer boundaries (size num_layers()+1); layer L is slots
+  /// [layer_starts()[L], layer_starts()[L+1]).
+  const std::vector<uint32_t>& layer_starts() const { return layer_starts_; }
+  /// Slot of each circuit output, in the circuit's output order.
+  const std::vector<uint32_t>& output_slots() const { return output_slots_; }
+
+  size_t num_slots() const { return gates_.size(); }
+  size_t num_layers() const { return layer_starts_.size() - 1; }
+  size_t num_outputs() const { return output_slots_.size(); }
+  uint32_t num_vars() const { return num_vars_; }
+  /// Widest layer (max gates evaluable concurrently).
+  size_t max_layer_width() const { return max_layer_width_; }
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<uint32_t> layer_starts_ = {0};
+  std::vector<uint32_t> output_slots_;
+  uint32_t num_vars_ = 0;
+  size_t max_layer_width_ = 0;
+};
+
+/// Element type of the per-slot scratch buffers. For bool-valued semirings
+/// this widens to unsigned char: std::vector<bool> packs 64 elements per
+/// word, so concurrent workers writing *different* slots of one layer would
+/// race on the shared word. One byte per slot gives every slot its own
+/// memory location. (Batch lanes of 64 bools per word live in
+/// EvaluateBooleanBitBatch, where one thread owns the whole word.)
+template <Semiring S>
+using SlotValue =
+    std::conditional_t<std::is_same_v<typename S::Value, bool>, unsigned char,
+                       typename S::Value>;
+
+struct EvalOptions {
+  /// Worker threads including the calling thread; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Plans with fewer value-ops than this are evaluated serially (the
+  /// layer-barrier overhead would dominate). Measured in gate-evaluations,
+  /// i.e. num_slots * batch_size.
+  size_t min_parallel_work = 1 << 14;
+  /// Minimum value-ops handed to a worker at once within a layer.
+  size_t min_work_per_chunk = 1 << 11;
+};
+
+/// Executes EvalPlans. Owns a persistent worker pool (created lazily on the
+/// first parallel evaluation) so repeated evaluations don't pay thread
+/// startup. An Evaluator with num_threads == 1 never spawns threads.
+/// Evaluate/EvaluateInto may be called from one thread at a time per
+/// Evaluator instance; plans may be shared freely.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalOptions options = {});
+  ~Evaluator();
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  /// Resolved thread count (>= 1).
+  int num_threads() const { return num_threads_; }
+
+  /// Evaluates all outputs of `plan` under `assignment` (one value per
+  /// variable id, as in Circuit::Evaluate).
+  template <Semiring S>
+  std::vector<typename S::Value> Evaluate(
+      const EvalPlan& plan,
+      const std::vector<typename S::Value>& assignment) const {
+    std::vector<SlotValue<S>> slots;
+    EvaluateInto<S>(plan, assignment, &slots);
+    std::vector<typename S::Value> out;
+    out.reserve(plan.num_outputs());
+    for (uint32_t s : plan.output_slots()) {
+      out.push_back(static_cast<typename S::Value>(slots[s]));
+    }
+    return out;
+  }
+
+  /// Evaluates into a caller-owned per-slot buffer (resized to
+  /// plan.num_slots()); reusing the buffer across calls avoids
+  /// reallocation on hot paths.
+  template <Semiring S>
+  void EvaluateInto(const EvalPlan& plan,
+                    const std::vector<typename S::Value>& assignment,
+                    std::vector<SlotValue<S>>* slots) const {
+    slots->assign(plan.num_slots(), static_cast<SlotValue<S>>(S::Zero()));
+    const std::vector<Gate>& gates = plan.gates();
+    auto& vals = *slots;
+    ForEachLayer(plan, /*work_per_gate=*/1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const Gate& g = gates[i];
+        switch (g.kind) {
+          case GateKind::kZero:
+            break;  // already S::Zero()
+          case GateKind::kOne:
+            vals[i] = S::One();
+            break;
+          case GateKind::kInput:
+            DLCIRC_CHECK_LT(g.a, assignment.size());
+            vals[i] = assignment[g.a];
+            break;
+          case GateKind::kPlus:
+            vals[i] = S::Plus(vals[g.a], vals[g.b]);
+            break;
+          case GateKind::kTimes:
+            vals[i] = S::Times(vals[g.a], vals[g.b]);
+            break;
+        }
+      }
+    });
+  }
+
+  /// Runs `eval_range(begin, end)` over every slot of `plan` in topological
+  /// order: serially in one call when the plan is small (or the evaluator is
+  /// single-threaded), otherwise layer by layer with wide layers split
+  /// across the worker pool. `work_per_gate` scales the parallelism
+  /// thresholds (batch evaluation passes its batch size). This is the
+  /// scheduling core shared by EvaluateInto and batch.h.
+  void ForEachLayer(const EvalPlan& plan, size_t work_per_gate,
+                    const std::function<void(size_t, size_t)>& eval_range) const;
+
+ private:
+  class Pool;
+
+  /// Splits [begin, end) into chunks of >= `grain` and runs `fn` on them
+  /// across the pool (caller participates). Blocks until all chunks finish.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn) const;
+
+  EvalOptions options_;
+  int num_threads_;
+  mutable std::unique_ptr<Pool> pool_;  // lazily created
+};
+
+}  // namespace eval
+}  // namespace dlcirc
+
+#endif  // DLCIRC_EVAL_EVALUATOR_H_

@@ -1,0 +1,128 @@
+#include "src/eval/passes.h"
+
+#include <utility>
+
+namespace dlcirc {
+namespace eval {
+
+namespace {
+
+// Rebuilds the output cone of `circuit` through a fresh CircuitBuilder
+// configured with `opts`. The builder's Plus/Times re-apply the local
+// rewrites its options permit, and its dedup map (when enabled) acts as a
+// global CSE over the whole cone. Gates outside the cone are never emitted,
+// so every builder-based pass also compacts. Each cone gate maps to at most
+// one new gate, hence the cone can only shrink.
+Circuit RebuildCone(const Circuit& circuit, CircuitBuilder::Options opts) {
+  const std::vector<Gate>& gates = circuit.gates();
+  const std::vector<bool>& cone = circuit.OutputCone();
+  CircuitBuilder b(circuit.num_vars(), opts);
+  std::vector<GateId> map(gates.size(), 0);
+  for (size_t i = 0; i < gates.size(); ++i) {
+    if (!cone[i]) continue;
+    const Gate& g = gates[i];
+    switch (g.kind) {
+      case GateKind::kZero:
+        map[i] = b.Zero();
+        break;
+      case GateKind::kOne:
+        map[i] = b.One();
+        break;
+      case GateKind::kInput:
+        map[i] = b.Input(g.a);
+        break;
+      case GateKind::kPlus:
+        map[i] = b.Plus(map[g.a], map[g.b]);
+        break;
+      case GateKind::kTimes:
+        map[i] = b.Times(map[g.a], map[g.b]);
+        break;
+    }
+  }
+  std::vector<GateId> outputs;
+  outputs.reserve(circuit.outputs().size());
+  for (GateId o : circuit.outputs()) outputs.push_back(map[o]);
+  return b.Build(std::move(outputs));
+}
+
+}  // namespace
+
+Circuit CompactCone(const Circuit& circuit, const PassOptions&) {
+  // Pure relabeling: keep cone gates in arena order, renumber children and
+  // outputs. No rewrites, so it is exactly value- and structure-preserving.
+  const std::vector<Gate>& gates = circuit.gates();
+  const std::vector<bool>& cone = circuit.OutputCone();
+  std::vector<GateId> new_id(gates.size(), 0);
+  std::vector<Gate> compact;
+  for (size_t i = 0; i < gates.size(); ++i) {
+    if (!cone[i]) continue;
+    Gate g = gates[i];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      g.a = new_id[g.a];
+      g.b = new_id[g.b];
+    }
+    new_id[i] = static_cast<GateId>(compact.size());
+    compact.push_back(g);
+  }
+  std::vector<GateId> outputs;
+  outputs.reserve(circuit.outputs().size());
+  for (GateId o : circuit.outputs()) outputs.push_back(new_id[o]);
+  return Circuit(std::move(compact), std::move(outputs), circuit.num_vars());
+}
+
+Circuit FoldConstants(const Circuit& circuit, const PassOptions&) {
+  CircuitBuilder::Options opts;
+  opts.dedup = false;  // universal identities only; CSE is its own pass
+  return RebuildCone(circuit, opts);
+}
+
+Circuit GlobalCse(const Circuit& circuit, const PassOptions&) {
+  CircuitBuilder::Options opts;
+  opts.dedup = true;
+  return RebuildCone(circuit, opts);
+}
+
+Circuit AbsorbPrune(const Circuit& circuit, const PassOptions& options) {
+  if (!options.absorptive && !options.plus_idempotent) {
+    return CompactCone(circuit, options);  // nothing sound to apply
+  }
+  CircuitBuilder::Options opts;
+  opts.plus_idempotent = options.plus_idempotent;
+  opts.absorptive = options.absorptive;
+  opts.dedup = true;  // idempotent rewrites need the dedup view to fire
+  return RebuildCone(circuit, opts);
+}
+
+PipelineResult OptimizeForEval(const Circuit& circuit,
+                               const PassOptions& options) {
+  using Pass = Circuit (*)(const Circuit&, const PassOptions&);
+  struct Step {
+    const char* name;
+    Pass pass;
+    bool enabled;
+  };
+  const Step steps[] = {
+      {"compact-cone", &CompactCone, true},
+      {"fold-constants", &FoldConstants, true},
+      {"global-cse", &GlobalCse, true},
+      {"absorb-prune", &AbsorbPrune,
+       options.absorptive || options.plus_idempotent},
+  };
+  PipelineResult result;
+  result.circuit = circuit;
+  for (const Step& step : steps) {
+    if (!step.enabled) continue;
+    PassStats stats;
+    stats.name = step.name;
+    stats.gates_before = result.circuit.Size();
+    stats.arena_before = result.circuit.gates().size();
+    result.circuit = step.pass(result.circuit, options);
+    stats.gates_after = result.circuit.Size();
+    stats.arena_after = result.circuit.gates().size();
+    result.stats.push_back(std::move(stats));
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace dlcirc

@@ -1,0 +1,77 @@
+// Circuit -> circuit optimizer passes, run before a circuit is compiled
+// into an EvalPlan. Shrinking the circuit once pays off across every
+// evaluation (and every batch lane) that follows.
+//
+// Passes:
+//   CompactCone    drop gates outside the output cone and renumber; a pure
+//                  relabeling, valid over any semiring.
+//   FoldConstants  re-apply the universal identities 0+x=x, 0*x=0, 1*x=x
+//                  bottom-up, collapsing constant 0/1 subtrees that appear
+//                  after substitution; valid over any semiring.
+//   GlobalCse      re-hash the whole cone, merging structurally identical
+//                  gates the builder's incremental view missed (e.g. gates
+//                  that became equal after folding); valid over any semiring.
+//   AbsorbPrune    apply x+x=x (if plus_idempotent) and 1+x=1 (if
+//                  absorptive); ONLY sound over semirings with the matching
+//                  property, so it is gated on PassOptions flags mirroring
+//                  CircuitBuilder::Options and is the identity when both
+//                  flags are off.
+//
+// Every pass preserves the values of all outputs (over the semiring class
+// its flags permit) and never increases the output-cone size. OptimizeForEval
+// chains them in a fixed order and reports per-pass shrinkage.
+#ifndef DLCIRC_EVAL_PASSES_H_
+#define DLCIRC_EVAL_PASSES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/circuit.h"
+
+namespace dlcirc {
+namespace eval {
+
+/// Semiring properties the optimizer may exploit; must match the class of
+/// semirings the circuit will be evaluated over (see CircuitBuilder::Options).
+struct PassOptions {
+  bool plus_idempotent = false;  ///< permit x + x = x
+  bool absorptive = false;       ///< permit 1 + x = 1 (implies plus_idempotent)
+
+  static PassOptions ForAbsorptive() { return {true, true}; }
+};
+
+Circuit CompactCone(const Circuit& circuit, const PassOptions& options);
+Circuit FoldConstants(const Circuit& circuit, const PassOptions& options);
+Circuit GlobalCse(const Circuit& circuit, const PassOptions& options);
+Circuit AbsorbPrune(const Circuit& circuit, const PassOptions& options);
+
+/// One pipeline step's effect. gates_* count output-cone gates — the
+/// quantity every pass is guaranteed never to increase. arena_* count all
+/// gates in the backing arena (dead ones included), which is what
+/// CompactCone shrinks and what evaluation memory scales with; after any
+/// pass the arena is the cone plus at most the two constant gates the
+/// builder always allocates.
+struct PassStats {
+  std::string name;
+  uint64_t gates_before = 0;
+  uint64_t gates_after = 0;
+  uint64_t arena_before = 0;
+  uint64_t arena_after = 0;
+};
+
+struct PipelineResult {
+  Circuit circuit;
+  std::vector<PassStats> stats;
+};
+
+/// Runs CompactCone -> FoldConstants -> GlobalCse -> AbsorbPrune (the last
+/// only when options enable it) and records per-pass shrinkage.
+PipelineResult OptimizeForEval(const Circuit& circuit,
+                               const PassOptions& options);
+
+}  // namespace eval
+}  // namespace dlcirc
+
+#endif  // DLCIRC_EVAL_PASSES_H_

@@ -1,0 +1,367 @@
+// Tests for the src/eval/ evaluation engine: EvalPlan layering invariants,
+// parity of serial / parallel / batched evaluation with the seed
+// Circuit::Evaluate across every semiring in src/semiring/instances.h, and
+// optimizer-pass safety (value preservation, cone never grows).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/circuit.h"
+#include "src/eval/batch.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/passes.h"
+#include "src/semiring/instances.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+namespace {
+
+using eval::BatchAssignment;
+using eval::EvalOptions;
+using eval::EvalPlan;
+using eval::Evaluator;
+using eval::PassOptions;
+
+// Random DAG over `num_vars` inputs with `num_internal` (+)/(x) gates drawn
+// over earlier gates and the constants. Built with all rewrite flags off so
+// the circuit is a faithful expression over ANY semiring.
+Circuit RandomCircuit(Rng& rng, uint32_t num_vars, uint32_t num_internal,
+                      size_t num_outputs = 3) {
+  CircuitBuilder b(num_vars);
+  std::vector<GateId> pool = {b.Zero(), b.One()};
+  for (uint32_t v = 0; v < num_vars; ++v) pool.push_back(b.Input(v));
+  for (uint32_t i = 0; i < num_internal; ++i) {
+    GateId x = pool[rng.NextBounded(pool.size())];
+    GateId y = pool[rng.NextBounded(pool.size())];
+    pool.push_back(rng.NextBool(0.5) ? b.Plus(x, y) : b.Times(x, y));
+  }
+  // Outputs biased toward late gates so the cone is nontrivial; some early
+  // gates end up dead, which is exactly what the plan/passes must handle.
+  std::vector<GateId> outs;
+  for (size_t k = 0; k < num_outputs; ++k) {
+    size_t tail = std::min<size_t>(pool.size(), 8);
+    outs.push_back(pool[pool.size() - 1 - rng.NextBounded(tail)]);
+  }
+  return b.Build(outs);
+}
+
+template <Semiring S>
+std::vector<typename S::Value> RandomAssignment(Rng& rng, uint32_t num_vars) {
+  std::vector<typename S::Value> a;
+  a.reserve(num_vars);
+  for (uint32_t v = 0; v < num_vars; ++v) a.push_back(S::RandomValue(rng));
+  return a;
+}
+
+template <Semiring S>
+void ExpectSameValues(const std::vector<typename S::Value>& expected,
+                      const std::vector<typename S::Value>& got,
+                      const char* what) {
+  ASSERT_EQ(expected.size(), got.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(S::Eq(expected[i], got[i]))
+        << what << " output " << i << ": " << S::ToString(expected[i])
+        << " vs " << S::ToString(got[i]) << " over " << S::Name();
+  }
+}
+
+template <typename S>
+class EvalSemiringTest : public ::testing::Test {};
+
+using AllSemirings =
+    ::testing::Types<BooleanSemiring, TropicalSemiring, TropicalZSemiring,
+                     CountingSemiring, ViterbiSemiring, FuzzySemiring,
+                     LukasiewiczSemiring, CapacitySemiring, ArcticSemiring>;
+TYPED_TEST_SUITE(EvalSemiringTest, AllSemirings);
+
+TYPED_TEST(EvalSemiringTest, SerialParallelBatchedAgreeWithSeedEvaluate) {
+  using S = TypeParam;
+  Rng rng(20250731);
+  Evaluator serial(EvalOptions{.num_threads = 1});
+  // Force the parallel path even on tiny circuits.
+  Evaluator parallel(EvalOptions{
+      .num_threads = 4, .min_parallel_work = 1, .min_work_per_chunk = 1});
+  for (int trial = 0; trial < 6; ++trial) {
+    Circuit c = RandomCircuit(rng, 6, 150);
+    EvalPlan plan = EvalPlan::Build(c);
+    std::vector<std::vector<typename S::Value>> assigns;
+    for (int b = 0; b < 5; ++b) assigns.push_back(RandomAssignment<S>(rng, 6));
+
+    auto batched = eval::EvaluateBatch<S>(serial, plan, assigns);
+    auto batched_par = eval::EvaluateBatch<S>(parallel, plan, assigns);
+    for (size_t b = 0; b < assigns.size(); ++b) {
+      auto expected = c.Evaluate<S>(assigns[b]);
+      ExpectSameValues<S>(expected, serial.Evaluate<S>(plan, assigns[b]),
+                          "plan serial");
+      ExpectSameValues<S>(expected, parallel.Evaluate<S>(plan, assigns[b]),
+                          "plan parallel");
+      ExpectSameValues<S>(expected, batched[b], "batched");
+      ExpectSameValues<S>(expected, batched_par[b], "batched parallel");
+    }
+  }
+}
+
+TYPED_TEST(EvalSemiringTest, PassesPreserveValuesAndNeverGrowCone) {
+  using S = TypeParam;
+  using Pass = Circuit (*)(const Circuit&, const PassOptions&);
+  // AbsorbPrune's rewrites are gated on the flags we pass; taking them from
+  // S's own traits makes the pass sound over S by construction (and a no-op
+  // relabeling when S has neither property).
+  PassOptions opts;
+  opts.plus_idempotent = S::kIsIdempotent;
+  opts.absorptive = S::kIsAbsorptive;
+  const std::pair<const char*, Pass> passes[] = {
+      {"compact-cone", &eval::CompactCone},
+      {"fold-constants", &eval::FoldConstants},
+      {"global-cse", &eval::GlobalCse},
+      {"absorb-prune", &eval::AbsorbPrune},
+  };
+  Rng rng(777);
+  for (int trial = 0; trial < 6; ++trial) {
+    Circuit c = RandomCircuit(rng, 5, 120);
+    auto assignment = RandomAssignment<S>(rng, 5);
+    auto expected = c.Evaluate<S>(assignment);
+    for (const auto& [name, pass] : passes) {
+      Circuit optimized = pass(c, opts);
+      ExpectSameValues<S>(expected, optimized.Evaluate<S>(assignment), name);
+      EXPECT_LE(optimized.Size(), c.Size()) << name;
+      EXPECT_TRUE(optimized.IsWellFormed()) << name;
+    }
+    eval::PipelineResult pipeline = eval::OptimizeForEval(c, opts);
+    ExpectSameValues<S>(expected, pipeline.circuit.Evaluate<S>(assignment),
+                        "pipeline");
+    EXPECT_LE(pipeline.circuit.Size(), c.Size());
+    ASSERT_GE(pipeline.stats.size(), 3u);
+    for (const eval::PassStats& ps : pipeline.stats) {
+      EXPECT_LE(ps.gates_after, ps.gates_before) << ps.name;
+      // Arena may gain only the always-present constant gates.
+      EXPECT_LE(ps.arena_after, ps.arena_before + 2) << ps.name;
+    }
+  }
+}
+
+TEST(EvalPlanTest, LayersAreTopologicalAndCoverExactlyTheCone) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit c = RandomCircuit(rng, 8, 200);
+    EvalPlan plan = EvalPlan::Build(c);
+    EXPECT_EQ(plan.num_slots(), c.ComputeStats().size);
+    EXPECT_EQ(plan.num_outputs(), c.outputs().size());
+    EXPECT_EQ(plan.num_vars(), c.num_vars());
+    const auto& starts = plan.layer_starts();
+    ASSERT_GE(starts.size(), 2u);
+    EXPECT_EQ(starts.front(), 0u);
+    EXPECT_EQ(starts.back(), plan.num_slots());
+    size_t widest = 0;
+    for (size_t l = 0; l + 1 < starts.size(); ++l) {
+      ASSERT_LE(starts[l], starts[l + 1]);
+      widest = std::max<size_t>(widest, starts[l + 1] - starts[l]);
+      for (size_t i = starts[l]; i < starts[l + 1]; ++i) {
+        const Gate& g = plan.gates()[i];
+        if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+          // Children strictly below this layer: parallel-safe within layers.
+          EXPECT_LT(g.a, starts[l]);
+          EXPECT_LT(g.b, starts[l]);
+        } else {
+          EXPECT_EQ(l, 0u) << "leaf gate above layer 0";
+        }
+      }
+    }
+    EXPECT_EQ(plan.max_layer_width(), widest);
+    for (uint32_t slot : plan.output_slots()) EXPECT_LT(slot, plan.num_slots());
+  }
+}
+
+TEST(EvalPlanTest, ConstantOnlyCircuit) {
+  CircuitBuilder b(2);
+  Circuit c = b.Build({b.One(), b.Zero()});
+  EvalPlan plan = EvalPlan::Build(c);
+  Evaluator ev(EvalOptions{.num_threads = 1});
+  auto out = ev.Evaluate<CountingSemiring>(plan, {9, 9});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 0u);
+}
+
+TEST(EvalPlanTest, DuplicateOutputsKeepTheirOrder) {
+  CircuitBuilder b(2);
+  GateId sum = b.Plus(b.Input(0), b.Input(1));
+  Circuit c = b.Build({sum, sum, b.Input(0)});
+  Evaluator ev(EvalOptions{.num_threads = 1});
+  auto out = ev.Evaluate<CountingSemiring>(EvalPlan::Build(c), {3, 4});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[1], 7u);
+  EXPECT_EQ(out[2], 3u);
+}
+
+TEST(CircuitEvaluateTest, RestrictsWorkToOutputCone) {
+  // Dead gates reference variables 2 and 3, but the cone only uses variable
+  // 0 — an assignment covering just the cone must suffice. (The unfixed
+  // Evaluate walked the whole arena and CHECK-failed on the dead inputs.)
+  CircuitBuilder b(4);
+  GateId live = b.Input(0);
+  b.Times(b.Input(3), b.Input(2));  // dead
+  Circuit c = b.Build({live});
+  std::vector<uint64_t> assignment = {41};
+  EXPECT_EQ(c.Evaluate<CountingSemiring>(assignment)[0], 41u);
+}
+
+TEST(EvaluatorTest, DefaultThresholdsAgreeOnLargerCircuit) {
+  // Big enough to clear min_parallel_work so the pool path really runs with
+  // production thresholds (not the forced ones used in the typed tests).
+  Rng rng(5);
+  Circuit c = RandomCircuit(rng, 12, 40000, /*num_outputs=*/5);
+  EvalPlan plan = EvalPlan::Build(c);
+  auto assignment = RandomAssignment<TropicalSemiring>(rng, 12);
+  auto expected = c.Evaluate<TropicalSemiring>(assignment);
+  for (int threads : {1, 2, 8}) {
+    Evaluator ev(EvalOptions{.num_threads = threads});
+    ExpectSameValues<TropicalSemiring>(
+        expected, ev.Evaluate<TropicalSemiring>(plan, assignment), "threads");
+  }
+}
+
+TEST(EvaluatorTest, EvaluatorIsReusableAcrossPlans) {
+  Rng rng(11);
+  Evaluator ev(EvalOptions{
+      .num_threads = 3, .min_parallel_work = 1, .min_work_per_chunk = 1});
+  for (int i = 0; i < 4; ++i) {
+    Circuit c = RandomCircuit(rng, 4, 60);
+    EvalPlan plan = EvalPlan::Build(c);
+    auto assignment = RandomAssignment<BooleanSemiring>(rng, 4);
+    ExpectSameValues<BooleanSemiring>(
+        c.Evaluate<BooleanSemiring>(assignment),
+        ev.Evaluate<BooleanSemiring>(plan, assignment), "reuse");
+  }
+}
+
+TEST(BatchTest, PackIsVariableMajor) {
+  std::vector<std::vector<uint64_t>> assigns = {{1, 2, 3}, {4, 5, 6}};
+  auto batch = BatchAssignment<CountingSemiring>::Pack(assigns, 3);
+  EXPECT_EQ(batch.batch_size, 2u);
+  // values[v * B + b]
+  std::vector<uint64_t> expected = {1, 4, 2, 5, 3, 6};
+  EXPECT_EQ(batch.values, expected);
+}
+
+TEST(BatchTest, SingleLaneBatchMatchesScalarPath) {
+  Rng rng(21);
+  Circuit c = RandomCircuit(rng, 6, 80);
+  EvalPlan plan = EvalPlan::Build(c);
+  Evaluator ev(EvalOptions{.num_threads = 1});
+  auto assignment = RandomAssignment<ViterbiSemiring>(rng, 6);
+  auto out = eval::EvaluateBatch<ViterbiSemiring>(ev, plan, {assignment});
+  ASSERT_EQ(out.size(), 1u);
+  ExpectSameValues<ViterbiSemiring>(c.Evaluate<ViterbiSemiring>(assignment),
+                                    out[0], "single lane");
+}
+
+TEST(BatchTest, LaneTilingPreservesResults) {
+  // A 1-byte budget forces one lane per tile; a mid-size budget forces a
+  // partial final tile. Both must match the single-tile result.
+  Rng rng(61);
+  Circuit c = RandomCircuit(rng, 6, 100);
+  EvalPlan plan = EvalPlan::Build(c);
+  Evaluator ev(EvalOptions{.num_threads = 1});
+  std::vector<std::vector<uint64_t>> assigns;
+  for (int b = 0; b < 7; ++b) {
+    assigns.push_back(RandomAssignment<TropicalSemiring>(rng, 6));
+  }
+  auto one_tile = eval::EvaluateBatch<TropicalSemiring>(ev, plan, assigns);
+  for (size_t budget : {size_t{1}, plan.num_slots() * sizeof(uint64_t) * 2}) {
+    auto tiled =
+        eval::EvaluateBatch<TropicalSemiring>(ev, plan, assigns, budget);
+    ASSERT_EQ(tiled.size(), one_tile.size());
+    for (size_t b = 0; b < tiled.size(); ++b) {
+      ExpectSameValues<TropicalSemiring>(one_tile[b], tiled[b], "tiled");
+    }
+  }
+}
+
+TEST(BatchTest, BooleanBitBatchMatchesSeedEvaluate) {
+  Rng rng(31);
+  Evaluator serial(EvalOptions{.num_threads = 1});
+  Evaluator parallel(EvalOptions{
+      .num_threads = 4, .min_parallel_work = 1, .min_work_per_chunk = 1});
+  for (size_t lanes : {1u, 63u, 64u, 130u}) {  // straddle word boundaries
+    Circuit c = RandomCircuit(rng, 7, 120);
+    EvalPlan plan = EvalPlan::Build(c);
+    std::vector<std::vector<bool>> assigns(lanes, std::vector<bool>(7));
+    for (auto& a : assigns) {
+      for (size_t v = 0; v < a.size(); ++v) a[v] = rng.NextBool(0.5);
+    }
+    auto packed = eval::EvaluateBooleanBitBatch(serial, plan, assigns);
+    auto packed_par = eval::EvaluateBooleanBitBatch(parallel, plan, assigns);
+    ASSERT_EQ(packed.size(), lanes);
+    for (size_t b = 0; b < lanes; ++b) {
+      auto expected = c.Evaluate<BooleanSemiring>(assigns[b]);
+      ASSERT_EQ(packed[b].size(), expected.size());
+      for (size_t k = 0; k < expected.size(); ++k) {
+        EXPECT_EQ(expected[k], packed[b][k]) << "lane " << b << " out " << k;
+        EXPECT_EQ(expected[k], packed_par[b][k]) << "lane " << b << " out " << k;
+      }
+    }
+  }
+}
+
+TEST(PassesTest, FoldConstantsCollapsesConstantSubtrees) {
+  // The builder folds constants as it goes, so hand-build an arena the way
+  // they actually arise (e.g. after tagging some EDB facts out): the output
+  // is (x0 * 0) + x0, which must fold to just x0.
+  std::vector<Gate> gates = {
+      {GateKind::kZero, 0, 0},   // 0
+      {GateKind::kOne, 0, 0},    // 1
+      {GateKind::kInput, 0, 0},  // 2: x0
+      {GateKind::kTimes, 2, 0},  // 3: x0 * 0
+      {GateKind::kPlus, 3, 2},   // 4: (x0 * 0) + x0
+  };
+  Circuit c(gates, {4}, 1);
+  EXPECT_EQ(c.Size(), 4u);
+  Circuit folded = eval::FoldConstants(c, PassOptions{});
+  EXPECT_EQ(folded.Size(), 1u);  // just the input gate
+  EXPECT_EQ(folded.Depth(), 0u);
+  EXPECT_EQ(folded.EvaluateOutput<CountingSemiring>({7}), 7u);
+}
+
+TEST(PassesTest, GlobalCseMergesDuplicatesAcrossTheCone) {
+  // Two structurally identical (+)-gates feeding a (x): CSE must merge them
+  // so the product becomes g * g (3 cone gates above the inputs -> 4 total).
+  std::vector<Gate> gates = {
+      {GateKind::kZero, 0, 0},   // 0
+      {GateKind::kOne, 0, 0},    // 1
+      {GateKind::kInput, 0, 0},  // 2: x0
+      {GateKind::kInput, 1, 0},  // 3: x1
+      {GateKind::kPlus, 2, 3},   // 4: x0 + x1
+      {GateKind::kPlus, 2, 3},   // 5: x0 + x1 (duplicate)
+      {GateKind::kTimes, 4, 5},  // 6
+  };
+  Circuit c(gates, {6}, 2);
+  EXPECT_EQ(c.Size(), 5u);
+  Circuit merged = eval::GlobalCse(c, PassOptions{});
+  EXPECT_EQ(merged.Size(), 4u);
+  EXPECT_EQ(merged.EvaluateOutput<CountingSemiring>({2, 3}), 25u);
+}
+
+TEST(PassesTest, AbsorbPruneIsGatedOnFlags)  {
+  // 1 + x: absorptive semirings collapse it to 1; without the flag the
+  // pass must leave the gate alone.
+  std::vector<Gate> gates = {
+      {GateKind::kZero, 0, 0},
+      {GateKind::kOne, 0, 0},
+      {GateKind::kInput, 0, 0},
+      {GateKind::kPlus, 1, 2},  // 1 + x0
+  };
+  Circuit c(gates, {3}, 1);
+  Circuit kept = eval::AbsorbPrune(c, PassOptions{});
+  EXPECT_EQ(kept.Size(), c.Size());
+  EXPECT_EQ(kept.EvaluateOutput<CountingSemiring>({5}), 6u);  // still 1 + 5
+  Circuit pruned = eval::AbsorbPrune(c, PassOptions::ForAbsorptive());
+  EXPECT_EQ(pruned.Size(), 1u);  // constant One
+  EXPECT_EQ(pruned.EvaluateOutput<TropicalSemiring>({5}), 0u);  // One = 0
+}
+
+}  // namespace
+}  // namespace dlcirc
