@@ -5,8 +5,12 @@
 namespace dlcirc {
 
 GraphDatabase GraphToDatabase(const Program& program, const LabeledGraph& graph,
-                              const std::vector<std::string>& label_preds) {
+                              const std::vector<std::string>& label_preds,
+                              const std::vector<std::string>* vertex_names) {
   DLCIRC_CHECK_GE(label_preds.size(), graph.num_labels());
+  if (vertex_names != nullptr) {
+    DLCIRC_CHECK_EQ(vertex_names->size(), graph.num_vertices());
+  }
   std::vector<uint32_t> pred_ids;
   for (const std::string& name : label_preds) {
     uint32_t p = program.preds.Find(name);
@@ -17,7 +21,8 @@ GraphDatabase GraphToDatabase(const Program& program, const LabeledGraph& graph,
   GraphDatabase out{Database(program), {}};
   std::vector<uint32_t> vertex_const(graph.num_vertices());
   for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
-    vertex_const[v] = out.db.InternConst("v" + std::to_string(v));
+    vertex_const[v] = out.db.InternConst(
+        vertex_names != nullptr ? (*vertex_names)[v] : "v" + std::to_string(v));
   }
   out.edge_vars.reserve(graph.num_edges());
   for (const LabeledEdge& e : graph.edges()) {

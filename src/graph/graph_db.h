@@ -23,12 +23,17 @@ struct GraphDatabase {
 
 /// Loads `graph` into a Database for `program`. `label_preds[l]` names the
 /// EDB predicate (must exist in the program with arity 2) receiving label-l
-/// edges. Vertices are interned as "v<i>".
+/// edges. Vertices are interned as "v<i>" by default; `vertex_names` (when
+/// non-null, one name per vertex) overrides that so external graphs keep
+/// their own constant names in query output.
 GraphDatabase GraphToDatabase(const Program& program, const LabeledGraph& graph,
-                              const std::vector<std::string>& label_preds);
+                              const std::vector<std::string>& label_preds,
+                              const std::vector<std::string>* vertex_names = nullptr);
 
 /// Domain constant id of vertex v ("v<i>") in a database built by
-/// GraphToDatabase.
+/// GraphToDatabase with the default naming. Not usable when `vertex_names`
+/// overrode the names — look the name up in db.domain() directly instead
+/// (this CHECK-fails rather than returning a wrong id).
 uint32_t VertexConst(const Database& db, uint32_t v);
 
 }  // namespace dlcirc

@@ -1,6 +1,7 @@
 #include "src/lang/cfg.h"
 
 #include <algorithm>
+#include <cctype>
 #include <functional>
 #include <limits>
 #include <set>
@@ -514,6 +515,78 @@ std::string Cfg::ToString() const {
     ss << "\n";
   }
   return ss.str();
+}
+
+Result<Cfg> ParseCfgText(std::string_view text) {
+  struct Line {
+    int number;
+    std::string lhs;
+    std::vector<std::vector<std::string>> alternatives;
+  };
+  auto error = [](int line, const std::string& message) {
+    std::ostringstream ss;
+    ss << "grammar line " << line << ": " << message;
+    return Result<Cfg>::Error(ss.str());
+  };
+  auto is_ident = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+    }
+    return true;
+  };
+
+  // Pass 1: split into productions, collecting every LHS name.
+  std::vector<Line> lines;
+  std::set<std::string> lhs_names;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  for (int number = 1; std::getline(in, raw); ++number) {
+    if (size_t pct = raw.find('%'); pct != std::string::npos) raw.resize(pct);
+    std::istringstream tokens(raw);
+    std::vector<std::string> toks;
+    for (std::string t; tokens >> t;) toks.push_back(t);
+    if (toks.empty()) continue;
+    if (toks.size() < 2 || toks[1] != "->") {
+      return error(number, "expected `Lhs -> symbol...`");
+    }
+    if (!is_ident(toks[0])) return error(number, "bad symbol `" + toks[0] + "`");
+    Line line{number, toks[0], {{}}};
+    for (size_t i = 2; i < toks.size(); ++i) {
+      if (toks[i] == "|") {
+        line.alternatives.emplace_back();
+      } else if (is_ident(toks[i])) {
+        line.alternatives.back().push_back(toks[i]);
+      } else {
+        return error(number, "bad symbol `" + toks[i] + "`");
+      }
+    }
+    for (const auto& alt : line.alternatives) {
+      if (alt.empty()) {
+        return error(number, "empty right-hand side (grammars are epsilon-free)");
+      }
+    }
+    lhs_names.insert(line.lhs);
+    lines.push_back(std::move(line));
+  }
+  if (lines.empty()) return Result<Cfg>::Error("grammar has no productions");
+
+  // Pass 2: build. Nonterminal iff the symbol occurs as some LHS.
+  Cfg cfg;
+  for (const Line& line : lines) {
+    uint32_t lhs = cfg.AddNonterminal(line.lhs);
+    for (const auto& alt : line.alternatives) {
+      std::vector<GSymbol> rhs;
+      for (const std::string& sym : alt) {
+        rhs.push_back(lhs_names.count(sym)
+                          ? GSymbol::N(cfg.AddNonterminal(sym))
+                          : GSymbol::T(cfg.AddTerminal(sym)));
+      }
+      cfg.AddProduction(lhs, std::move(rhs));
+    }
+  }
+  cfg.SetStart(cfg.nonterminals().Find(lines.front().lhs));
+  return cfg;
 }
 
 Cfg MakeDyck1Cfg() {

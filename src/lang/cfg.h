@@ -114,6 +114,18 @@ class Cfg {
 /// Dyck-1 grammar S -> L R | L S R | S S (Example 6.4), terminals {L, R}.
 Cfg MakeDyck1Cfg();
 
+/// Parses a grammar from text, one production per line with `|` alternatives
+/// and `%` comments to end of line:
+///
+///   S -> L R | L S R
+///   S -> S S
+///
+/// Symbols are identifiers ([A-Za-z0-9_]); a symbol is a nonterminal iff it
+/// appears on some left-hand side, otherwise a terminal. The first LHS is
+/// the start symbol. Empty right-hand sides are an error (grammars here are
+/// epsilon-free). Errors mention the offending line.
+Result<Cfg> ParseCfgText(std::string_view text);
+
 }  // namespace dlcirc
 
 #endif  // DLCIRC_LANG_CFG_H_

@@ -1,0 +1,122 @@
+#include "src/pipeline/io.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace dlcirc {
+namespace pipeline {
+namespace internal {
+
+namespace {
+
+std::string Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    fields.push_back(Trim(line.substr(start, comma - start)));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::vector<std::pair<int, std::string>> SignificantLines(std::string_view text) {
+  std::vector<std::pair<int, std::string>> out;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  for (int number = 1; std::getline(in, raw); ++number) {
+    if (size_t pct = raw.find('%'); pct != std::string::npos) raw.resize(pct);
+    if (Trim(raw).empty()) continue;
+    out.emplace_back(number, raw);
+  }
+  return out;
+}
+
+}  // namespace internal
+
+Result<GraphCsv> ParseGraphCsv(std::string_view text, const Program& program) {
+  auto error = [](int line, const std::string& message) {
+    return Result<GraphCsv>::Error("graph line " + std::to_string(line) + ": " +
+                                   message);
+  };
+
+  // The binary EDB predicates edges may target; rows without a label are
+  // only unambiguous when there is exactly one.
+  std::vector<bool> idb = program.IdbMask();
+  std::vector<std::string> binary_edbs;
+  for (uint32_t p = 0; p < program.num_preds(); ++p) {
+    if (!idb[p] && program.arities[p] == 2) {
+      binary_edbs.push_back(program.preds.Name(p));
+    }
+  }
+  if (binary_edbs.empty()) {
+    return Result<GraphCsv>::Error(
+        "program has no binary EDB predicate to receive edges");
+  }
+
+  struct Row {
+    uint32_t src, dst, label;
+  };
+  std::vector<Row> rows;
+  std::unordered_map<std::string, uint32_t> vertex_ids;
+  std::unordered_map<std::string, uint32_t> label_ids;
+  GraphCsv out;
+  auto vertex = [&](const std::string& name) {
+    auto [it, fresh] =
+        vertex_ids.emplace(name, static_cast<uint32_t>(out.vertex_names.size()));
+    if (fresh) out.vertex_names.push_back(name);
+    return it->second;
+  };
+
+  for (const auto& [number, line] : internal::SignificantLines(text)) {
+    std::vector<std::string> fields = internal::SplitCsvLine(line);
+    if (fields.size() != 2 && fields.size() != 3) {
+      return error(number, "expected `src,dst[,label]`");
+    }
+    if (fields[0].empty() || fields[1].empty()) {
+      return error(number, "empty vertex name");
+    }
+    std::string label_name;
+    if (fields.size() == 3 && !fields[2].empty()) {
+      label_name = fields[2];
+    } else if (binary_edbs.size() == 1) {
+      label_name = binary_edbs[0];
+    } else {
+      return error(number,
+                   "unlabeled edge but the program has " +
+                       std::to_string(binary_edbs.size()) +
+                       " binary EDB predicates; add an explicit label");
+    }
+    uint32_t pred = program.preds.Find(label_name);
+    if (pred == Interner::kNotFound || idb[pred]) {
+      return error(number, "label `" + label_name +
+                               "` is not an EDB predicate of the program");
+    }
+    if (program.arities[pred] != 2) {
+      return error(number, "EDB predicate `" + label_name + "` is not binary");
+    }
+    auto [it, fresh] =
+        label_ids.emplace(label_name, static_cast<uint32_t>(out.label_preds.size()));
+    if (fresh) out.label_preds.push_back(label_name);
+    rows.push_back({vertex(fields[0]), vertex(fields[1]), it->second});
+  }
+  if (rows.empty()) return Result<GraphCsv>::Error("graph file has no edges");
+
+  out.graph = LabeledGraph(static_cast<uint32_t>(out.vertex_names.size()),
+                           static_cast<uint32_t>(out.label_preds.size()));
+  for (const Row& r : rows) out.graph.AddEdge(r.src, r.dst, r.label);
+  return out;
+}
+
+}  // namespace pipeline
+}  // namespace dlcirc

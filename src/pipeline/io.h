@@ -1,0 +1,89 @@
+// Text input formats for the pipeline front door: edge-list graphs and
+// batched tagging files. Both use `%` comments to end of line and blank-line
+// skipping, like the Datalog parser.
+//
+// Graph CSV (one edge per line):
+//
+//   src,dst          % label defaults to the program's only binary EDB pred
+//   src,dst,label    % label names a binary EDB predicate
+//
+// Vertex names are arbitrary constant tokens and are preserved in query
+// output; labels must name binary EDB predicates of the target program.
+//
+// Tagging CSV (one batch lane per line): `num_vars` comma-separated semiring
+// values in EDB provenance-variable order (the order `dlcirc run
+// --show-facts` prints), in the textual convention of ParseSemiringValue.
+#ifndef DLCIRC_PIPELINE_IO_H_
+#define DLCIRC_PIPELINE_IO_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/datalog/ast.h"
+#include "src/graph/labeled_graph.h"
+#include "src/pipeline/semiring_registry.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+namespace pipeline {
+
+/// A parsed edge-list graph plus the naming needed to load it into a
+/// Database without losing the caller's vertex constants.
+struct GraphCsv {
+  LabeledGraph graph{0};
+  std::vector<std::string> vertex_names;  ///< vertex id -> constant name
+  std::vector<std::string> label_preds;   ///< label id -> EDB predicate name
+};
+
+/// Parses graph CSV text against `program` (see file comment). Fails on
+/// malformed rows, labels that are not binary EDB predicates, and unlabeled
+/// rows when the program has more than one binary EDB predicate.
+Result<GraphCsv> ParseGraphCsv(std::string_view text, const Program& program);
+
+namespace internal {
+
+/// Comma-splits one line, trimming surrounding whitespace per field.
+std::vector<std::string> SplitCsvLine(std::string_view line);
+
+/// Strips `%` comments and splits into (line_number, content) pairs,
+/// dropping blank lines.
+std::vector<std::pair<int, std::string>> SignificantLines(std::string_view text);
+
+}  // namespace internal
+
+/// Parses a tagging CSV: one lane per line, `num_vars` values per lane.
+template <Semiring S>
+Result<std::vector<std::vector<typename S::Value>>> ParseTagCsv(
+    std::string_view text, uint32_t num_vars) {
+  using Lanes = std::vector<std::vector<typename S::Value>>;
+  Lanes lanes;
+  for (const auto& [number, line] : internal::SignificantLines(text)) {
+    std::vector<std::string> fields = internal::SplitCsvLine(line);
+    if (fields.size() != num_vars) {
+      return Result<Lanes>::Error(
+          "tagging line " + std::to_string(number) + ": expected " +
+          std::to_string(num_vars) + " values (one per EDB fact), got " +
+          std::to_string(fields.size()));
+    }
+    std::vector<typename S::Value> lane;
+    lane.reserve(num_vars);
+    for (const std::string& field : fields) {
+      Result<typename S::Value> v = ParseSemiringValue<S>(field);
+      if (!v.ok()) {
+        return Result<Lanes>::Error("tagging line " + std::to_string(number) +
+                                    ": " + v.error());
+      }
+      lane.push_back(std::move(v).value());
+    }
+    lanes.push_back(std::move(lane));
+  }
+  if (lanes.empty()) return Result<Lanes>::Error("tagging file has no lanes");
+  return lanes;
+}
+
+}  // namespace pipeline
+}  // namespace dlcirc
+
+#endif  // DLCIRC_PIPELINE_IO_H_

@@ -1,0 +1,132 @@
+// Runtime semiring selection for the pipeline front door.
+//
+// The library's semirings are compile-time types (src/semiring/instances.h);
+// the CLI and Session batch entry points receive a semiring *name* at
+// runtime. DispatchSemiring bridges the two: it maps a lowercase name to the
+// matching instance type and invokes a generic callable with that type, so
+// each templated code path is stamped out once per registered semiring.
+//
+// ParseSemiringValue / FormatSemiringValue are the textual value convention
+// used by tagging CSV files and CLI output: `inf` / `-inf` for the additive
+// identities of the (min,+)/(max,+) family, `true`/`false`/`0`/`1` for
+// Boolean, plain numerals otherwise — the inverse of each S::ToString.
+#ifndef DLCIRC_PIPELINE_SEMIRING_REGISTRY_H_
+#define DLCIRC_PIPELINE_SEMIRING_REGISTRY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/semiring/instances.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+namespace pipeline {
+
+/// Lowercase names accepted by DispatchSemiring, in registry order.
+inline const std::vector<std::string>& SemiringNames() {
+  static const std::vector<std::string> names = {
+      "boolean", "tropical",    "tropicalz", "counting", "viterbi",
+      "fuzzy",   "lukasiewicz", "capacity",  "arctic"};
+  return names;
+}
+
+/// Invokes `fn.template operator()<S>()` with the semiring instance named
+/// `name` (see SemiringNames). Returns false when the name is unknown, in
+/// which case `fn` is not invoked.
+template <typename Fn>
+bool DispatchSemiring(std::string_view name, Fn&& fn) {
+  if (name == "boolean") {
+    fn.template operator()<BooleanSemiring>();
+  } else if (name == "tropical") {
+    fn.template operator()<TropicalSemiring>();
+  } else if (name == "tropicalz") {
+    fn.template operator()<TropicalZSemiring>();
+  } else if (name == "counting") {
+    fn.template operator()<CountingSemiring>();
+  } else if (name == "viterbi") {
+    fn.template operator()<ViterbiSemiring>();
+  } else if (name == "fuzzy") {
+    fn.template operator()<FuzzySemiring>();
+  } else if (name == "lukasiewicz") {
+    fn.template operator()<LukasiewiczSemiring>();
+  } else if (name == "capacity") {
+    fn.template operator()<CapacitySemiring>();
+  } else if (name == "arctic") {
+    fn.template operator()<ArcticSemiring>();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Renders one semiring value; the inverse of ParseSemiringValue up to
+/// numeric formatting.
+template <Semiring S>
+std::string FormatSemiringValue(typename S::Value v) {
+  if constexpr (std::is_same_v<typename S::Value, bool>) {
+    return v ? "true" : "false";
+  } else {
+    return S::ToString(v);
+  }
+}
+
+/// Parses one semiring value from its textual form (see file comment).
+template <Semiring S>
+Result<typename S::Value> ParseSemiringValue(std::string_view token) {
+  using Value = typename S::Value;
+  auto fail = [&token]() {
+    return Result<Value>::Error("bad " + S::Name() + " value `" +
+                                std::string(token) + "`");
+  };
+  const std::string s(token);
+  // The identities parse by their exact rendering ("inf" for Tropical 0,
+  // "-inf" for Arctic 0, "true"/"false" for Boolean, ...). Matching the
+  // semiring's own ToString — rather than mapping "inf" to a type-wide
+  // extreme — keeps parsing the inverse of FormatSemiringValue and never
+  // admits out-of-domain values (e.g. INT64_MAX is not an Arctic element
+  // and would overflow its unguarded Times).
+  if (s == FormatSemiringValue<S>(S::Zero())) return S::Zero();
+  if (s == FormatSemiringValue<S>(S::One())) return S::One();
+  if constexpr (std::is_same_v<Value, bool>) {
+    if (s == "1") return true;
+    if (s == "0") return false;
+    return fail();
+  } else if constexpr (std::is_same_v<Value, uint64_t>) {
+    try {
+      size_t used = 0;
+      if (s.empty() || s[0] == '-') return fail();
+      uint64_t v = std::stoull(s, &used);
+      if (used != s.size()) return fail();
+      return v;
+    } catch (...) {
+      return fail();
+    }
+  } else if constexpr (std::is_same_v<Value, int64_t>) {
+    try {
+      size_t used = 0;
+      int64_t v = std::stoll(s, &used);
+      if (used != s.size()) return fail();
+      return v;
+    } catch (...) {
+      return fail();
+    }
+  } else {
+    static_assert(std::is_same_v<Value, double>);
+    try {
+      size_t used = 0;
+      double v = std::stod(s, &used);
+      if (used != s.size()) return fail();
+      return v;
+    } catch (...) {
+      return fail();
+    }
+  }
+}
+
+}  // namespace pipeline
+}  // namespace dlcirc
+
+#endif  // DLCIRC_PIPELINE_SEMIRING_REGISTRY_H_

@@ -1,0 +1,177 @@
+#include "src/pipeline/session.h"
+
+#include <utility>
+
+#include "src/constructions/grounded_circuit.h"
+#include "src/constructions/uvg_circuit.h"
+#include "src/datalog/parser.h"
+#include "src/graph/graph_db.h"
+#include "src/lang/chain_datalog.h"
+#include "src/pipeline/io.h"
+#include "src/util/check.h"
+
+namespace dlcirc {
+namespace pipeline {
+
+std::string_view ConstructionName(Construction c) {
+  switch (c) {
+    case Construction::kGrounded:
+      return "grounded";
+    case Construction::kUvg:
+      return "uvg";
+  }
+  return "?";
+}
+
+Result<Construction> ParseConstruction(std::string_view name) {
+  if (name == "grounded") return Construction::kGrounded;
+  if (name == "uvg") return Construction::kUvg;
+  return Result<Construction>::Error("unknown construction `" + std::string(name) +
+                                     "` (expected grounded or uvg)");
+}
+
+Session::Session(Program program, SessionOptions options)
+    : program_(std::move(program)),
+      options_(options),
+      evaluator_(std::make_unique<eval::Evaluator>(options.eval)) {}
+
+Result<Session> Session::FromDatalog(std::string_view program_text,
+                                     SessionOptions options) {
+  Result<Program> program = ParseProgram(program_text);
+  if (!program.ok()) return Result<Session>::Error(program.error());
+  return Session(std::move(program).value(), options);
+}
+
+Result<Session> Session::FromCfg(const Cfg& cfg, SessionOptions options) {
+  if (cfg.IsEmptyLanguage()) {
+    return Result<Session>::Error(
+        "CFG generates the empty language; no reachability program to run");
+  }
+  return Session(CfgToChainProgram(cfg), options);
+}
+
+Result<bool> Session::LoadFactsText(std::string_view facts_text) {
+  if (db_.has_value()) return Result<bool>::Error("EDB already loaded");
+  Result<Database> db = ParseFacts(program_, facts_text);
+  if (!db.ok()) return Result<bool>::Error(db.error());
+  db_ = std::move(db).value();
+  return true;
+}
+
+Result<bool> Session::LoadGraphCsv(std::string_view csv_text) {
+  if (db_.has_value()) return Result<bool>::Error("EDB already loaded");
+  Result<GraphCsv> parsed = ParseGraphCsv(csv_text, program_);
+  if (!parsed.ok()) return Result<bool>::Error(parsed.error());
+  GraphCsv csv = std::move(parsed).value();
+  GraphDatabase gdb = GraphToDatabase(program_, csv.graph, csv.label_preds,
+                                      &csv.vertex_names);
+  db_ = std::move(gdb.db);
+  edge_vars_ = std::move(gdb.edge_vars);
+  return true;
+}
+
+const Database& Session::db() const {
+  DLCIRC_CHECK(db_.has_value()) << "no EDB loaded";
+  return *db_;
+}
+
+const GroundedProgram& Session::grounded() {
+  DLCIRC_CHECK(db_.has_value()) << "no EDB loaded";
+  if (!grounded_.has_value()) grounded_ = Ground(program_, *db_);
+  return *grounded_;
+}
+
+Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key) {
+  using Out = Result<std::shared_ptr<const CompiledPlan>>;
+  if (!db_.has_value()) return Out::Error("no EDB loaded");
+  if (auto it = plan_cache_.find(key); it != plan_cache_.end()) {
+    ++stats_.plan_cache_hits;
+    return it->second;
+  }
+  if (key.construction == Construction::kUvg &&
+      !(key.absorptive && key.plus_idempotent)) {
+    return Out::Error(
+        "the UVG construction (Theorem 6.2) is only sound over absorptive "
+        "semirings; use the grounded construction instead");
+  }
+
+  auto compiled = std::make_shared<CompiledPlan>();
+  compiled->key = key;
+  Circuit built;
+  switch (key.construction) {
+    case Construction::kGrounded: {
+      GroundedCircuitOptions options;
+      options.max_layers = key.max_layers;
+      options.builder.plus_idempotent = key.plus_idempotent;
+      options.builder.absorptive = key.absorptive;
+      GroundedCircuitResult r = GroundedProgramCircuit(grounded(), options);
+      built = std::move(r.circuit);
+      compiled->layers_used = r.layers_used;
+      compiled->reached_fixpoint = r.reached_structural_fixpoint;
+      break;
+    }
+    case Construction::kUvg: {
+      UvgResult r = UvgCircuit(grounded());
+      built = std::move(r.circuit);
+      compiled->layers_used = r.stages_used;
+      compiled->reached_fixpoint = true;  // UVG always covers all proofs
+      break;
+    }
+  }
+  compiled->unoptimized = built.ComputeStats();
+
+  eval::PassOptions pass_options;
+  pass_options.plus_idempotent = key.plus_idempotent;
+  pass_options.absorptive = key.absorptive;
+  eval::PipelineResult optimized = eval::OptimizeForEval(built, pass_options);
+  compiled->pass_stats = std::move(optimized.stats);
+  compiled->circuit = std::move(optimized.circuit);
+  compiled->plan = eval::EvalPlan::Build(compiled->circuit);
+
+  ++stats_.plan_cache_misses;
+  plan_cache_.emplace(key, compiled);
+  return std::shared_ptr<const CompiledPlan>(std::move(compiled));
+}
+
+const std::vector<uint32_t>& Session::TargetFacts() {
+  return grounded().target_facts();
+}
+
+Result<uint32_t> Session::FindFact(std::string_view pred_name,
+                                   const std::vector<std::string>& constants) {
+  uint32_t pred = program_.preds.Find(pred_name);
+  if (pred == Interner::kNotFound) {
+    return Result<uint32_t>::Error("unknown predicate `" + std::string(pred_name) +
+                                   "`");
+  }
+  if (!program_.IdbMask()[pred]) {
+    return Result<uint32_t>::Error("`" + std::string(pred_name) +
+                                   "` is an EDB predicate; queries name IDB facts");
+  }
+  if (program_.arities[pred] != constants.size()) {
+    return Result<uint32_t>::Error(
+        "`" + std::string(pred_name) + "` has arity " +
+        std::to_string(program_.arities[pred]) + ", got " +
+        std::to_string(constants.size()) + " arguments");
+  }
+  Tuple tuple;
+  for (const std::string& c : constants) {
+    uint32_t id = db().domain().Find(c);
+    // A constant outside the active domain cannot appear in a derivable
+    // fact; the query is well-formed and its provenance is 0.
+    if (id == Interner::kNotFound) return kNotFound;
+    tuple.push_back(id);
+  }
+  return grounded().FindIdbFact(pred, tuple);
+}
+
+std::string Session::FactName(uint32_t idb_fact) {
+  return grounded().FactToString(program_, db(), idb_fact);
+}
+
+std::string Session::EdbFactName(uint32_t var) const {
+  return db().FactToString(program_, var);
+}
+
+}  // namespace pipeline
+}  // namespace dlcirc

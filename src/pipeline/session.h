@@ -1,0 +1,197 @@
+// The pipeline front door: one object that owns the paper's whole flow
+// (Sections 2-6) —
+//
+//   program (Datalog text or CFG workload)      src/lang, src/datalog
+//     -> EDB (facts text or edge-list graph)    src/datalog, src/graph
+//     -> relevant grounding                     src/datalog/grounding
+//     -> provenance circuit construction        src/constructions
+//     -> optimizer pass pipeline                src/eval/passes
+//     -> compiled EvalPlan                      src/eval/evaluator
+//     -> batched semiring taggings              src/eval/batch
+//
+// The expensive prefix (ground once, build once, optimize once, compile
+// once) is cached per PlanKey = (construction, semiring-class flags, layer
+// bound); the program and EDB are fixed per Session, so repeated tagging
+// requests — the serving path — hit the cache and go straight to the batch
+// evaluator. tools/dlcirc_cli.cc is the command-line face of this API.
+#ifndef DLCIRC_PIPELINE_SESSION_H_
+#define DLCIRC_PIPELINE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/circuit/circuit.h"
+#include "src/datalog/ast.h"
+#include "src/datalog/database.h"
+#include "src/datalog/grounding.h"
+#include "src/eval/batch.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/passes.h"
+#include "src/lang/cfg.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+namespace pipeline {
+
+/// Circuit constructions the Session can pick from src/constructions.
+/// kGrounded (Theorem 3.1) works for every program; kUvg (Theorem 6.2) is
+/// shallower (depth O(log^2 m)) for programs with polynomial fringes and
+/// requires an absorptive semiring.
+enum class Construction : uint8_t { kGrounded, kUvg };
+
+std::string_view ConstructionName(Construction c);
+Result<Construction> ParseConstruction(std::string_view name);
+
+/// Everything that identifies one compiled plan for a fixed (program, EDB):
+/// which construction, which semiring-class rewrites the circuit may use
+/// (mirroring CircuitBuilder::Options / eval::PassOptions), and the ICO
+/// layer bound for the grounded construction (0 = absorptive-safe default).
+struct PlanKey {
+  Construction construction = Construction::kGrounded;
+  bool plus_idempotent = true;
+  bool absorptive = true;
+  uint32_t max_layers = 0;
+
+  /// Key with the rewrite flags a given semiring permits.
+  template <Semiring S>
+  static PlanKey For(Construction c = Construction::kGrounded) {
+    return {c, S::kIsIdempotent, S::kIsAbsorptive, 0};
+  }
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    return (static_cast<size_t>(k.construction) << 34) ^
+           (static_cast<size_t>(k.plus_idempotent) << 33) ^
+           (static_cast<size_t>(k.absorptive) << 32) ^ k.max_layers;
+  }
+};
+
+/// One cached compilation: the optimized circuit, its EvalPlan, and the
+/// provenance of how it was produced. Immutable and shared; output i of
+/// both `circuit` and `plan` computes the provenance of IDB fact i.
+struct CompiledPlan {
+  PlanKey key;
+  Circuit circuit;
+  eval::EvalPlan plan;
+  std::vector<eval::PassStats> pass_stats;  ///< optimizer pipeline shrinkage
+  Circuit::Stats unoptimized;               ///< construction output, pre-passes
+  uint32_t layers_used = 0;  ///< ICO layers (grounded) or stages (UVG)
+  bool reached_fixpoint = false;  ///< grounded: structural fixpoint hit early
+};
+
+struct SessionStats {
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+};
+
+struct SessionOptions {
+  eval::EvalOptions eval;  ///< worker-pool configuration for the evaluator
+};
+
+class Session {
+ public:
+  /// Parses a Datalog program (src/datalog/parser.h syntax).
+  static Result<Session> FromDatalog(std::string_view program_text,
+                                     SessionOptions options = {});
+  /// Adopts a CFG workload via the chain-Datalog correspondence (Prop 5.2):
+  /// terminal a becomes binary EDB a, the start symbol the target.
+  static Result<Session> FromCfg(const Cfg& cfg, SessionOptions options = {});
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  /// Loads the EDB from ground-fact text (src/datalog/parser.h syntax).
+  /// A Session's EDB may be loaded exactly once.
+  Result<bool> LoadFactsText(std::string_view facts_text);
+
+  /// Loads the EDB from edge-list graph CSV (src/pipeline/io.h syntax).
+  Result<bool> LoadGraphCsv(std::string_view csv_text);
+
+  const Program& program() const { return program_; }
+  bool has_database() const { return db_.has_value(); }
+  const Database& db() const;
+  /// Edge index -> provenance variable; empty unless graph-loaded.
+  const std::vector<uint32_t>& edge_vars() const { return edge_vars_; }
+
+  /// The grounded program (computed lazily, once). Requires a loaded EDB.
+  const GroundedProgram& grounded();
+
+  /// Compiles (or returns the cached) plan for `key`. Fails when the key is
+  /// inconsistent (UVG without absorptive flags). Requires a loaded EDB.
+  Result<std::shared_ptr<const CompiledPlan>> Compile(const PlanKey& key);
+
+  const SessionStats& stats() const { return stats_; }
+  eval::Evaluator& evaluator() { return *evaluator_; }
+
+  /// IDB fact ids of the target predicate (grounds if needed).
+  const std::vector<uint32_t>& TargetFacts();
+  /// Grounded id of IDB fact pred(constants), kNotFound when the fact is
+  /// not derivable (its provenance is 0), or an error for unknown
+  /// predicates/constants or arity mismatches.
+  Result<uint32_t> FindFact(std::string_view pred_name,
+                            const std::vector<std::string>& constants);
+  static constexpr uint32_t kNotFound = GroundedProgram::kNotFound;
+
+  /// Renderings for output: IDB fact id -> "T(s,t)", EDB var -> "E(s,u1)".
+  std::string FactName(uint32_t idb_fact);
+  std::string EdbFactName(uint32_t var) const;
+
+  /// The serving path: evaluates the provenance of `facts` (IDB fact ids;
+  /// kNotFound entries yield 0) under every tagging lane at once, through
+  /// the cached plan for `key`. Each lane must supply db().num_facts()
+  /// values. result[lane][i] is the value of facts[i] under lane `lane`.
+  template <Semiring S>
+  Result<std::vector<std::vector<typename S::Value>>> TagBatch(
+      const PlanKey& key,
+      const std::vector<std::vector<typename S::Value>>& taggings,
+      const std::vector<uint32_t>& facts) {
+    using Out = std::vector<std::vector<typename S::Value>>;
+    if (!has_database()) return Result<Out>::Error("no EDB loaded");
+    if (taggings.empty()) return Result<Out>::Error("empty tagging batch");
+    for (const auto& lane : taggings) {
+      if (lane.size() != db().num_facts()) {
+        return Result<Out>::Error(
+            "tagging lane has " + std::to_string(lane.size()) + " values; EDB has " +
+            std::to_string(db().num_facts()) + " facts");
+      }
+    }
+    auto compiled = Compile(key);
+    if (!compiled.ok()) return Result<Out>::Error(compiled.error());
+    const CompiledPlan& plan = *compiled.value();
+    Out all = eval::EvaluateBatch<S>(*evaluator_, plan.plan, taggings);
+    Out out(taggings.size());
+    for (size_t lane = 0; lane < all.size(); ++lane) {
+      out[lane].reserve(facts.size());
+      for (uint32_t f : facts) {
+        out[lane].push_back(f == kNotFound ? S::Zero() : all[lane][f]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  explicit Session(Program program, SessionOptions options);
+
+  Program program_;
+  SessionOptions options_;
+  std::optional<Database> db_;
+  std::vector<uint32_t> edge_vars_;
+  std::optional<GroundedProgram> grounded_;
+  std::unordered_map<PlanKey, std::shared_ptr<const CompiledPlan>, PlanKeyHash>
+      plan_cache_;
+  std::unique_ptr<eval::Evaluator> evaluator_;
+  SessionStats stats_;
+};
+
+}  // namespace pipeline
+}  // namespace dlcirc
+
+#endif  // DLCIRC_PIPELINE_SESSION_H_

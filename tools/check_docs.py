@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Documentation hygiene checks, run by the CI docs job.
+
+1. Every direct subdirectory of src/ containing C++ sources must have a
+   README.md (the per-module docs the top-level README links into).
+2. Every relative markdown link in every tracked .md file must resolve to
+   an existing file or directory (anchors are stripped; external schemes
+   are skipped).
+
+Exits non-zero listing every violation. No dependencies beyond the
+standard library; run from anywhere inside the repo.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — skips images' leading '!' capture-wise (same rule applies)
+# and inline code spans are rare enough in our docs not to need a parser.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def repo_root() -> str:
+    d = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(d)
+
+
+def module_dirs(root: str):
+    src = os.path.join(root, "src")
+    for name in sorted(os.listdir(src)):
+        path = os.path.join(src, name)
+        if os.path.isdir(path) and any(
+            f.endswith((".h", ".cc")) for f in os.listdir(path)
+        ):
+            yield name, path
+
+
+def markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for f in sorted(filenames):
+            if f.endswith(".md"):
+                yield os.path.join(dirpath, f)
+
+
+def main() -> int:
+    root = repo_root()
+    errors = []
+
+    for name, path in module_dirs(root):
+        if not os.path.isfile(os.path.join(path, "README.md")):
+            errors.append(f"src/{name}/ has no README.md")
+
+    for md in markdown_files(root):
+        rel_md = os.path.relpath(md, root)
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(EXTERNAL):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), target_path))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_md}: broken link -> {target}")
+
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print("check_docs: all module READMEs present, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

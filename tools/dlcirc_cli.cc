@@ -1,0 +1,392 @@
+// dlcirc — command-line front door over src/pipeline/Session.
+//
+// One command reproduces the paper's whole flow: program + EDB -> grounding
+// -> provenance circuit -> optimizer passes -> compiled EvalPlan -> batched
+// semiring taggings. Examples:
+//
+//   dlcirc run --program tc.dl --facts fig1.facts --semiring tropical \
+//              --batch fig1.tags.csv --query "T(s,t)"
+//   dlcirc run --program tc.dl --graph fig1.graph.csv --semiring boolean
+//   dlcirc run --cfg dyck1.cfg --graph word.csv --construction uvg \
+//              --semiring viterbi --format json
+//   dlcirc semirings
+//
+// See README.md ("One-command pipeline") and EXPERIMENTS.md for the
+// per-bench invocations.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/io.h"
+#include "src/pipeline/semiring_registry.h"
+#include "src/pipeline/session.h"
+
+namespace dlcirc {
+namespace {
+
+using pipeline::Session;
+
+struct Args {
+  std::string program_file;
+  std::string cfg_file;
+  std::string facts_file;
+  std::string graph_file;
+  std::string batch_file;
+  std::string semiring = "boolean";
+  std::string construction = "grounded";
+  std::string format = "text";
+  std::vector<std::string> queries;
+  int threads = 1;
+  bool show_facts = false;
+  bool quiet = false;
+};
+
+int Usage(std::ostream& out, int code) {
+  out << R"usage(usage: dlcirc <command> [flags]
+
+commands:
+  run         run the full pipeline: parse, ground, build, optimize, compile, tag
+  semirings   list the registered semirings
+  help        show this message
+
+run flags:
+  --program FILE       Datalog program (src/datalog/parser.h syntax)
+  --cfg FILE           CFG workload instead (src/lang ParseCfgText syntax),
+                       converted to chain Datalog via Proposition 5.2
+  --facts FILE         EDB as ground facts, e.g. `E(s,u1). E(u1,t).`
+  --graph FILE         EDB as edge CSV: `src,dst[,label]` per line
+  --batch FILE         tagging CSV: one lane per line, one value per EDB fact
+                       (default: a single lane tagging every fact with 1)
+  --semiring NAME      semiring to tag over (default boolean; see `semirings`)
+  --construction NAME  grounded (Thm 3.1, any program) or uvg (Thm 6.2,
+                       absorptive semirings; depth O(log^2 m)) [grounded]
+  --query "T(s,t)"     IDB fact to report; repeatable (default: all facts of
+                       the target predicate)
+  --format NAME        text, csv, or json [text]
+  --threads N          evaluator worker threads [1]
+  --show-facts         print the EDB fact <-> provenance variable table
+  --quiet              suppress the pipeline narration; results only
+)usage";
+  return code;
+}
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "dlcirc: " << message << "\n";
+  return 1;
+}
+
+/// "T(s,t)" -> pred "T", constants {"s","t"}.
+bool ParseQuery(const std::string& text, std::string* pred,
+                std::vector<std::string>* constants) {
+  size_t open = text.find('(');
+  if (open == std::string::npos || text.back() != ')') return false;
+  *pred = text.substr(0, open);
+  std::string args = text.substr(open + 1, text.size() - open - 2);
+  for (const std::string& field : pipeline::internal::SplitCsvLine(args)) {
+    if (field.empty()) return false;
+    constants->push_back(field);
+  }
+  return !pred->empty() && !constants->empty();
+}
+
+/// RFC-4180 quoting: fact names like T(s,t) contain commas and must not
+/// split into extra columns.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+template <Semiring S>
+int RunTyped(const Args& args, Session& session) {
+  const uint32_t num_facts = session.db().num_facts();
+
+  // Tagging lanes: the batch file, or one unit lane (every fact tagged 1).
+  std::vector<std::vector<typename S::Value>> taggings;
+  if (!args.batch_file.empty()) {
+    std::string text, error;
+    if (!ReadFile(args.batch_file, &text, &error)) return Fail(error);
+    auto lanes = pipeline::ParseTagCsv<S>(text, num_facts);
+    if (!lanes.ok()) return Fail(args.batch_file + ": " + lanes.error());
+    taggings = std::move(lanes).value();
+  } else {
+    taggings.push_back(
+        std::vector<typename S::Value>(num_facts, S::One()));
+  }
+
+  // Facts to report: explicit queries or every target-predicate fact.
+  std::vector<uint32_t> facts;
+  std::vector<std::string> fact_names;
+  if (!args.queries.empty()) {
+    for (const std::string& q : args.queries) {
+      std::string pred;
+      std::vector<std::string> constants;
+      if (!ParseQuery(q, &pred, &constants)) {
+        return Fail("bad --query `" + q + "` (expected Pred(c1,...,ck))");
+      }
+      Result<uint32_t> fact = session.FindFact(pred, constants);
+      if (!fact.ok()) return Fail("--query `" + q + "`: " + fact.error());
+      facts.push_back(fact.value());
+      fact_names.push_back(q);
+    }
+  } else {
+    facts = session.TargetFacts();
+    if (facts.empty()) {
+      return Fail("no derivable facts of the target predicate `" +
+                  session.program().preds.Name(session.program().target_pred) +
+                  "`; pass --query to report a specific fact");
+    }
+    for (uint32_t f : facts) fact_names.push_back(session.FactName(f));
+  }
+
+  // Compile explicitly so the narration can show plan provenance; the
+  // TagBatch right after hits the plan cache.
+  Result<pipeline::Construction> construction =
+      pipeline::ParseConstruction(args.construction);
+  if (!construction.ok()) return Fail(construction.error());
+  pipeline::PlanKey key = pipeline::PlanKey::For<S>(construction.value());
+  auto compiled = session.Compile(key);
+  if (!compiled.ok()) return Fail(compiled.error());
+  const pipeline::CompiledPlan& plan = *compiled.value();
+
+  auto batched = session.TagBatch<S>(key, taggings, facts);
+  if (!batched.ok()) return Fail(batched.error());
+  const auto& results = batched.value();
+  const size_t lanes = taggings.size();
+
+  if (args.format == "text") {
+    if (!args.quiet) {
+      const GroundedProgram& g = session.grounded();
+      std::cout << "program: " << session.program().rules.size() << " rules, "
+                << num_facts << " EDB facts\n"
+                << "grounding: " << g.num_idb_facts() << " IDB facts, "
+                << g.rules().size() << " ground rules (size " << g.TotalSize()
+                << ")\n"
+                << "construction: " << pipeline::ConstructionName(key.construction)
+                << ", " << plan.layers_used
+                << (key.construction == pipeline::Construction::kGrounded
+                        ? " ICO layers"
+                        : " stages")
+                << ", circuit size " << plan.unoptimized.size << " -> "
+                << plan.circuit.Size() << " after "
+                << plan.pass_stats.size() << " passes\n"
+                << "plan: " << plan.plan.num_slots() << " slots in "
+                << plan.plan.num_layers() << " layers; cache "
+                << session.stats().plan_cache_hits << " hit(s) / "
+                << session.stats().plan_cache_misses << " miss(es)\n"
+                << "semiring: " << S::Name() << ", " << lanes << " tagging lane(s)\n";
+      if (args.show_facts) {
+        std::cout << "EDB taggings are ordered:\n";
+        for (uint32_t v = 0; v < num_facts; ++v) {
+          std::cout << "  x" << v << " = " << session.EdbFactName(v) << "\n";
+        }
+      }
+      std::cout << "\n";
+    }
+    for (size_t i = 0; i < facts.size(); ++i) {
+      std::cout << fact_names[i] << " =";
+      for (size_t b = 0; b < lanes; ++b) {
+        std::cout << " " << pipeline::FormatSemiringValue<S>(results[b][i]);
+      }
+      std::cout << "\n";
+    }
+  } else if (args.format == "csv") {
+    std::cout << "fact";
+    for (size_t b = 0; b < lanes; ++b) std::cout << ",lane_" << b;
+    std::cout << "\n";
+    for (size_t i = 0; i < facts.size(); ++i) {
+      std::cout << CsvField(fact_names[i]);
+      for (size_t b = 0; b < lanes; ++b) {
+        std::cout << "," << pipeline::FormatSemiringValue<S>(results[b][i]);
+      }
+      std::cout << "\n";
+    }
+  } else if (args.format == "json") {
+    std::cout << "{\n  \"semiring\": \"" << S::Name() << "\",\n"
+              << "  \"construction\": \""
+              << pipeline::ConstructionName(key.construction) << "\",\n"
+              << "  \"circuit\": {\"size\": " << plan.circuit.Size()
+              << ", \"depth\": " << plan.circuit.Depth()
+              << ", \"layers_used\": " << plan.layers_used << "},\n"
+              << "  \"plan\": {\"slots\": " << plan.plan.num_slots()
+              << ", \"layers\": " << plan.plan.num_layers()
+              << ", \"cache_hits\": " << session.stats().plan_cache_hits
+              << ", \"cache_misses\": " << session.stats().plan_cache_misses
+              << "},\n  \"lanes\": " << lanes << ",\n  \"results\": [\n";
+    for (size_t i = 0; i < facts.size(); ++i) {
+      std::cout << "    {\"fact\": \"" << JsonEscape(fact_names[i])
+                << "\", \"values\": [";
+      for (size_t b = 0; b < lanes; ++b) {
+        if (b) std::cout << ", ";
+        std::cout << "\"" << pipeline::FormatSemiringValue<S>(results[b][i])
+                  << "\"";
+      }
+      std::cout << "]}" << (i + 1 < facts.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+  }
+  return 0;
+}
+
+int Run(const Args& args) {
+  if (args.program_file.empty() == args.cfg_file.empty()) {
+    return Fail("pass exactly one of --program or --cfg");
+  }
+  if (args.facts_file.empty() == args.graph_file.empty()) {
+    return Fail("pass exactly one of --facts or --graph");
+  }
+  if (args.format != "text" && args.format != "csv" && args.format != "json") {
+    return Fail("unknown --format `" + args.format +
+                "` (expected text, csv, or json)");
+  }
+
+  pipeline::SessionOptions options;
+  options.eval.num_threads = args.threads;
+  Result<Session> session_r = [&]() -> Result<Session> {
+    std::string text, error;
+    if (!args.program_file.empty()) {
+      if (!ReadFile(args.program_file, &text, &error)) {
+        return Result<Session>::Error(error);
+      }
+      return Session::FromDatalog(text, options);
+    }
+    if (!ReadFile(args.cfg_file, &text, &error)) {
+      return Result<Session>::Error(error);
+    }
+    Result<Cfg> cfg = ParseCfgText(text);
+    if (!cfg.ok()) return Result<Session>::Error(args.cfg_file + ": " + cfg.error());
+    return Session::FromCfg(cfg.value(), options);
+  }();
+  if (!session_r.ok()) return Fail(session_r.error());
+  Session session = std::move(session_r).value();
+
+  {
+    std::string text, error;
+    const std::string& path =
+        !args.facts_file.empty() ? args.facts_file : args.graph_file;
+    if (!ReadFile(path, &text, &error)) return Fail(error);
+    Result<bool> loaded = !args.facts_file.empty()
+                              ? session.LoadFactsText(text)
+                              : session.LoadGraphCsv(text);
+    if (!loaded.ok()) return Fail(path + ": " + loaded.error());
+  }
+
+  int code = 1;
+  bool known = pipeline::DispatchSemiring(
+      args.semiring, [&]<Semiring S>() { code = RunTyped<S>(args, session); });
+  if (!known) {
+    std::string names;
+    for (const std::string& n : pipeline::SemiringNames()) {
+      names += (names.empty() ? "" : ", ") + n;
+    }
+    return Fail("unknown --semiring `" + args.semiring + "` (one of: " + names +
+                ")");
+  }
+  return code;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage(std::cerr, 1);
+  std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return Usage(std::cout, 0);
+  }
+  if (command == "semirings") {
+    for (const std::string& n : pipeline::SemiringNames()) std::cout << n << "\n";
+    return 0;
+  }
+  if (command != "run") {
+    return Fail("unknown command `" + command + "` (try `dlcirc help`)");
+  }
+
+  Args args;
+  auto value = [&](int& i, const char* flag) -> Result<std::string> {
+    if (i + 1 >= argc) {
+      return Result<std::string>::Error(std::string(flag) + " needs a value");
+    }
+    return std::string(argv[++i]);
+  };
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    Result<std::string> v = std::string();
+    if (flag == "--program") {
+      if (!(v = value(i, "--program")).ok()) return Fail(v.error());
+      args.program_file = v.value();
+    } else if (flag == "--cfg") {
+      if (!(v = value(i, "--cfg")).ok()) return Fail(v.error());
+      args.cfg_file = v.value();
+    } else if (flag == "--facts") {
+      if (!(v = value(i, "--facts")).ok()) return Fail(v.error());
+      args.facts_file = v.value();
+    } else if (flag == "--graph") {
+      if (!(v = value(i, "--graph")).ok()) return Fail(v.error());
+      args.graph_file = v.value();
+    } else if (flag == "--batch") {
+      if (!(v = value(i, "--batch")).ok()) return Fail(v.error());
+      args.batch_file = v.value();
+    } else if (flag == "--semiring") {
+      if (!(v = value(i, "--semiring")).ok()) return Fail(v.error());
+      args.semiring = v.value();
+    } else if (flag == "--construction") {
+      if (!(v = value(i, "--construction")).ok()) return Fail(v.error());
+      args.construction = v.value();
+    } else if (flag == "--format") {
+      if (!(v = value(i, "--format")).ok()) return Fail(v.error());
+      args.format = v.value();
+    } else if (flag == "--query") {
+      if (!(v = value(i, "--query")).ok()) return Fail(v.error());
+      args.queries.push_back(v.value());
+    } else if (flag == "--threads") {
+      if (!(v = value(i, "--threads")).ok()) return Fail(v.error());
+      try {
+        size_t used = 0;
+        args.threads = std::stoi(v.value(), &used);
+        if (used != v.value().size() || args.threads < 1) throw 0;
+      } catch (...) {
+        return Fail("--threads expects a positive integer, got `" + v.value() +
+                    "`");
+      }
+    } else if (flag == "--show-facts") {
+      args.show_facts = true;
+    } else if (flag == "--quiet") {
+      args.quiet = true;
+    } else {
+      std::cerr << "dlcirc: unknown flag `" << flag << "`\n";
+      return Usage(std::cerr, 1);
+    }
+  }
+  return Run(args);
+}
+
+}  // namespace
+}  // namespace dlcirc
+
+int main(int argc, char** argv) { return dlcirc::Main(argc, argv); }
