@@ -55,12 +55,22 @@ class Circuit {
   uint32_t num_vars() const { return num_vars_; }
 
   /// Stats are computed once at construction and cached, so Size()/Depth()
-  /// and repeated ComputeStats() calls are free.
-  const Stats& ComputeStats() const { return stats_; }
+  /// and repeated ComputeStats() calls are free. A Circuit is immutable, so
+  /// the cache can never go stale on a live object — CircuitBuilder::Build
+  /// snapshots the arena, and later builder mutations only affect later
+  /// Builds. The one way to observe a stale cache is a moved-from Circuit
+  /// (its arena is gone but Stats, a plain struct, survives the move);
+  /// every accessor CHECKs against that instead of serving stale numbers.
+  const Stats& ComputeStats() const {
+    DLCIRC_CHECK_LE(stats_.size, gates_.size())
+        << "stale Stats: cached for a larger arena than this circuit holds "
+           "(moved-from circuit?)";
+    return stats_;
+  }
   /// Gates in the output cone (Stats().size).
-  uint64_t Size() const { return stats_.size; }
+  uint64_t Size() const { return ComputeStats().size; }
   /// Longest input-to-output path length in edges (Stats().depth).
-  uint32_t Depth() const { return stats_.depth; }
+  uint32_t Depth() const { return ComputeStats().depth; }
 
   /// Evaluates all outputs under `assignment` (one value per variable id)
   /// over semiring S, bottom-up in one pass. Work is restricted to the

@@ -48,10 +48,12 @@ EvalPlan EvalPlan::Build(const Circuit& circuit) {
   std::vector<uint32_t> cursor(plan.layer_starts_.begin(),
                                plan.layer_starts_.end() - 1);
   plan.gates_.resize(cone_size);
+  plan.layer_of_.resize(cone_size);
   for (size_t i = 0; i < gates.size(); ++i) {
     if (!cone[i]) continue;
     uint32_t slot = cursor[layer[i]]++;
     slot_of[i] = slot;
+    plan.layer_of_[slot] = layer[i];
     Gate g = gates[i];
     if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
       g.a = slot_of[g.a];  // children precede i, so already assigned
@@ -62,6 +64,43 @@ EvalPlan EvalPlan::Build(const Circuit& circuit) {
 
   plan.output_slots_.reserve(circuit.outputs().size());
   for (GateId o : circuit.outputs()) plan.output_slots_.push_back(slot_of[o]);
+
+  // Reverse adjacency (slot -> dependents) and variable -> input-slot index,
+  // both CSR, both by counting sort. Computed here, alongside the layers,
+  // so every plan can serve incremental updates (src/eval/delta.h) without
+  // a second compilation step.
+  plan.dep_starts_.assign(cone_size + 1, 0);
+  for (const Gate& g : plan.gates_) {
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      ++plan.dep_starts_[g.a + 1];
+      ++plan.dep_starts_[g.b + 1];
+    }
+  }
+  plan.var_starts_.assign(static_cast<size_t>(plan.num_vars_) + 1, 0);
+  for (const Gate& g : plan.gates_) {
+    if (g.kind == GateKind::kInput) ++plan.var_starts_[g.a + 1];
+  }
+  for (size_t s = 1; s <= cone_size; ++s) {
+    plan.dep_starts_[s] += plan.dep_starts_[s - 1];
+  }
+  for (size_t v = 1; v <= plan.num_vars_; ++v) {
+    plan.var_starts_[v] += plan.var_starts_[v - 1];
+  }
+  plan.dependents_.resize(plan.dep_starts_[cone_size]);
+  plan.var_input_slots_.resize(plan.var_starts_[plan.num_vars_]);
+  std::vector<uint32_t> dep_cursor(plan.dep_starts_.begin(),
+                                   plan.dep_starts_.end() - 1);
+  std::vector<uint32_t> var_cursor(plan.var_starts_.begin(),
+                                   plan.var_starts_.end() - 1);
+  for (uint32_t s = 0; s < cone_size; ++s) {
+    const Gate& g = plan.gates_[s];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      plan.dependents_[dep_cursor[g.a]++] = s;
+      plan.dependents_[dep_cursor[g.b]++] = s;
+    } else if (g.kind == GateKind::kInput) {
+      plan.var_input_slots_[var_cursor[g.a]++] = s;
+    }
+  }
   return plan;
 }
 

@@ -44,6 +44,26 @@ class EvalPlan {
   /// Slot of each circuit output, in the circuit's output order.
   const std::vector<uint32_t>& output_slots() const { return output_slots_; }
 
+  /// Reverse adjacency in CSR layout: the slots that read slot s as a child
+  /// are dependents()[dep_starts()[s] .. dep_starts()[s+1]). A gate with
+  /// both children equal to s appears twice. Dependents always live in a
+  /// strictly higher layer than s. This is what incremental re-evaluation
+  /// (src/eval/delta.h) walks to push a dirty frontier upward.
+  const std::vector<uint32_t>& dep_starts() const { return dep_starts_; }
+  const std::vector<uint32_t>& dependents() const { return dependents_; }
+
+  /// Input-slot index in CSR layout: the kInput slots reading variable v are
+  /// var_input_slots()[var_starts()[v] .. var_starts()[v+1]). (The builder
+  /// dedups inputs, so each list usually has one entry, but plans built from
+  /// arbitrary arenas may carry duplicates.)
+  const std::vector<uint32_t>& var_starts() const { return var_starts_; }
+  const std::vector<uint32_t>& var_input_slots() const { return var_input_slots_; }
+
+  /// Layer of each slot (the inverse of layer_starts, O(1) per lookup; the
+  /// dirty-frontier hot path in src/eval/delta.h cannot afford a binary
+  /// search per marked gate).
+  const std::vector<uint32_t>& layer_of() const { return layer_of_; }
+
   size_t num_slots() const { return gates_.size(); }
   size_t num_layers() const { return layer_starts_.size() - 1; }
   size_t num_outputs() const { return output_slots_.size(); }
@@ -55,6 +75,11 @@ class EvalPlan {
   std::vector<Gate> gates_;
   std::vector<uint32_t> layer_starts_ = {0};
   std::vector<uint32_t> output_slots_;
+  std::vector<uint32_t> dep_starts_ = {0};
+  std::vector<uint32_t> dependents_;
+  std::vector<uint32_t> var_starts_ = {0};
+  std::vector<uint32_t> var_input_slots_;
+  std::vector<uint32_t> layer_of_;
   uint32_t num_vars_ = 0;
   size_t max_layer_width_ = 0;
 };

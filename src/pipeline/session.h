@@ -8,21 +8,26 @@
 //     -> optimizer pass pipeline                src/eval/passes
 //     -> compiled EvalPlan                      src/eval/evaluator
 //     -> batched semiring taggings              src/eval/batch
+//     -> incremental tag updates                src/eval/delta
 //
 // The expensive prefix (ground once, build once, optimize once, compile
 // once) is cached per PlanKey = (construction, semiring-class flags, layer
 // bound); the program and EDB are fixed per Session, so repeated tagging
 // requests — the serving path — hit the cache and go straight to the batch
-// evaluator. tools/dlcirc_cli.cc is the command-line face of this API.
+// evaluator, and served batches stay live for sparse per-lane updates
+// (ServeTags/UpdateTags). tools/dlcirc_cli.cc is the command-line face of
+// this API.
 #ifndef DLCIRC_PIPELINE_SESSION_H_
 #define DLCIRC_PIPELINE_SESSION_H_
 
+#include <any>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/circuit/circuit.h"
@@ -30,6 +35,7 @@
 #include "src/datalog/database.h"
 #include "src/datalog/grounding.h"
 #include "src/eval/batch.h"
+#include "src/eval/delta.h"
 #include "src/eval/evaluator.h"
 #include "src/eval/passes.h"
 #include "src/lang/cfg.h"
@@ -90,6 +96,20 @@ struct CompiledPlan {
 struct SessionStats {
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
+  uint64_t incremental_updates = 0;    ///< UpdateTags calls served
+  uint64_t incremental_fallbacks = 0;  ///< of those, full re-evaluations
+};
+
+/// A batch of taggings kept live for incremental updates: one materialized
+/// EvalState per lane, pinned to the compiled plan it was evaluated through.
+/// Owned by the Session (type-erased); users go through ServeTags/UpdateTags.
+template <Semiring S>
+struct ServedTagBatch {
+  PlanKey key;
+  std::shared_ptr<const CompiledPlan> plan;
+  std::vector<uint32_t> facts;             ///< served IDB fact ids
+  std::vector<eval::EvalState<S>> lanes;   ///< one state per tagging lane
+  eval::IncrementalEvaluator incremental;
 };
 
 struct SessionOptions {
@@ -177,8 +197,102 @@ class Session {
     return out;
   }
 
+  /// Like TagBatch, but keeps the batch live for sparse updates: every lane
+  /// is materialized into an EvalState pinned to the cached plan, and
+  /// subsequent UpdateTags<S> calls refresh single lanes incrementally. A
+  /// Session serves one batch at a time; calling ServeTags again (over any
+  /// semiring) replaces the previous served batch.
+  template <Semiring S>
+  Result<std::vector<std::vector<typename S::Value>>> ServeTags(
+      const PlanKey& key,
+      const std::vector<std::vector<typename S::Value>>& taggings,
+      const std::vector<uint32_t>& facts) {
+    using Out = std::vector<std::vector<typename S::Value>>;
+    if (!has_database()) return Result<Out>::Error("no EDB loaded");
+    if (taggings.empty()) return Result<Out>::Error("empty tagging batch");
+    for (const auto& lane : taggings) {
+      if (lane.size() != db().num_facts()) {
+        return Result<Out>::Error(
+            "tagging lane has " + std::to_string(lane.size()) +
+            " values; EDB has " + std::to_string(db().num_facts()) + " facts");
+      }
+    }
+    auto compiled = Compile(key);
+    if (!compiled.ok()) return Result<Out>::Error(compiled.error());
+    ServedTagBatch<S> served{
+        key, compiled.value(), facts, {},
+        eval::IncrementalEvaluator(*evaluator_, eval::DeltaOptions::For<S>())};
+    // One tiled batch sweep materializes every lane (not one full plan walk
+    // per lane) — same amortization as the TagBatch serving path.
+    served.lanes = served.incremental.template MaterializeBatch<S>(
+        served.plan->plan, taggings);
+    Out out;
+    out.reserve(taggings.size());
+    for (const auto& lane : served.lanes) {
+      out.push_back(ServedFactValues<S>(served, lane));
+    }
+    served_ = std::move(served);
+    return out;
+  }
+
+  /// Applies a sparse delta (EDB provenance variable -> new tag) to one lane
+  /// of the served batch and returns the refreshed values of the served
+  /// facts, propagated incrementally through the cached plan (src/eval/delta).
+  template <Semiring S>
+  Result<std::vector<typename S::Value>> UpdateTags(
+      size_t batch_lane, const eval::TagDelta<S>& delta) {
+    using Out = std::vector<typename S::Value>;
+    auto* served = std::any_cast<ServedTagBatch<S>>(&served_);
+    if (served == nullptr) {
+      return Result<Out>::Error("no served " + S::Name() +
+                                " tag batch; call ServeTags first");
+    }
+    if (batch_lane >= served->lanes.size()) {
+      return Result<Out>::Error(
+          "lane " + std::to_string(batch_lane) + " out of range; batch has " +
+          std::to_string(served->lanes.size()) + " lane(s)");
+    }
+    for (const eval::TagUpdate<S>& u : delta) {
+      if (u.var >= db().num_facts()) {
+        return Result<Out>::Error(
+            "tag update names EDB variable x" + std::to_string(u.var) +
+            "; EDB has " + std::to_string(db().num_facts()) + " facts");
+      }
+    }
+    eval::DeltaStats st = served->incremental.template Update<S>(
+        served->plan->plan, &served->lanes[batch_lane], delta);
+    ++stats_.incremental_updates;
+    if (st.full_fallback) ++stats_.incremental_fallbacks;
+    return ServedFactValues<S>(*served, served->lanes[batch_lane]);
+  }
+
+  /// True when a batch over S is live for UpdateTags<S>.
+  template <Semiring S>
+  bool has_served_batch() const {
+    return std::any_cast<ServedTagBatch<S>>(&served_) != nullptr;
+  }
+
  private:
   explicit Session(Program program, SessionOptions options);
+
+  /// Served-fact values of one lane (kNotFound facts are Zero). Reads the
+  /// served facts' slots directly — O(served facts), not O(all outputs):
+  /// on big plans every IDB fact is an output, and copying them all per
+  /// update would dwarf the incremental propagation this path exists for.
+  template <Semiring S>
+  static std::vector<typename S::Value> ServedFactValues(
+      const ServedTagBatch<S>& served, const eval::EvalState<S>& lane) {
+    const eval::EvalPlan& plan = served.plan->plan;
+    std::vector<typename S::Value> out;
+    out.reserve(served.facts.size());
+    for (uint32_t f : served.facts) {
+      out.push_back(f == kNotFound
+                        ? S::Zero()
+                        : static_cast<typename S::Value>(
+                              lane.slots[plan.output_slots()[f]]));
+    }
+    return out;
+  }
 
   Program program_;
   SessionOptions options_;
@@ -188,6 +302,7 @@ class Session {
   std::unordered_map<PlanKey, std::shared_ptr<const CompiledPlan>, PlanKeyHash>
       plan_cache_;
   std::unique_ptr<eval::Evaluator> evaluator_;
+  std::any served_;  ///< ServedTagBatch<S> for the serving semiring, if any
   SessionStats stats_;
 };
 

@@ -93,6 +93,43 @@ TEST(CircuitTest, StatsCountOnlyOutputCone) {
   EXPECT_EQ(s.size, 3u);  // 2 inputs + 1 plus
 }
 
+TEST(CircuitTest, StatsStayFreshAcrossBuilderMutation) {
+  // Regression: a Build -> Size() -> more builder mutations -> Build sequence
+  // must give each circuit stats for ITS arena snapshot. Build copies the
+  // arena and Circuit computes stats at construction, so the first circuit's
+  // cached numbers must not move and the second's must see the new gates.
+  CircuitBuilder b(3);
+  GateId sum = b.Plus(b.Input(0), b.Input(1));
+  Circuit first = b.Build({sum});
+  const uint64_t first_size = first.Size();
+  const uint32_t first_depth = first.Depth();
+  EXPECT_EQ(first_size, 3u);   // x0, x1, (+)
+  EXPECT_EQ(first_depth, 1u);
+
+  // Mutate the builder after the Size()/Depth() calls.
+  GateId deeper = b.Times(sum, b.Input(2));
+  Circuit second = b.Build({deeper});
+  EXPECT_EQ(second.Size(), 5u);
+  EXPECT_EQ(second.Depth(), 2u);
+  // The first circuit's cached stats are untouched by the mutation.
+  EXPECT_EQ(first.Size(), first_size);
+  EXPECT_EQ(first.Depth(), first_depth);
+  EXPECT_EQ(first.ComputeStats().num_plus, 1u);
+  EXPECT_EQ(first.ComputeStats().num_times, 0u);
+}
+
+TEST(CircuitStatsDeathTest, MovedFromCircuitRefusesToServeStaleStats) {
+  // The only mutation a Circuit supports is being moved from: the arena
+  // leaves but Stats (a plain struct) survives the move. The accessors must
+  // CHECK-fail rather than serve numbers for a vanished arena.
+  CircuitBuilder b(2);
+  Circuit c = b.Build({b.Plus(b.Input(0), b.Input(1))});
+  EXPECT_EQ(c.Size(), 3u);
+  Circuit moved = std::move(c);
+  EXPECT_EQ(moved.Size(), 3u);
+  EXPECT_DEATH(c.Size(), "stale Stats");
+}
+
 TEST(CircuitTest, MultiOutputEvaluation) {
   CircuitBuilder b(2);
   GateId sum = b.Plus(b.Input(0), b.Input(1));

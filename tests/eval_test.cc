@@ -14,6 +14,7 @@
 #include "src/eval/passes.h"
 #include "src/semiring/instances.h"
 #include "src/util/rng.h"
+#include "tests/random_circuits.h"
 
 namespace dlcirc {
 namespace {
@@ -23,49 +24,9 @@ using eval::EvalOptions;
 using eval::EvalPlan;
 using eval::Evaluator;
 using eval::PassOptions;
-
-// Random DAG over `num_vars` inputs with `num_internal` (+)/(x) gates drawn
-// over earlier gates and the constants. Built with all rewrite flags off so
-// the circuit is a faithful expression over ANY semiring.
-Circuit RandomCircuit(Rng& rng, uint32_t num_vars, uint32_t num_internal,
-                      size_t num_outputs = 3) {
-  CircuitBuilder b(num_vars);
-  std::vector<GateId> pool = {b.Zero(), b.One()};
-  for (uint32_t v = 0; v < num_vars; ++v) pool.push_back(b.Input(v));
-  for (uint32_t i = 0; i < num_internal; ++i) {
-    GateId x = pool[rng.NextBounded(pool.size())];
-    GateId y = pool[rng.NextBounded(pool.size())];
-    pool.push_back(rng.NextBool(0.5) ? b.Plus(x, y) : b.Times(x, y));
-  }
-  // Outputs biased toward late gates so the cone is nontrivial; some early
-  // gates end up dead, which is exactly what the plan/passes must handle.
-  std::vector<GateId> outs;
-  for (size_t k = 0; k < num_outputs; ++k) {
-    size_t tail = std::min<size_t>(pool.size(), 8);
-    outs.push_back(pool[pool.size() - 1 - rng.NextBounded(tail)]);
-  }
-  return b.Build(outs);
-}
-
-template <Semiring S>
-std::vector<typename S::Value> RandomAssignment(Rng& rng, uint32_t num_vars) {
-  std::vector<typename S::Value> a;
-  a.reserve(num_vars);
-  for (uint32_t v = 0; v < num_vars; ++v) a.push_back(S::RandomValue(rng));
-  return a;
-}
-
-template <Semiring S>
-void ExpectSameValues(const std::vector<typename S::Value>& expected,
-                      const std::vector<typename S::Value>& got,
-                      const char* what) {
-  ASSERT_EQ(expected.size(), got.size()) << what;
-  for (size_t i = 0; i < expected.size(); ++i) {
-    EXPECT_TRUE(S::Eq(expected[i], got[i]))
-        << what << " output " << i << ": " << S::ToString(expected[i])
-        << " vs " << S::ToString(got[i]) << " over " << S::Name();
-  }
-}
+using testing::ExpectSameValues;
+using testing::RandomAssignment;
+using testing::RandomCircuit;
 
 template <typename S>
 class EvalSemiringTest : public ::testing::Test {};

@@ -1,0 +1,74 @@
+// The trusted oracle for differential testing: a naive, memoized, recursive
+// circuit evaluator that shares no code with the production engine. It walks
+// the raw gate arena top-down from each output — no cone masks, no plans, no
+// layers, no batching — so a bug in any of those layers cannot cancel out in
+// the comparison. Deliberately kept too simple to be wrong.
+#ifndef DLCIRC_TESTS_ORACLE_H_
+#define DLCIRC_TESTS_ORACLE_H_
+
+#include <vector>
+
+#include "src/circuit/circuit.h"
+#include "src/semiring/semiring.h"
+#include "src/util/check.h"
+
+namespace dlcirc {
+namespace testing {
+
+namespace internal {
+
+template <Semiring S>
+typename S::Value OracleEvalGate(const Circuit& c, GateId id,
+                                 const std::vector<typename S::Value>& assignment,
+                                 std::vector<char>* done,
+                                 std::vector<typename S::Value>* memo) {
+  if ((*done)[id]) return (*memo)[id];
+  const Gate& g = c.gates()[id];
+  typename S::Value v = S::Zero();
+  switch (g.kind) {
+    case GateKind::kZero:
+      v = S::Zero();
+      break;
+    case GateKind::kOne:
+      v = S::One();
+      break;
+    case GateKind::kInput:
+      DLCIRC_CHECK_LT(g.a, assignment.size());
+      v = assignment[g.a];
+      break;
+    case GateKind::kPlus:
+      v = S::Plus(OracleEvalGate<S>(c, g.a, assignment, done, memo),
+                  OracleEvalGate<S>(c, g.b, assignment, done, memo));
+      break;
+    case GateKind::kTimes:
+      v = S::Times(OracleEvalGate<S>(c, g.a, assignment, done, memo),
+                   OracleEvalGate<S>(c, g.b, assignment, done, memo));
+      break;
+  }
+  (*done)[id] = 1;
+  (*memo)[id] = v;
+  return v;
+}
+
+}  // namespace internal
+
+/// Evaluates all outputs of `circuit` under `assignment`, naively and
+/// recursively. The return shape matches Circuit::Evaluate.
+template <Semiring S>
+std::vector<typename S::Value> OracleEvaluate(
+    const Circuit& circuit, const std::vector<typename S::Value>& assignment) {
+  std::vector<char> done(circuit.gates().size(), 0);
+  std::vector<typename S::Value> memo(circuit.gates().size(), S::Zero());
+  std::vector<typename S::Value> out;
+  out.reserve(circuit.outputs().size());
+  for (GateId o : circuit.outputs()) {
+    out.push_back(
+        internal::OracleEvalGate<S>(circuit, o, assignment, &done, &memo));
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace dlcirc
+
+#endif  // DLCIRC_TESTS_ORACLE_H_

@@ -325,6 +325,76 @@ TEST(SessionErrorTest, QueryAndLoadErrors) {
   EXPECT_EQ(r.value()[0][0], TropicalSemiring::kInf);
 }
 
+TEST(SessionServeTest, ServeTagsMatchesTagBatchAndUpdatesMatchRecompute) {
+  Session session = MakeFig1Session();
+  PlanKey key = PlanKey::For<TropicalSemiring>();
+  Rng rng(23);
+  auto taggings =
+      RandomTaggings<TropicalSemiring>(rng, session.db().num_facts(), 3);
+  uint32_t fact = session.FindFact("T", {"s", "t"}).value();
+  // kNotFound facts must serve Zero, exactly as TagBatch does.
+  std::vector<uint32_t> facts = {fact, Session::kNotFound};
+
+  auto served = session.ServeTags<TropicalSemiring>(key, taggings, facts);
+  auto batch = session.TagBatch<TropicalSemiring>(key, taggings, facts);
+  ASSERT_TRUE(served.ok()) << served.error();
+  ASSERT_TRUE(batch.ok()) << batch.error();
+  for (size_t b = 0; b < taggings.size(); ++b) {
+    for (size_t i = 0; i < facts.size(); ++i) {
+      EXPECT_EQ(served.value()[b][i], batch.value()[b][i])
+          << "lane " << b << " fact " << i;
+    }
+  }
+  EXPECT_TRUE(session.has_served_batch<TropicalSemiring>());
+  EXPECT_FALSE(session.has_served_batch<BooleanSemiring>());
+
+  // Random sparse deltas against random lanes: every incremental refresh
+  // must equal a cold TagBatch recompute of the mutated lane.
+  for (int step = 0; step < 8; ++step) {
+    size_t lane = rng.NextBounded(taggings.size());
+    eval::TagDelta<TropicalSemiring> delta;
+    for (size_t k = 0, n = 1 + rng.NextBounded(2); k < n; ++k) {
+      uint32_t var = static_cast<uint32_t>(
+          rng.NextBounded(session.db().num_facts()));
+      uint64_t v = TropicalSemiring::RandomValue(rng);
+      taggings[lane][var] = v;
+      delta.push_back({var, v});
+    }
+    auto got = session.UpdateTags<TropicalSemiring>(lane, delta);
+    ASSERT_TRUE(got.ok()) << got.error();
+    auto expect =
+        session.TagBatch<TropicalSemiring>(key, {taggings[lane]}, facts);
+    ASSERT_TRUE(expect.ok());
+    for (size_t i = 0; i < facts.size(); ++i) {
+      EXPECT_EQ(got.value()[i], expect.value()[0][i])
+          << "step " << step << " fact " << i;
+    }
+  }
+  EXPECT_EQ(session.stats().incremental_updates, 8u);
+}
+
+TEST(SessionServeTest, UpdateTagsErrors) {
+  Session session = MakeFig1Session();
+  // No served batch yet.
+  EXPECT_FALSE(
+      session.UpdateTags<TropicalSemiring>(0, {{0, uint64_t{1}}}).ok());
+
+  PlanKey key = PlanKey::For<TropicalSemiring>();
+  std::vector<std::vector<uint64_t>> lanes = {{1, 2, 3, 4, 5, 6, 7}};
+  uint32_t fact = session.FindFact("T", {"s", "t"}).value();
+  ASSERT_TRUE(session.ServeTags<TropicalSemiring>(key, lanes, {fact}).ok());
+  // Wrong semiring for the live batch.
+  EXPECT_FALSE(session.UpdateTags<BooleanSemiring>(0, {{0, true}}).ok());
+  // Lane and variable out of range.
+  EXPECT_FALSE(
+      session.UpdateTags<TropicalSemiring>(1, {{0, uint64_t{1}}}).ok());
+  EXPECT_FALSE(
+      session.UpdateTags<TropicalSemiring>(0, {{99, uint64_t{1}}}).ok());
+  // Short tagging lanes are rejected before anything is served.
+  EXPECT_FALSE(
+      session.ServeTags<TropicalSemiring>(key, {{1, 2, 3}}, {fact}).ok());
+}
+
 TEST(SemiringRegistryTest, DispatchCoversEveryInstance) {
   for (const std::string& name : pipeline::SemiringNames()) {
     std::string reported;

@@ -1,0 +1,114 @@
+// Round-trip coverage for the pipeline's runtime semiring registry
+// (src/pipeline/semiring_registry.h): for every registered semiring,
+// ParseSemiringValue must be an EXACT inverse of FormatSemiringValue —
+// identities, infinities (Tropical/TropicalZ/Capacity "inf", Arctic
+// "-inf"), extreme finite values, and the semiring's own random-value
+// distribution — and must reject out-of-domain and malformed tokens.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/semiring_registry.h"
+#include "src/semiring/instances.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+namespace {
+
+using pipeline::FormatSemiringValue;
+using pipeline::ParseSemiringValue;
+
+template <Semiring S>
+void ExpectRoundTrip(typename S::Value v) {
+  const std::string token = FormatSemiringValue<S>(v);
+  Result<typename S::Value> parsed = ParseSemiringValue<S>(token);
+  ASSERT_TRUE(parsed.ok()) << S::Name() << ": `" << token
+                           << "`: " << parsed.error();
+  EXPECT_TRUE(S::Eq(parsed.value(), v))
+      << S::Name() << ": `" << token << "` parsed back as "
+      << S::ToString(parsed.value()) << ", want " << S::ToString(v);
+  // Exact inverse both ways: re-rendering the parsed value reproduces the
+  // token byte for byte.
+  EXPECT_EQ(FormatSemiringValue<S>(parsed.value()), token) << S::Name();
+}
+
+template <Semiring S>
+void ExpectRoundTripsForSemiring() {
+  SCOPED_TRACE(S::Name());
+  // The identities — for the (min,+)/(max,+)/bottleneck family these ARE
+  // the infinities ("inf" = Tropical/TropicalZ 0 and Capacity 1, "-inf" =
+  // Arctic 0), the edge values most likely to be mangled by a parser that
+  // maps them to type-wide extremes.
+  ExpectRoundTrip<S>(S::Zero());
+  ExpectRoundTrip<S>(S::One());
+  // The semiring's own test-value distribution (includes the infinities
+  // with probability ~0.1 where applicable, dyadic grids for the
+  // double-valued members so arithmetic and rendering stay exact).
+  Rng rng(20260731);
+  for (int i = 0; i < 50; ++i) ExpectRoundTrip<S>(S::RandomValue(rng));
+}
+
+TEST(SemiringRegistryRoundTripTest, EveryRegisteredSemiring) {
+  size_t covered = 0;
+  for (const std::string& name : pipeline::SemiringNames()) {
+    const bool known = pipeline::DispatchSemiring(name, [&]<Semiring S>() {
+      ExpectRoundTripsForSemiring<S>();
+      ++covered;
+    });
+    EXPECT_TRUE(known) << name;
+  }
+  EXPECT_EQ(covered, pipeline::SemiringNames().size());
+}
+
+TEST(SemiringRegistryRoundTripTest, ExtremeFiniteValues) {
+  // Largest finite Tropical weight (kInf - 1) and extreme TropicalZ values
+  // must survive textually, not saturate or wrap.
+  ExpectRoundTrip<TropicalSemiring>(TropicalSemiring::kInf - 1);
+  ExpectRoundTrip<TropicalZSemiring>(std::numeric_limits<int64_t>::min());
+  ExpectRoundTrip<TropicalZSemiring>(TropicalZSemiring::kInf - 1);
+  ExpectRoundTrip<CountingSemiring>(CountingSemiring::kMax);
+  ExpectRoundTrip<CapacitySemiring>(CapacitySemiring::kInf - 1);
+  ExpectRoundTrip<ArcticSemiring>(std::numeric_limits<int64_t>::max());
+}
+
+TEST(SemiringRegistryRoundTripTest, InfinityTokensMapToTheRightElements) {
+  // "inf" / "-inf" parse exactly where the semiring renders them...
+  EXPECT_EQ(ParseSemiringValue<TropicalSemiring>("inf").value(),
+            TropicalSemiring::kInf);
+  EXPECT_EQ(ParseSemiringValue<TropicalZSemiring>("inf").value(),
+            TropicalZSemiring::kInf);
+  EXPECT_EQ(ParseSemiringValue<CapacitySemiring>("inf").value(),
+            CapacitySemiring::kInf);
+  EXPECT_EQ(ParseSemiringValue<ArcticSemiring>("-inf").value(),
+            ArcticSemiring::kNegInf);
+  // ...and are rejected where they are not elements: INT64_MAX is not an
+  // Arctic value (unguarded Times would overflow), and Counting has no
+  // infinity at all.
+  EXPECT_FALSE(ParseSemiringValue<ArcticSemiring>("inf").ok());
+  EXPECT_FALSE(ParseSemiringValue<CountingSemiring>("inf").ok());
+  EXPECT_FALSE(ParseSemiringValue<TropicalSemiring>("-inf").ok());
+}
+
+TEST(SemiringRegistryRoundTripTest, BooleanAcceptsDigitAliases) {
+  // "0"/"1" are documented aliases on input; canonical rendering stays
+  // "true"/"false".
+  EXPECT_EQ(ParseSemiringValue<BooleanSemiring>("1").value(), true);
+  EXPECT_EQ(ParseSemiringValue<BooleanSemiring>("0").value(), false);
+  EXPECT_EQ(FormatSemiringValue<BooleanSemiring>(true), "true");
+  EXPECT_EQ(FormatSemiringValue<BooleanSemiring>(false), "false");
+  EXPECT_FALSE(ParseSemiringValue<BooleanSemiring>("yes").ok());
+}
+
+TEST(SemiringRegistryRoundTripTest, MalformedTokensAreRejected) {
+  EXPECT_FALSE(ParseSemiringValue<TropicalSemiring>("").ok());
+  EXPECT_FALSE(ParseSemiringValue<TropicalSemiring>("-3").ok());
+  EXPECT_FALSE(ParseSemiringValue<TropicalSemiring>("3x").ok());
+  EXPECT_FALSE(ParseSemiringValue<CountingSemiring>("1.5").ok());
+  EXPECT_FALSE(ParseSemiringValue<ViterbiSemiring>("abc").ok());
+  EXPECT_FALSE(ParseSemiringValue<TropicalZSemiring>("--4").ok());
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -6,6 +6,9 @@
 //
 //   dlcirc run --program tc.dl --facts fig1.facts --semiring tropical \
 //              --batch fig1.tags.csv --query "T(s,t)"
+//   dlcirc run --program tc.dl --facts fig1.facts --semiring tropical \
+//              --batch fig1.tags.csv --updates fig1.updates.csv \
+//              --query "T(s,t)"                 # incremental delta replay
 //   dlcirc run --program tc.dl --graph fig1.graph.csv --semiring boolean
 //   dlcirc run --cfg dyck1.cfg --graph word.csv --construction uvg \
 //              --semiring viterbi --format json
@@ -34,6 +37,7 @@ struct Args {
   std::string facts_file;
   std::string graph_file;
   std::string batch_file;
+  std::string updates_file;
   std::string semiring = "boolean";
   std::string construction = "grounded";
   std::string format = "text";
@@ -59,6 +63,11 @@ run flags:
   --graph FILE         EDB as edge CSV: `src,dst[,label]` per line
   --batch FILE         tagging CSV: one lane per line, one value per EDB fact
                        (default: a single lane tagging every fact with 1)
+  --updates FILE       delta-stream CSV replayed after the initial results:
+                       `lane,var,value[,var,value]...` per line mutates that
+                       lane's tagging in place (vars are EDB provenance
+                       variables, `x3` or `3`) and reports the refreshed
+                       queried facts through the incremental evaluator
   --semiring NAME      semiring to tag over (default boolean; see `semirings`)
   --construction NAME  grounded (Thm 3.1, any program) or uvg (Thm 6.2,
                        absorptive semirings; depth O(log^2 m)) [grounded]
@@ -125,6 +134,73 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// One parsed --updates line: an atomic sparse delta against one lane.
+template <Semiring S>
+struct UpdateStep {
+  int line = 0;
+  size_t lane = 0;
+  eval::TagDelta<S> delta;
+};
+
+/// Parses the --updates CSV: `lane,var,value[,var,value]...` per line, vars
+/// as plain indices or `xN` (the --show-facts rendering).
+template <Semiring S>
+Result<std::vector<UpdateStep<S>>> ParseUpdatesCsv(std::string_view text,
+                                                   size_t num_lanes,
+                                                   uint32_t num_facts) {
+  using Steps = std::vector<UpdateStep<S>>;
+  auto fail = [](int line, const std::string& what) {
+    return Result<Steps>::Error("updates line " + std::to_string(line) + ": " +
+                                what);
+  };
+  // The `xN` alias (the --show-facts rendering) is valid for EDB variables
+  // ONLY; a lane field must be a bare index, so a shifted/misordered line
+  // like `x1,0,5` is rejected instead of silently updating lane 1.
+  auto parse_index = [](const std::string& field, uint32_t limit,
+                        bool allow_var_prefix, uint32_t* out) {
+    std::string digits = (allow_var_prefix && !field.empty() && field[0] == 'x')
+                             ? field.substr(1)
+                             : field;
+    try {
+      size_t used = 0;
+      unsigned long v = std::stoul(digits, &used);
+      if (used != digits.size() || digits.empty() || v >= limit) return false;
+      *out = static_cast<uint32_t>(v);
+      return true;
+    } catch (...) {
+      return false;
+    }
+  };
+  Steps steps;
+  for (const auto& [number, line] : pipeline::internal::SignificantLines(text)) {
+    std::vector<std::string> fields = pipeline::internal::SplitCsvLine(line);
+    if (fields.size() < 3 || fields.size() % 2 == 0) {
+      return fail(number, "expected lane,var,value[,var,value]...");
+    }
+    UpdateStep<S> step;
+    step.line = number;
+    uint32_t lane = 0;
+    if (!parse_index(fields[0], static_cast<uint32_t>(num_lanes),
+                     /*allow_var_prefix=*/false, &lane)) {
+      return fail(number, "bad lane `" + fields[0] + "` (batch has " +
+                              std::to_string(num_lanes) + " lane(s))");
+    }
+    step.lane = lane;
+    for (size_t i = 1; i + 1 < fields.size(); i += 2) {
+      uint32_t var = 0;
+      if (!parse_index(fields[i], num_facts, /*allow_var_prefix=*/true, &var)) {
+        return fail(number, "bad EDB variable `" + fields[i] + "` (EDB has " +
+                                std::to_string(num_facts) + " facts)");
+      }
+      Result<typename S::Value> v = pipeline::ParseSemiringValue<S>(fields[i + 1]);
+      if (!v.ok()) return fail(number, v.error());
+      step.delta.push_back({var, std::move(v).value()});
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
 template <Semiring S>
 int RunTyped(const Args& args, Session& session) {
   const uint32_t num_facts = session.db().num_facts();
@@ -140,6 +216,16 @@ int RunTyped(const Args& args, Session& session) {
   } else {
     taggings.push_back(
         std::vector<typename S::Value>(num_facts, S::One()));
+  }
+
+  // Delta stream: parsed up front so malformed lines fail before serving.
+  std::vector<UpdateStep<S>> updates;
+  if (!args.updates_file.empty()) {
+    std::string text, error;
+    if (!ReadFile(args.updates_file, &text, &error)) return Fail(error);
+    auto parsed = ParseUpdatesCsv<S>(text, taggings.size(), num_facts);
+    if (!parsed.ok()) return Fail(args.updates_file + ": " + parsed.error());
+    updates = std::move(parsed).value();
   }
 
   // Facts to report: explicit queries or every target-predicate fact.
@@ -177,10 +263,27 @@ int RunTyped(const Args& args, Session& session) {
   if (!compiled.ok()) return Fail(compiled.error());
   const pipeline::CompiledPlan& plan = *compiled.value();
 
-  auto batched = session.TagBatch<S>(key, taggings, facts);
+  // With a delta stream the batch is served (lanes stay materialized for
+  // incremental updates); otherwise it is a one-shot batched evaluation.
+  auto batched = updates.empty() ? session.TagBatch<S>(key, taggings, facts)
+                                 : session.ServeTags<S>(key, taggings, facts);
   if (!batched.ok()) return Fail(batched.error());
   const auto& results = batched.value();
   const size_t lanes = taggings.size();
+
+  // Replays the delta stream, handing each step's refreshed fact values to
+  // `emit(step_index, step, values)`.
+  auto replay = [&](auto&& emit) -> int {
+    for (size_t i = 0; i < updates.size(); ++i) {
+      auto refreshed = session.UpdateTags<S>(updates[i].lane, updates[i].delta);
+      if (!refreshed.ok()) {
+        return Fail("updates line " + std::to_string(updates[i].line) + ": " +
+                    refreshed.error());
+      }
+      emit(i + 1, updates[i], refreshed.value());
+    }
+    return 0;
+  };
 
   if (args.format == "text") {
     if (!args.quiet) {
@@ -218,6 +321,21 @@ int RunTyped(const Args& args, Session& session) {
       }
       std::cout << "\n";
     }
+    int code = replay([&](size_t step, const UpdateStep<S>& u,
+                          const std::vector<typename S::Value>& values) {
+      std::cout << "update " << step << " lane " << u.lane << ":";
+      for (size_t i = 0; i < facts.size(); ++i) {
+        std::cout << (i ? ", " : " ") << fact_names[i] << " = "
+                  << pipeline::FormatSemiringValue<S>(values[i]);
+      }
+      std::cout << "\n";
+    });
+    if (code != 0) return code;
+    if (!updates.empty() && !args.quiet) {
+      std::cout << "updates: " << session.stats().incremental_updates
+                << " applied, " << session.stats().incremental_fallbacks
+                << " full re-evaluation fallback(s)\n";
+    }
   } else if (args.format == "csv") {
     std::cout << "fact";
     for (size_t b = 0; b < lanes; ++b) std::cout << ",lane_" << b;
@@ -229,6 +347,15 @@ int RunTyped(const Args& args, Session& session) {
       }
       std::cout << "\n";
     }
+    if (!updates.empty()) std::cout << "update,lane,fact,value\n";
+    int code = replay([&](size_t step, const UpdateStep<S>& u,
+                          const std::vector<typename S::Value>& values) {
+      for (size_t i = 0; i < facts.size(); ++i) {
+        std::cout << step << "," << u.lane << "," << CsvField(fact_names[i])
+                  << "," << pipeline::FormatSemiringValue<S>(values[i]) << "\n";
+      }
+    });
+    if (code != 0) return code;
   } else if (args.format == "json") {
     std::cout << "{\n  \"semiring\": \"" << S::Name() << "\",\n"
               << "  \"construction\": \""
@@ -251,7 +378,25 @@ int RunTyped(const Args& args, Session& session) {
       }
       std::cout << "]}" << (i + 1 < facts.size() ? "," : "") << "\n";
     }
-    std::cout << "  ]\n}\n";
+    std::cout << "  ]";
+    if (!updates.empty()) {
+      std::cout << ",\n  \"updates\": [\n";
+      size_t total = updates.size();
+      int code = replay([&](size_t step, const UpdateStep<S>& u,
+                            const std::vector<typename S::Value>& values) {
+        std::cout << "    {\"update\": " << step << ", \"lane\": " << u.lane
+                  << ", \"values\": [";
+        for (size_t i = 0; i < facts.size(); ++i) {
+          if (i) std::cout << ", ";
+          std::cout << "\"" << pipeline::FormatSemiringValue<S>(values[i])
+                    << "\"";
+        }
+        std::cout << "]}" << (step < total ? "," : "") << "\n";
+      });
+      if (code != 0) return code;
+      std::cout << "  ]";
+    }
+    std::cout << "\n}\n";
   }
   return 0;
 }
@@ -352,6 +497,9 @@ int Main(int argc, char** argv) {
     } else if (flag == "--batch") {
       if (!(v = value(i, "--batch")).ok()) return Fail(v.error());
       args.batch_file = v.value();
+    } else if (flag == "--updates") {
+      if (!(v = value(i, "--updates")).ok()) return Fail(v.error());
+      args.updates_file = v.value();
     } else if (flag == "--semiring") {
       if (!(v = value(i, "--semiring")).ok()) return Fail(v.error());
       args.semiring = v.value();
