@@ -104,6 +104,49 @@ EvalPlan EvalPlan::Build(const Circuit& circuit) {
   return plan;
 }
 
+EvalPlan EvalPlan::FromParts(Parts parts) {
+  const size_t n = parts.gates.size();
+  DLCIRC_CHECK_GE(parts.layer_starts.size(), 2u) << "plan needs >= 1 layer";
+  DLCIRC_CHECK_EQ(parts.layer_starts.front(), 0u);
+  DLCIRC_CHECK_EQ(parts.layer_starts.back(), n);
+  DLCIRC_CHECK_EQ(parts.layer_of.size(), n);
+  DLCIRC_CHECK_EQ(parts.dep_starts.size(), n + 1);
+  DLCIRC_CHECK_EQ(parts.dep_starts.back(), parts.dependents.size());
+  DLCIRC_CHECK_EQ(parts.var_starts.size(),
+                  static_cast<size_t>(parts.num_vars) + 1);
+  DLCIRC_CHECK_EQ(parts.var_starts.back(), parts.var_input_slots.size());
+  EvalPlan plan;
+  plan.num_vars_ = parts.num_vars;
+  plan.gates_ = std::move(parts.gates);
+  plan.layer_starts_ = std::move(parts.layer_starts);
+  plan.output_slots_ = std::move(parts.output_slots);
+  plan.dep_starts_ = std::move(parts.dep_starts);
+  plan.dependents_ = std::move(parts.dependents);
+  plan.var_starts_ = std::move(parts.var_starts);
+  plan.var_input_slots_ = std::move(parts.var_input_slots);
+  plan.layer_of_ = std::move(parts.layer_of);
+  for (size_t l = 0; l + 1 < plan.layer_starts_.size(); ++l) {
+    DLCIRC_CHECK_LE(plan.layer_starts_[l], plan.layer_starts_[l + 1])
+        << "layer_starts must be non-decreasing";
+    plan.max_layer_width_ =
+        std::max<size_t>(plan.max_layer_width_,
+                         plan.layer_starts_[l + 1] - plan.layer_starts_[l]);
+  }
+  for (uint32_t s : plan.output_slots_) DLCIRC_CHECK_LT(s, n);
+  for (uint32_t s : plan.dependents_) DLCIRC_CHECK_LT(s, n);
+  for (uint32_t s : plan.var_input_slots_) DLCIRC_CHECK_LT(s, n);
+  for (size_t i = 0; i < n; ++i) {
+    const Gate& g = plan.gates_[i];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      DLCIRC_CHECK_LT(g.a, i) << "children precede parents in slot order";
+      DLCIRC_CHECK_LT(g.b, i) << "children precede parents in slot order";
+    } else if (g.kind == GateKind::kInput) {
+      DLCIRC_CHECK_LT(g.a, plan.num_vars_);
+    }
+  }
+  return plan;
+}
+
 // Persistent worker pool with a generation barrier: Run publishes a task
 // under the mutex, workers grab chunks from an atomic cursor, and the caller
 // participates then waits until every worker has retired the generation.

@@ -36,6 +36,27 @@ class EvalPlan {
   /// Compiles `circuit` into a plan. O(gates) time and memory.
   static EvalPlan Build(const Circuit& circuit);
 
+  /// The plan's complete serializable state, as produced by the accessors
+  /// below. Exists so external formats (src/serve/snapshot) can persist a
+  /// compiled plan and reconstitute it without recompiling.
+  struct Parts {
+    std::vector<Gate> gates;
+    std::vector<uint32_t> layer_starts;
+    std::vector<uint32_t> output_slots;
+    std::vector<uint32_t> dep_starts;
+    std::vector<uint32_t> dependents;
+    std::vector<uint32_t> var_starts;
+    std::vector<uint32_t> var_input_slots;
+    std::vector<uint32_t> layer_of;
+    uint32_t num_vars = 0;
+  };
+
+  /// Reconstitutes a plan from serialized parts. CHECK-fails on structurally
+  /// inconsistent parts (sizes, monotonicity, slot ranges) — corruption
+  /// beyond what the snapshot checksum caught is a program error, not a
+  /// recoverable condition. max_layer_width is rederived.
+  static EvalPlan FromParts(Parts parts);
+
   /// Cone gates, slot-indexed; children of kPlus/kTimes are slot ids.
   const std::vector<Gate>& gates() const { return gates_; }
   /// Layer boundaries (size num_layers()+1); layer L is slots

@@ -133,6 +133,11 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
   return std::shared_ptr<const CompiledPlan>(std::move(compiled));
 }
 
+void Session::AdoptPlan(std::shared_ptr<const CompiledPlan> plan) {
+  DLCIRC_CHECK(plan != nullptr);
+  plan_cache_.emplace(plan->key, std::move(plan));
+}
+
 const std::vector<uint32_t>& Session::TargetFacts() {
   return grounded().target_facts();
 }
@@ -171,6 +176,34 @@ std::string Session::FactName(uint32_t idb_fact) {
 
 std::string Session::EdbFactName(uint32_t var) const {
   return db().FactToString(program_, var);
+}
+
+uint64_t Session::ProgramDigest() {
+  if (!program_digest_.has_value()) {
+    // Program::ToString renders interned names, so two programs that parse
+    // to the same rules digest equally regardless of source whitespace or
+    // comments. The target predicate is part of the rendering's identity.
+    Fnv1a64 h;
+    h.String(program_.ToString());
+    h.String(program_.preds.Name(program_.target_pred));
+    program_digest_ = h.digest();
+  }
+  return *program_digest_;
+}
+
+uint64_t Session::EdbDigest() {
+  if (!edb_digest_.has_value()) {
+    const Database& d = db();
+    // Facts in provenance-variable order: the digest pins not just the set
+    // of facts but the variable numbering a tagging lane is written in.
+    Fnv1a64 h;
+    h.U32(d.num_facts());
+    for (uint32_t v = 0; v < d.num_facts(); ++v) {
+      h.String(d.FactToString(program_, v));
+    }
+    edb_digest_ = h.digest();
+  }
+  return *edb_digest_;
 }
 
 }  // namespace pipeline

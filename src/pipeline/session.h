@@ -39,6 +39,7 @@
 #include "src/eval/evaluator.h"
 #include "src/eval/passes.h"
 #include "src/lang/cfg.h"
+#include "src/util/hash.h"
 #include "src/util/result.h"
 
 namespace dlcirc {
@@ -74,9 +75,17 @@ struct PlanKey {
 
 struct PlanKeyHash {
   size_t operator()(const PlanKey& k) const {
-    return (static_cast<size_t>(k.construction) << 34) ^
-           (static_cast<size_t>(k.plus_idempotent) << 33) ^
-           (static_cast<size_t>(k.absorptive) << 32) ^ k.max_layers;
+    // Pack every field into one word, then run the splitmix finalizer so the
+    // bits spread over the whole size_t. (The obvious shifted-XOR combine is
+    // a trap here: size_t may be 32 bits, where `construction << 34` is
+    // gone entirely and all flag combinations collide; and even on 64 bits
+    // unordered_map only consumes the hash modulo a bucket count, so
+    // max_layers must not sit verbatim in the low bits.)
+    uint64_t packed = static_cast<uint64_t>(k.max_layers) |
+                      (static_cast<uint64_t>(k.construction) << 32) |
+                      (static_cast<uint64_t>(k.plus_idempotent) << 40) |
+                      (static_cast<uint64_t>(k.absorptive) << 41);
+    return static_cast<size_t>(SplitMix64(packed));
   }
 };
 
@@ -148,8 +157,26 @@ class Session {
   /// inconsistent (UVG without absorptive flags). Requires a loaded EDB.
   Result<std::shared_ptr<const CompiledPlan>> Compile(const PlanKey& key);
 
+  /// Adopts an externally obtained plan (a deserialized snapshot,
+  /// src/serve/snapshot.h) into the plan cache under plan->key, so the
+  /// serving paths (TagBatch/ServeTags/UpdateTags) use it instead of
+  /// recompiling. A plan already cached for that key wins (the cache never
+  /// flips out from under live served batches); the caller is responsible
+  /// for the plan matching this session's program and EDB — which is what
+  /// snapshot digests verify.
+  void AdoptPlan(std::shared_ptr<const CompiledPlan> plan);
+
   const SessionStats& stats() const { return stats_; }
   eval::Evaluator& evaluator() { return *evaluator_; }
+
+  /// Content digests identifying what a compiled plan was built from, for
+  /// the serving layer's plan registry and snapshot files (src/serve): two
+  /// sessions agree on both digests iff they parsed an equivalent program
+  /// and loaded the same EDB facts in the same provenance-variable order.
+  /// Computed over canonical renderings (FNV-1a), stable across runs and
+  /// platforms. EdbDigest requires a loaded EDB; both are cached.
+  uint64_t ProgramDigest();
+  uint64_t EdbDigest();
 
   /// IDB fact ids of the target predicate (grounds if needed).
   const std::vector<uint32_t>& TargetFacts();
@@ -304,6 +331,8 @@ class Session {
   std::unique_ptr<eval::Evaluator> evaluator_;
   std::any served_;  ///< ServedTagBatch<S> for the serving semiring, if any
   SessionStats stats_;
+  std::optional<uint64_t> program_digest_;
+  std::optional<uint64_t> edb_digest_;
 };
 
 }  // namespace pipeline

@@ -1,0 +1,104 @@
+#include "src/serve/plan_store.h"
+
+#include <utility>
+
+#include "src/serve/snapshot.h"
+
+namespace dlcirc {
+namespace serve {
+
+PlanStore::PlanStore(std::string snapshot_dir)
+    : snapshot_dir_(std::move(snapshot_dir)) {}
+
+Result<std::shared_ptr<const pipeline::CompiledPlan>> PlanStore::GetOrCompile(
+    pipeline::Session& session, const pipeline::PlanKey& key) {
+  using Out = Result<std::shared_ptr<const pipeline::CompiledPlan>>;
+  if (!session.has_database()) return Out::Error("no EDB loaded");
+
+  // Digest computation mutates the Session's lazy caches, so the first
+  // call per session goes through the compile lock; every later call —
+  // including all cache hits — reads the store's own digest cache under
+  // mu_ and never waits behind an in-flight compile on another channel.
+  PlanStoreKey store_key;
+  store_key.key = key;
+  bool have_digests = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = digests_.find(&session); it != digests_.end()) {
+      store_key.program_digest = it->second.first;
+      store_key.edb_digest = it->second.second;
+      have_digests = true;
+    }
+  }
+  if (!have_digests) {
+    std::lock_guard<std::mutex> compile_lock(compile_mu_);
+    uint64_t pd = session.ProgramDigest();
+    uint64_t ed = session.EdbDigest();
+    std::lock_guard<std::mutex> lock(mu_);
+    digests_.emplace(&session, std::make_pair(pd, ed));
+    store_key.program_digest = pd;
+    store_key.edb_digest = ed;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = plans_.find(store_key); it != plans_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+
+  // Miss: take the compile lock, re-check (another thread may have finished
+  // the same compile while we waited), then snapshot-load or compile.
+  std::lock_guard<std::mutex> compile_lock(compile_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = plans_.find(store_key); it != plans_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+
+  std::shared_ptr<const pipeline::CompiledPlan> plan;
+  bool from_snapshot = false;
+  std::string path;
+  if (!snapshot_dir_.empty()) {
+    path = snapshot_dir_ + "/" +
+           SnapshotFileName(store_key.program_digest, store_key.edb_digest,
+                            key);
+    auto loaded =
+        LoadPlan(path, store_key.program_digest, store_key.edb_digest, key);
+    if (loaded.ok()) {
+      plan = std::move(loaded).value();
+      from_snapshot = true;
+      // The session's own serving paths (TagBatch/UpdateTags) should run
+      // through the loaded plan too instead of recompiling on first use.
+      session.AdoptPlan(plan);
+    }
+  }
+  if (plan == nullptr) {
+    auto compiled = session.Compile(key);
+    if (!compiled.ok()) return Out::Error(compiled.error());
+    plan = compiled.value();
+    if (!path.empty()) {
+      // Best-effort: a failed save leaves the next restart cold, nothing more.
+      if (SavePlan(*plan, store_key.program_digest, store_key.edb_digest, path)
+              .ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.snapshot_saves;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from_snapshot) {
+    ++stats_.snapshot_loads;
+  } else {
+    ++stats_.compiles;
+  }
+  plans_.emplace(store_key, plan);
+  return plan;
+}
+
+}  // namespace serve
+}  // namespace dlcirc

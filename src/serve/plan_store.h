@@ -1,0 +1,93 @@
+// Thread-safe registry of compiled plans, with optional disk snapshots.
+//
+// The serving layer's unit of sharing: many concurrent clients (and many
+// Server channels) resolve their (program, EDB, PlanKey) to one immutable
+// shared CompiledPlan. A miss compiles through the owning Session exactly
+// once — concurrent requesters for the same plan (or any plan of the same
+// session, since Session itself is single-threaded) wait on the one compile
+// instead of duplicating it. With a snapshot directory configured, misses
+// first try to load a snapshot (src/serve/snapshot.h) and fresh compiles are
+// persisted back, so a restarted server warm-starts off disk.
+#ifndef DLCIRC_SERVE_PLAN_STORE_H_
+#define DLCIRC_SERVE_PLAN_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/pipeline/session.h"
+#include "src/util/hash.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+namespace serve {
+
+/// Identity of one compiled plan across sessions and restarts.
+struct PlanStoreKey {
+  uint64_t program_digest = 0;
+  uint64_t edb_digest = 0;
+  pipeline::PlanKey key;
+
+  bool operator==(const PlanStoreKey&) const = default;
+};
+
+struct PlanStoreKeyHash {
+  size_t operator()(const PlanStoreKey& k) const {
+    uint64_t h = HashCombine(k.program_digest, k.edb_digest);
+    return static_cast<size_t>(HashCombine(h, pipeline::PlanKeyHash{}(k.key)));
+  }
+};
+
+struct PlanStoreStats {
+  uint64_t hits = 0;            ///< served from the in-memory registry
+  uint64_t compiles = 0;        ///< cold compiles through a Session
+  uint64_t snapshot_loads = 0;  ///< warm starts off a snapshot file
+  uint64_t snapshot_saves = 0;  ///< fresh compiles persisted to disk
+};
+
+class PlanStore {
+ public:
+  /// `snapshot_dir` empty = in-memory only. The directory must already
+  /// exist; unloadable snapshots are ignored (cold compile) and save
+  /// failures are non-fatal (the plan still serves from memory).
+  explicit PlanStore(std::string snapshot_dir = "");
+
+  PlanStore(const PlanStore&) = delete;
+  PlanStore& operator=(const PlanStore&) = delete;
+
+  /// Resolves `key` for `session`'s (program, EDB), compiling at most once
+  /// per store key. Safe to call from any number of threads; all Session
+  /// access happens under the store's compile lock. The session must have
+  /// its EDB loaded.
+  Result<std::shared_ptr<const pipeline::CompiledPlan>> GetOrCompile(
+      pipeline::Session& session, const pipeline::PlanKey& key);
+
+  PlanStoreStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  const std::string& snapshot_dir() const { return snapshot_dir_; }
+
+ private:
+  std::string snapshot_dir_;
+  mutable std::mutex mu_;  ///< guards plans_, digests_, and stats_
+  std::mutex compile_mu_;  ///< serializes compiles (and all Session access)
+  /// Digests per session, filled on first use so the hot hit path reads
+  /// them under mu_ alone — computing them lazily through the Session
+  /// would require compile_mu_, and a cache hit must never wait behind an
+  /// unrelated cold compile.
+  std::unordered_map<const pipeline::Session*, std::pair<uint64_t, uint64_t>>
+      digests_;
+  std::unordered_map<PlanStoreKey,
+                     std::shared_ptr<const pipeline::CompiledPlan>,
+                     PlanStoreKeyHash>
+      plans_;
+  PlanStoreStats stats_;
+};
+
+}  // namespace serve
+}  // namespace dlcirc
+
+#endif  // DLCIRC_SERVE_PLAN_STORE_H_

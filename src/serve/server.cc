@@ -1,0 +1,166 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dlcirc {
+namespace serve {
+
+Server::Server(pipeline::Session& session, PlanStore& plans,
+               ServerOptions options)
+    : session_(session), plans_(plans), options_(options) {
+  DLCIRC_CHECK(session.has_database()) << "Server needs a loaded EDB";
+  DLCIRC_CHECK_GE(options_.queue_capacity, 1u);
+  DLCIRC_CHECK_GE(options_.max_coalesce, 1u);
+  DLCIRC_CHECK_GE(options_.num_dispatchers, 1);
+  num_facts_ = session.db().num_facts();
+  paused_ = options_.paused;
+  // Warm every lazily-computed Session cache while still single-threaded;
+  // afterwards dispatchers touch the Session only under the PlanStore's
+  // compile lock, and foreground naming (FindFact/FactName) is read-only.
+  session.grounded();
+  session.ProgramDigest();
+  session.EdbDigest();
+  evaluators_.reserve(options_.num_dispatchers);
+  dispatchers_.reserve(options_.num_dispatchers);
+  for (int i = 0; i < options_.num_dispatchers; ++i) {
+    evaluators_.push_back(std::make_unique<eval::Evaluator>(options_.eval));
+  }
+  for (int i = 0; i < options_.num_dispatchers; ++i) {
+    dispatchers_.emplace_back([this, i] { DispatcherLoop(i); });
+  }
+}
+
+Server::~Server() { Stop(); }
+
+std::future<ServeResponse> Server::Submit(ServeRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<ServeResponse> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_push_cv_.wait(lock, [this] {
+      return stopped_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopped_) {
+      lock.unlock();
+      pending.promise.set_value({false, "server stopped", 0, {}});
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  queue_pop_cv_.notify_one();
+  return future;
+}
+
+void Server::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    paused_ = false;
+  }
+  queue_pop_cv_.notify_all();
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    paused_ = false;  // a paused server still drains its backlog on Stop
+  }
+  queue_pop_cv_.notify_all();
+  queue_push_cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  dispatchers_.clear();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.evals = evals_.load(std::memory_order_relaxed);
+  s.lane_reads = lane_reads_.load(std::memory_order_relaxed);
+  s.lane_makes = lane_makes_.load(std::memory_order_relaxed);
+  s.updates = updates_.load(std::memory_order_relaxed);
+  s.update_fallbacks = update_fallbacks_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_lanes = batched_lanes_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+bool Server::PopBurst(std::vector<Pending>* burst) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_pop_cv_.wait(lock, [this] {
+    return stopped_ || (!paused_ && !queue_.empty());
+  });
+  if (queue_.empty()) return false;  // stopped and drained
+  const size_t n = std::min(options_.max_coalesce, queue_.size());
+  burst->clear();
+  burst->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    burst->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  lock.unlock();
+  // A burst can free many capacity slots at once; wake every blocked Submit.
+  queue_push_cv_.notify_all();
+  return true;
+}
+
+void Server::DispatcherLoop(int dispatcher_index) {
+  eval::Evaluator& evaluator = *evaluators_[dispatcher_index];
+  std::vector<Pending> burst;
+  while (PopBurst(&burst)) ServeBurst(&burst, evaluator);
+}
+
+void Server::ServeBurst(std::vector<Pending>* burst,
+                        eval::Evaluator& evaluator) {
+  // Group by (semiring, construction) preserving burst order within each
+  // group. Groups are independent channels, so cross-group order within a
+  // burst is unobservable.
+  std::vector<std::string> group_order;
+  std::unordered_map<std::string, std::vector<Pending*>> groups;
+  std::vector<Pending*> pings;
+  for (Pending& p : *burst) {
+    const ServeRequest& req = p.request;
+    if (req.kind == ServeRequest::Kind::kPing) {
+      // A fence, not an evaluation: it never forces a channel (or a plan
+      // compile) into existence, and it resolves only after every other
+      // request of its burst has been served — so "completes after
+      // everything before it in the queue" holds even for requests popped
+      // into the same burst.
+      pings.push_back(&p);
+      continue;
+    }
+    std::string key =
+        req.semiring + "/" +
+        std::string(pipeline::ConstructionName(req.construction));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) group_order.push_back(it->first);
+    it->second.push_back(&p);
+  }
+  for (const std::string& key : group_order) {
+    std::vector<Pending*>& group = groups[key];
+    const std::string& semiring = group[0]->request.semiring;
+    bool known = pipeline::DispatchSemiring(semiring, [&]<Semiring S>() {
+      ServeChannelGroup<S>(key, &group, evaluator);
+    });
+    if (!known) {
+      for (Pending* p : group) {
+        RespondError(p, "unknown semiring `" + semiring + "`");
+      }
+    }
+  }
+  for (Pending* p : pings) Respond(p, {true, "", 0, {}});
+}
+
+}  // namespace serve
+}  // namespace dlcirc

@@ -1,0 +1,522 @@
+// Concurrent request broker over one pipeline::Session.
+//
+// Many clients submit tagging work against one compiled plan; the Server
+// turns that into few, large, batched evaluations:
+//
+//   Submit(ServeRequest) -> bounded MPMC queue -> dispatcher threads
+//     -> per-(semiring, construction) channel
+//        - inline-tag eval requests COALESCE: a burst popped from the queue
+//          is packed into SoA TagBatch lanes and swept through the plan
+//          once (src/eval/batch.h), so the topology walk is paid per burst,
+//          not per request — the core of the throughput story.
+//        - named lanes hold a materialized EvalState (src/eval/delta.h):
+//          reads are O(requested facts), updates propagate incrementally
+//          through the dependents index.
+//
+// Consistency: the Lane object for a name is stable for its lifetime, and
+// every lane guards its state with a shared_mutex — writes (updates AND
+// re-materializations) take it exclusively and bump the lane's epoch, reads
+// take it shared — so make/update/read on one lane serialize, epochs are
+// strictly monotonic per name, and a response always reports values of one
+// consistent tagging, named by the epoch in the response. An update racing
+// a drop of the same lane linearizes as update-then-drop. Compiled plans
+// are immutable and shared through the PlanStore; scratch buffers and lane
+// states recycle through per-channel EvalStatePools.
+//
+// Ordering: requests on one channel are processed in arrival order within a
+// dispatcher burst (with stateless coalesced evals evaluated at burst end —
+// they carry their own tags, so reordering them against lane mutations is
+// unobservable). With num_dispatchers > 1, cross-burst order is not
+// guaranteed; per-lane mutations are still serialized by the lane lock.
+#ifndef DLCIRC_SERVE_SERVER_H_
+#define DLCIRC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/eval/batch.h"
+#include "src/eval/delta.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/state_pool.h"
+#include "src/pipeline/semiring_registry.h"
+#include "src/pipeline/session.h"
+#include "src/serve/plan_store.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+namespace serve {
+
+/// One client request. Values travel as strings in the textual convention of
+/// ParseSemiringValue (the wire format's convention); facts are grounded IDB
+/// fact ids (Session::FindFact; kNotFound entries report semiring 0).
+struct ServeRequest {
+  enum class Kind : uint8_t {
+    kEval,      ///< tags (inline) or lane (named) -> values of `facts`
+    kMakeLane,  ///< materialize `tags` as named lane `lane` (replaces)
+    kUpdate,    ///< apply sparse `delta` to `lane`, return refreshed `facts`
+    kDropLane,  ///< forget lane `lane`
+    kPing,      ///< fence: completes after everything before it in the queue
+  };
+  Kind kind = Kind::kEval;
+  std::string semiring = "boolean";
+  pipeline::Construction construction = pipeline::Construction::kGrounded;
+  std::string lane;                ///< lane name (empty for inline kEval)
+  std::vector<std::string> tags;   ///< full tagging, one value per EDB fact
+  std::vector<std::pair<uint32_t, std::string>> delta;  ///< var -> new tag
+  std::vector<uint32_t> facts;     ///< IDB fact ids to report
+};
+
+struct ServeResponse {
+  bool ok = false;
+  std::string error;
+  /// Lane epoch the values were read at (1 = freshly materialized, +1 per
+  /// update); 0 for stateless inline evaluations and pings.
+  uint64_t epoch = 0;
+  std::vector<std::string> values;  ///< one per requested fact, in order
+};
+
+struct ServerOptions {
+  size_t queue_capacity = 1024;  ///< Submit blocks when the queue is full
+  size_t max_coalesce = 64;      ///< max requests popped into one burst
+  int num_dispatchers = 1;       ///< broker threads (each owns an Evaluator)
+  eval::EvalOptions eval;        ///< per-dispatcher evaluator configuration
+  /// Byte budget for one coalesced sweep's slot-major value buffer; batches
+  /// whose buffer would exceed it are swept in tiles (losing amortization
+  /// across tiles). Larger than EvaluateBatch's default: a serving box
+  /// trades memory for the coalescing that is its whole point, and a plan
+  /// big enough to blow this budget is better served by fewer, wider
+  /// sweeps than by per-request walks.
+  size_t tile_budget_bytes = size_t{256} << 20;
+  /// Start with dispatchers idle until Resume(); lets tests (and benches)
+  /// enqueue a backlog deterministically and observe full coalescing.
+  bool paused = false;
+};
+
+struct ServerStats {
+  uint64_t requests = 0;          ///< accepted into the queue
+  uint64_t evals = 0;             ///< inline-tag evaluations served
+  uint64_t lane_reads = 0;        ///< lane eval requests served
+  uint64_t lane_makes = 0;        ///< lanes materialized (incl. replacements)
+  uint64_t updates = 0;           ///< incremental updates applied
+  uint64_t update_fallbacks = 0;  ///< of those, full re-evaluations
+  uint64_t batches = 0;           ///< coalesced batch sweeps executed
+  uint64_t batched_lanes = 0;     ///< inline evals covered by those sweeps
+  uint64_t max_batch = 0;         ///< widest single coalesced sweep
+  uint64_t errors = 0;            ///< requests answered with an error
+};
+
+/// See file comment. The Session must have its EDB loaded; the Server warms
+/// the grounding and digests at construction and thereafter the Session is
+/// only touched through the PlanStore's compile lock, so one Session may sit
+/// behind one Server plus a single foreground thread doing read-only naming
+/// (FindFact/FactName), which is what `dlcirc serve` does.
+class Server {
+ public:
+  Server(pipeline::Session& session, PlanStore& plans,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues a request; blocks while the queue is at capacity. The future
+  /// resolves when a dispatcher has served the request. After Stop(),
+  /// returns an already-failed response.
+  std::future<ServeResponse> Submit(ServeRequest request);
+
+  /// Wakes dispatchers when constructed with options.paused.
+  void Resume();
+
+  /// Drains the queue, serves everything already accepted, and joins the
+  /// dispatchers. Idempotent; called by the destructor.
+  void Stop();
+
+  ServerStats stats() const;
+  size_t queue_depth() const;
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+  };
+
+  /// One named lane: a materialized EvalState guarded by a shared_mutex.
+  /// The state recycles through the channel's pool when the lane dies.
+  template <Semiring S>
+  struct Lane {
+    mutable std::shared_mutex mu;
+    uint64_t epoch = 0;
+    typename eval::ObjectPool<eval::EvalState<S>>::Handle state;
+  };
+
+  struct ChannelBase {
+    virtual ~ChannelBase() = default;
+  };
+
+  /// Per-(semiring, construction) serving state. `name` fixes S, so the
+  /// owner can static_cast ChannelBase down safely.
+  template <Semiring S>
+  struct Channel : ChannelBase {
+    eval::EvalStatePool<S> pool;
+    std::mutex lanes_mu;
+    std::unordered_map<std::string, std::shared_ptr<Lane<S>>> lanes;
+  };
+
+  void DispatcherLoop(int dispatcher_index);
+  bool PopBurst(std::vector<Pending>* burst);
+  void ServeBurst(std::vector<Pending>* burst, eval::Evaluator& evaluator);
+
+  template <Semiring S>
+  Channel<S>& GetChannel(const std::string& channel_key) {
+    std::lock_guard<std::mutex> lock(channels_mu_);
+    std::unique_ptr<ChannelBase>& slot = channels_[channel_key];
+    if (slot == nullptr) slot = std::make_unique<Channel<S>>();
+    return *static_cast<Channel<S>*>(slot.get());
+  }
+
+  static void Respond(Pending* p, ServeResponse response) {
+    p->promise.set_value(std::move(response));
+  }
+  void RespondError(Pending* p, std::string error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    Respond(p, {false, std::move(error), 0, {}});
+  }
+
+  template <Semiring S>
+  void ServeChannelGroup(const std::string& channel_key,
+                         std::vector<Pending*>* group,
+                         eval::Evaluator& evaluator);
+
+  // --- templated serving internals (instantiated per semiring) -----------
+
+  template <Semiring S>
+  Result<std::vector<typename S::Value>> ParseTags(
+      const std::vector<std::string>& tags) {
+    using Out = Result<std::vector<typename S::Value>>;
+    // No tags = the unit tagging (every fact tagged 1), matching the
+    // default batch of `dlcirc run`.
+    if (tags.empty()) {
+      return std::vector<typename S::Value>(num_facts_, S::One());
+    }
+    if (tags.size() != num_facts_) {
+      return Out::Error("tagging has " + std::to_string(tags.size()) +
+                        " values; EDB has " + std::to_string(num_facts_) +
+                        " facts");
+    }
+    std::vector<typename S::Value> parsed;
+    parsed.reserve(tags.size());
+    for (const std::string& t : tags) {
+      Result<typename S::Value> v = pipeline::ParseSemiringValue<S>(t);
+      if (!v.ok()) return Out::Error(v.error());
+      parsed.push_back(std::move(v).value());
+    }
+    return parsed;
+  }
+
+  /// Values of `facts` read straight out of a slot vector.
+  template <Semiring S>
+  std::vector<std::string> FactValues(const eval::EvalPlan& plan,
+                                      const std::vector<eval::SlotValue<S>>& slots,
+                                      const std::vector<uint32_t>& facts) {
+    std::vector<std::string> out;
+    out.reserve(facts.size());
+    for (uint32_t f : facts) {
+      typename S::Value v =
+          f == pipeline::Session::kNotFound
+              ? S::Zero()
+              : static_cast<typename S::Value>(slots[plan.output_slots()[f]]);
+      out.push_back(pipeline::FormatSemiringValue<S>(v));
+    }
+    return out;
+  }
+
+  bool ValidFacts(const std::vector<uint32_t>& facts, size_t num_outputs,
+                  std::string* error) const {
+    for (uint32_t f : facts) {
+      if (f != pipeline::Session::kNotFound && f >= num_outputs) {
+        *error = "fact id " + std::to_string(f) + " out of range (plan has " +
+                 std::to_string(num_outputs) + " outputs)";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  pipeline::Session& session_;
+  PlanStore& plans_;
+  ServerOptions options_;
+  uint32_t num_facts_ = 0;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_push_cv_;  ///< waits for free capacity
+  std::condition_variable queue_pop_cv_;   ///< waits for work / resume / stop
+  std::deque<Pending> queue_;
+  bool paused_ = false;
+  bool stopped_ = false;
+
+  std::mutex channels_mu_;
+  std::unordered_map<std::string, std::unique_ptr<ChannelBase>> channels_;
+
+  std::vector<std::unique_ptr<eval::Evaluator>> evaluators_;
+  std::vector<std::thread> dispatchers_;
+
+  std::atomic<uint64_t> requests_{0}, evals_{0}, lane_reads_{0},
+      lane_makes_{0}, updates_{0}, update_fallbacks_{0}, batches_{0},
+      batched_lanes_{0}, max_batch_{0}, errors_{0};
+};
+
+// ---------------------------------------------------------------------------
+// ServeChannelGroup: one burst's worth of one channel's requests, in order.
+// Stateless inline evals accumulate and run as one (tiled) SoA sweep at the
+// end; lane operations apply at their position. Defined here so server.cc's
+// DispatchSemiring call instantiates it per registered semiring.
+// ---------------------------------------------------------------------------
+
+template <Semiring S>
+void Server::ServeChannelGroup(const std::string& channel_key,
+                               std::vector<Pending*>* group,
+                               eval::Evaluator& evaluator) {
+  const pipeline::Construction construction = (*group)[0]->request.construction;
+  auto compiled =
+      plans_.GetOrCompile(session_, pipeline::PlanKey::For<S>(construction));
+  if (!compiled.ok()) {
+    for (Pending* p : *group) RespondError(p, compiled.error());
+    return;
+  }
+  const pipeline::CompiledPlan& plan = *compiled.value();
+  const eval::EvalPlan& eplan = plan.plan;
+  Channel<S>& chan = GetChannel<S>(channel_key);
+
+  struct InlineEval {
+    Pending* pending;
+    std::vector<typename S::Value> tags;
+  };
+  std::vector<InlineEval> inline_evals;
+
+  auto find_lane = [&](const std::string& name) -> std::shared_ptr<Lane<S>> {
+    std::lock_guard<std::mutex> lock(chan.lanes_mu);
+    auto it = chan.lanes.find(name);
+    return it == chan.lanes.end() ? nullptr : it->second;
+  };
+
+  for (Pending* p : *group) {
+    ServeRequest& req = p->request;
+    std::string error;
+    if (!ValidFacts(req.facts, eplan.num_outputs(), &error)) {
+      RespondError(p, std::move(error));
+      continue;
+    }
+    switch (req.kind) {
+      case ServeRequest::Kind::kEval: {
+        if (req.lane.empty()) {
+          auto tags = ParseTags<S>(req.tags);
+          if (!tags.ok()) {
+            RespondError(p, tags.error());
+            break;
+          }
+          inline_evals.push_back({p, std::move(tags).value()});
+          break;
+        }
+        std::shared_ptr<Lane<S>> lane = find_lane(req.lane);
+        if (lane == nullptr) {
+          RespondError(p, "unknown lane `" + req.lane + "`");
+          break;
+        }
+        std::shared_lock<std::shared_mutex> read(lane->mu);
+        Respond(p, {true, "", lane->epoch,
+                    FactValues<S>(eplan, lane->state->slots, req.facts)});
+        lane_reads_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case ServeRequest::Kind::kMakeLane: {
+        if (req.lane.empty()) {
+          RespondError(p, "lane name must be non-empty");
+          break;
+        }
+        auto tags = ParseTags<S>(req.tags);
+        if (!tags.ok()) {
+          RespondError(p, tags.error());
+          break;
+        }
+        // The Lane object per name is stable: re-making an existing lane
+        // re-materializes IN PLACE under its exclusive lock rather than
+        // swapping in a fresh object. This is what serializes make/update/
+        // read per lane — with object replacement, an update that resolved
+        // the lane before a concurrent make could apply to a detached
+        // state and be acknowledged yet lost. try_emplace under the
+        // registry lock settles creation races; losers re-materialize the
+        // winner's lane. A freshly created lane is published ALREADY
+        // exclusively locked (its mutex taken while the lane is still
+        // private, before the registry insert) so no reader can observe
+        // the empty, not-yet-materialized state.
+        std::shared_ptr<Lane<S>> lane = find_lane(req.lane);
+        std::unique_lock<std::shared_mutex> write;
+        if (lane == nullptr) {
+          auto fresh = std::make_shared<Lane<S>>();
+          fresh->state = chan.pool.states.Acquire();
+          std::unique_lock<std::shared_mutex> fresh_lock(fresh->mu);
+          bool inserted;
+          {
+            std::lock_guard<std::mutex> lock(chan.lanes_mu);
+            auto [it, ok] = chan.lanes.try_emplace(req.lane, fresh);
+            inserted = ok;
+            lane = it->second;
+          }
+          if (inserted) {
+            write = std::move(fresh_lock);
+          } else {
+            fresh_lock.unlock();  // lost the race; lock the winner instead
+          }
+        }
+        if (!write.owns_lock()) {
+          write = std::unique_lock<std::shared_mutex>(lane->mu);
+        }
+        evaluator.EvaluateInto<S>(eplan, tags.value(), &lane->state->slots);
+        lane->state->assignment = std::move(tags).value();
+        ++lane->epoch;
+        lane_makes_.fetch_add(1, std::memory_order_relaxed);
+        Respond(p, {true, "", lane->epoch,
+                    FactValues<S>(eplan, lane->state->slots, req.facts)});
+        break;
+      }
+      case ServeRequest::Kind::kUpdate: {
+        std::shared_ptr<Lane<S>> lane = find_lane(req.lane);
+        if (lane == nullptr) {
+          RespondError(p, "unknown lane `" + req.lane + "`");
+          break;
+        }
+        eval::TagDelta<S> delta;
+        delta.reserve(req.delta.size());
+        bool bad = false;
+        for (const auto& [var, text] : req.delta) {
+          if (var >= num_facts_) {
+            RespondError(p, "tag update names EDB variable x" +
+                                std::to_string(var) + "; EDB has " +
+                                std::to_string(num_facts_) + " facts");
+            bad = true;
+            break;
+          }
+          Result<typename S::Value> v = pipeline::ParseSemiringValue<S>(text);
+          if (!v.ok()) {
+            RespondError(p, v.error());
+            bad = true;
+            break;
+          }
+          delta.push_back({var, std::move(v).value()});
+        }
+        if (bad) break;
+        eval::IncrementalEvaluator incremental(evaluator,
+                                               eval::DeltaOptions::For<S>());
+        std::unique_lock<std::shared_mutex> write(lane->mu);
+        eval::DeltaStats st =
+            incremental.Update<S>(eplan, &*lane->state, delta);
+        ++lane->epoch;
+        updates_.fetch_add(1, std::memory_order_relaxed);
+        if (st.full_fallback) {
+          update_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        Respond(p, {true, "", lane->epoch,
+                    FactValues<S>(eplan, lane->state->slots, req.facts)});
+        break;
+      }
+      case ServeRequest::Kind::kDropLane: {
+        bool existed;
+        {
+          std::lock_guard<std::mutex> lock(chan.lanes_mu);
+          existed = chan.lanes.erase(req.lane) > 0;
+        }
+        if (existed) {
+          Respond(p, {true, "", 0, {}});
+        } else {
+          RespondError(p, "unknown lane `" + req.lane + "`");
+        }
+        break;
+      }
+      case ServeRequest::Kind::kPing:
+        Respond(p, {true, "", 0, {}});
+        break;
+    }
+  }
+
+  if (inline_evals.empty()) return;
+
+  // The coalesced sweep: all inline tags of this burst through the plan at
+  // once. Bool-valued semirings take the bit-packed kernel (64 lanes per
+  // machine word — one word op evaluates a gate under the whole burst);
+  // everything else goes through the slot-major SoA kernel, tiled to the
+  // server's byte budget, into a pooled buffer.
+  std::vector<std::vector<typename S::Value>> assignments;
+  assignments.reserve(inline_evals.size());
+  for (InlineEval& e : inline_evals) assignments.push_back(std::move(e.tags));
+  const size_t B = assignments.size();
+  // Counters move before the responses do: a client that saw its future
+  // resolve must also see the sweep in stats(). max_batch tracks coalescing
+  // width (requests amortized per group), not tile width — it is the
+  // statistic the throughput story rests on.
+  evals_.fetch_add(B, std::memory_order_relaxed);
+  batched_lanes_.fetch_add(B, std::memory_order_relaxed);
+  uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (B > prev && !max_batch_.compare_exchange_weak(
+                         prev, B, std::memory_order_relaxed)) {
+  }
+  if constexpr (std::is_same_v<typename S::Value, bool>) {
+    std::vector<std::vector<bool>> outputs =
+        eval::EvaluateBooleanBitBatch(evaluator, eplan, assignments);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t b = 0; b < B; ++b) {
+      Pending* p = inline_evals[b].pending;
+      std::vector<std::string> values;
+      values.reserve(p->request.facts.size());
+      for (uint32_t f : p->request.facts) {
+        bool v = f == pipeline::Session::kNotFound ? false : outputs[b][f];
+        values.push_back(pipeline::FormatSemiringValue<S>(v));
+      }
+      Respond(p, {true, "", 0, std::move(values)});
+    }
+  } else {
+    const size_t per_lane_bytes = std::max<size_t>(
+        1, eplan.num_slots() * sizeof(typename S::Value));
+    const size_t tile = std::min(
+        B, std::max<size_t>(1, options_.tile_budget_bytes / per_lane_bytes));
+    auto slots = chan.pool.slot_buffers.Acquire();
+    for (size_t start = 0; start < B; start += tile) {
+      const size_t lanes = std::min(tile, B - start);
+      eval::BatchAssignment<S> batch = eval::BatchAssignment<S>::PackRange(
+          assignments, start, lanes, eplan.num_vars());
+      eval::EvaluateBatchInto<S>(evaluator, eplan, batch, &*slots);
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      for (size_t b = 0; b < lanes; ++b) {
+        Pending* p = inline_evals[start + b].pending;
+        std::vector<std::string> values;
+        values.reserve(p->request.facts.size());
+        for (uint32_t f : p->request.facts) {
+          typename S::Value v =
+              f == pipeline::Session::kNotFound
+                  ? S::Zero()
+                  : static_cast<typename S::Value>(
+                        (*slots)[static_cast<size_t>(eplan.output_slots()[f]) *
+                                     lanes +
+                                 b]);
+          values.push_back(pipeline::FormatSemiringValue<S>(v));
+        }
+        Respond(p, {true, "", 0, std::move(values)});
+      }
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace dlcirc
+
+#endif  // DLCIRC_SERVE_SERVER_H_

@@ -1,0 +1,374 @@
+#include "src/serve/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace dlcirc {
+namespace serve {
+namespace {
+
+constexpr uint32_t kMagic = 0x50434C44;  // "DLCP" little-endian
+
+/// Appends fixed-width little-endian integers to a byte buffer.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void String(const std::string& s) {
+    U64(s.size());
+    buf_.append(s);
+  }
+  void U32Vector(const std::vector<uint32_t>& v) {
+    U64(v.size());
+    for (uint32_t x : v) U32(x);
+  }
+  void Gates(const std::vector<Gate>& gates) {
+    U64(gates.size());
+    for (const Gate& g : gates) {
+      U8(static_cast<uint8_t>(g.kind));
+      U32(g.a);
+      U32(g.b);
+    }
+  }
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reads; any overrun latches the error flag.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() { return static_cast<uint8_t>(Byte()); }
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(Byte()) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(Byte()) << (8 * i);
+    return v;
+  }
+  std::string String() {
+    uint64_t n = U64();
+    if (failed_ || n > data_.size() - pos_) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  // The bulk decoders run over pre-bounds-checked raw bytes (no per-byte
+  // call or check): snapshot load time is the warm-start latency, and the
+  // gate/index arrays are megabytes on real plans.
+  std::vector<uint32_t> U32Vector() {
+    uint64_t n = U64();
+    if (failed_ || n > (data_.size() - pos_) / 4) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<uint32_t> v(n);
+    const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    for (uint64_t i = 0; i < n; ++i, p += 4) {
+      v[i] = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+             (static_cast<uint32_t>(p[2]) << 16) |
+             (static_cast<uint32_t>(p[3]) << 24);
+    }
+    pos_ += n * 4;
+    return v;
+  }
+  std::vector<Gate> Gates() {
+    uint64_t n = U64();
+    if (failed_ || n > (data_.size() - pos_) / 9) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<Gate> gates(n);
+    const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    for (uint64_t i = 0; i < n; ++i, p += 9) {
+      if (p[0] > static_cast<uint8_t>(GateKind::kTimes)) failed_ = true;
+      gates[i].kind = static_cast<GateKind>(p[0]);
+      gates[i].a = static_cast<uint32_t>(p[1]) |
+                   (static_cast<uint32_t>(p[2]) << 8) |
+                   (static_cast<uint32_t>(p[3]) << 16) |
+                   (static_cast<uint32_t>(p[4]) << 24);
+      gates[i].b = static_cast<uint32_t>(p[5]) |
+                   (static_cast<uint32_t>(p[6]) << 8) |
+                   (static_cast<uint32_t>(p[7]) << 16) |
+                   (static_cast<uint32_t>(p[8]) << 24);
+    }
+    pos_ += n * 9;
+    return gates;
+  }
+
+  bool failed() const { return failed_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  unsigned char Byte() {
+    if (pos_ >= data_.size()) {
+      failed_ = true;
+      return 0;
+    }
+    return static_cast<unsigned char>(data_[pos_++]);
+  }
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+std::string Hex(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// FNV-1a over 8-byte little-endian chunks (last chunk zero-padded), plus the
+// length. ~8x the throughput of byte-wise FNV — the checksum pass is on the
+// warm-start latency path over tens of megabytes — with the same
+// corruption-detection power for this use.
+uint64_t Checksum(std::string_view payload) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ payload.size();
+  size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    uint64_t chunk = 0;
+    for (int b = 0; b < 8; ++b) {
+      chunk |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(payload[i + b]))
+               << (8 * b);
+    }
+    h = (h ^ chunk) * 0x100000001b3ULL;
+  }
+  uint64_t tail = 0;
+  for (int b = 0; i < payload.size(); ++i, ++b) {
+    tail |= static_cast<uint64_t>(static_cast<unsigned char>(payload[i]))
+            << (8 * b);
+  }
+  h = (h ^ tail) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t program_digest, uint64_t edb_digest,
+                             const pipeline::PlanKey& key) {
+  uint64_t kh = pipeline::PlanKeyHash{}(key);
+  return "plan-" + Hex(program_digest) + "-" + Hex(edb_digest) + "-" +
+         Hex(kh) + ".dlcp";
+}
+
+Result<bool> SavePlan(const pipeline::CompiledPlan& plan,
+                      uint64_t program_digest, uint64_t edb_digest,
+                      const std::string& path) {
+  ByteWriter w;
+  w.U64(program_digest);
+  w.U64(edb_digest);
+
+  w.U8(static_cast<uint8_t>(plan.key.construction));
+  w.U8(plan.key.plus_idempotent ? 1 : 0);
+  w.U8(plan.key.absorptive ? 1 : 0);
+  w.U32(plan.key.max_layers);
+  w.U32(plan.layers_used);
+  w.U8(plan.reached_fixpoint ? 1 : 0);
+
+  w.U64(plan.unoptimized.size);
+  w.U64(plan.unoptimized.num_plus);
+  w.U64(plan.unoptimized.num_times);
+  w.U64(plan.unoptimized.num_inputs);
+  w.U32(plan.unoptimized.depth);
+
+  w.U64(plan.pass_stats.size());
+  for (const eval::PassStats& p : plan.pass_stats) {
+    w.String(p.name);
+    w.U64(p.gates_before);
+    w.U64(p.gates_after);
+    w.U64(p.arena_before);
+    w.U64(p.arena_after);
+  }
+
+  w.U32(plan.circuit.num_vars());
+  w.Gates(plan.circuit.gates());
+  w.U32Vector(plan.circuit.outputs());
+
+  w.Gates(plan.plan.gates());
+  w.U32Vector(plan.plan.layer_starts());
+  w.U32Vector(plan.plan.output_slots());
+  w.U32Vector(plan.plan.dep_starts());
+  w.U32Vector(plan.plan.dependents());
+  w.U32Vector(plan.plan.var_starts());
+  w.U32Vector(plan.plan.var_input_slots());
+  w.U32Vector(plan.plan.layer_of());
+
+  ByteWriter file;
+  file.U32(kMagic);
+  file.U32(kSnapshotVersion);
+  const std::string& payload = w.buffer();
+
+  // Temp-file + rename: a concurrent LoadPlan either sees the complete old
+  // file, the complete new one, or ENOENT — never a prefix.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Result<bool>::Error("cannot write " + tmp);
+    out.write(file.buffer().data(),
+              static_cast<std::streamsize>(file.buffer().size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    ByteWriter footer;
+    footer.U64(Checksum(payload));
+    out.write(footer.buffer().data(),
+              static_cast<std::streamsize>(footer.buffer().size()));
+    if (!out) return Result<bool>::Error("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Result<bool>::Error("cannot rename " + tmp + " to " + path);
+  }
+  return true;
+}
+
+Result<std::shared_ptr<const pipeline::CompiledPlan>> LoadPlan(
+    const std::string& path, uint64_t program_digest, uint64_t edb_digest,
+    const pipeline::PlanKey& key) {
+  using Out = Result<std::shared_ptr<const pipeline::CompiledPlan>>;
+  auto fail = [&path](const std::string& what) {
+    return Out::Error("snapshot " + path + ": " + what);
+  };
+
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return fail("cannot open");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    data = ss.str();
+  }
+  // Header (8) + payload + checksum (8).
+  if (data.size() < 16) return fail("truncated");
+  {
+    ByteReader header(std::string_view(data).substr(0, 8));
+    if (header.U32() != kMagic) return fail("bad magic (not a plan snapshot)");
+    uint32_t version = header.U32();
+    if (version != kSnapshotVersion) {
+      return fail("version " + std::to_string(version) + " (expected " +
+                  std::to_string(kSnapshotVersion) + ")");
+    }
+  }
+  std::string_view payload =
+      std::string_view(data).substr(8, data.size() - 16);
+  {
+    ByteReader footer(std::string_view(data).substr(data.size() - 8));
+    if (footer.U64() != Checksum(payload)) return fail("checksum mismatch");
+  }
+
+  ByteReader r(payload);
+  uint64_t got_program = r.U64();
+  uint64_t got_edb = r.U64();
+  if (!r.failed() && (got_program != program_digest || got_edb != edb_digest)) {
+    return fail("compiled from a different program/EDB (digest mismatch)");
+  }
+
+  auto plan = std::make_shared<pipeline::CompiledPlan>();
+  plan->key.construction = static_cast<pipeline::Construction>(r.U8());
+  plan->key.plus_idempotent = r.U8() != 0;
+  plan->key.absorptive = r.U8() != 0;
+  plan->key.max_layers = r.U32();
+  plan->layers_used = r.U32();
+  plan->reached_fixpoint = r.U8() != 0;
+  if (!r.failed() && !(plan->key == key)) {
+    return fail("snapshot is for a different plan key");
+  }
+
+  plan->unoptimized.size = r.U64();
+  plan->unoptimized.num_plus = r.U64();
+  plan->unoptimized.num_times = r.U64();
+  plan->unoptimized.num_inputs = r.U64();
+  plan->unoptimized.depth = r.U32();
+
+  uint64_t num_passes = r.U64();
+  if (r.failed() || num_passes > 64) return fail("malformed pass stats");
+  plan->pass_stats.resize(num_passes);
+  for (eval::PassStats& p : plan->pass_stats) {
+    p.name = r.String();
+    p.gates_before = r.U64();
+    p.gates_after = r.U64();
+    p.arena_before = r.U64();
+    p.arena_after = r.U64();
+  }
+
+  uint32_t num_vars = r.U32();
+  std::vector<Gate> circuit_gates = r.Gates();
+  std::vector<GateId> outputs = r.U32Vector();
+  if (r.failed()) return fail("malformed circuit section");
+  for (GateId o : outputs) {
+    if (o >= circuit_gates.size()) return fail("circuit output out of range");
+  }
+  for (size_t i = 0; i < circuit_gates.size(); ++i) {
+    const Gate& g = circuit_gates[i];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      if (g.a >= i || g.b >= i) return fail("circuit child out of order");
+    } else if (g.kind == GateKind::kInput && g.a >= num_vars) {
+      return fail("circuit input variable out of range");
+    }
+  }
+  plan->circuit = Circuit(std::move(circuit_gates), std::move(outputs),
+                          num_vars);
+
+  eval::EvalPlan::Parts parts;
+  parts.num_vars = num_vars;
+  parts.gates = r.Gates();
+  parts.layer_starts = r.U32Vector();
+  parts.output_slots = r.U32Vector();
+  parts.dep_starts = r.U32Vector();
+  parts.dependents = r.U32Vector();
+  parts.var_starts = r.U32Vector();
+  parts.var_input_slots = r.U32Vector();
+  parts.layer_of = r.U32Vector();
+  if (r.failed() || !r.exhausted()) return fail("malformed plan section");
+  // Mirror EvalPlan::FromParts's CHECKs as recoverable errors: a snapshot
+  // that passed the checksum but violates plan invariants is rejected here
+  // rather than aborting the serving process.
+  const size_t n = parts.gates.size();
+  bool consistent =
+      parts.layer_starts.size() >= 2 && parts.layer_starts.front() == 0 &&
+      parts.layer_starts.back() == n && parts.layer_of.size() == n &&
+      parts.dep_starts.size() == n + 1 &&
+      parts.dep_starts.back() == parts.dependents.size() &&
+      parts.var_starts.size() == static_cast<size_t>(num_vars) + 1 &&
+      parts.var_starts.back() == parts.var_input_slots.size();
+  for (size_t l = 0; consistent && l + 1 < parts.layer_starts.size(); ++l) {
+    consistent = parts.layer_starts[l] <= parts.layer_starts[l + 1];
+  }
+  for (size_t i = 0; consistent && i < n; ++i) {
+    const Gate& g = parts.gates[i];
+    if (g.kind == GateKind::kPlus || g.kind == GateKind::kTimes) {
+      consistent = g.a < i && g.b < i;
+    } else if (g.kind == GateKind::kInput) {
+      consistent = g.a < num_vars;
+    }
+  }
+  for (uint32_t s : parts.output_slots) consistent = consistent && s < n;
+  for (uint32_t s : parts.dependents) consistent = consistent && s < n;
+  for (uint32_t s : parts.var_input_slots) consistent = consistent && s < n;
+  if (!consistent) return fail("inconsistent plan indexes");
+  plan->plan = eval::EvalPlan::FromParts(std::move(parts));
+
+  return std::shared_ptr<const pipeline::CompiledPlan>(std::move(plan));
+}
+
+}  // namespace serve
+}  // namespace dlcirc

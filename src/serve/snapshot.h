@@ -1,0 +1,63 @@
+// Versioned binary snapshots of compiled plans (warm-start serving).
+//
+// The expensive prefix of the pipeline — grounding, circuit construction,
+// optimizer passes, EvalPlan compilation — is pure function of (program,
+// EDB, PlanKey). A snapshot persists its result: the post-pass circuit and
+// the complete EvalPlan indexes (layers, CSR dependents, slot -> layer,
+// var -> input slots), so a restarted process re-serves the same workload
+// without recompiling. Loads are validated three ways: a magic/version
+// header, the (program digest, EDB digest) pair the plan was compiled from,
+// and an FNV-1a checksum over the payload; tests additionally verify loaded
+// plans bit-exact against fresh compiles.
+//
+// Format (all integers little-endian, independent of host endianness):
+//
+//   "DLCP" u32 | version u32 | payload ... | checksum(payload) u64
+//
+// where checksum is FNV-1a folded over 8-byte little-endian chunks (see
+// snapshot.cc) — byte-wise FNV is a serial dependency chain too slow for
+// the tens-of-megabytes arrays on the warm-start latency path.
+//
+// Saves write to `path.tmp` and rename into place, so a concurrent reader
+// never observes a torn file. The format owns no compatibility promise
+// beyond its version byte: a version bump invalidates old snapshots, which
+// simply fall back to a cold compile.
+#ifndef DLCIRC_SERVE_SNAPSHOT_H_
+#define DLCIRC_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/pipeline/session.h"
+#include "src/util/result.h"
+
+namespace dlcirc {
+namespace serve {
+
+/// Bumped whenever the payload layout changes; loaders reject other versions.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Canonical snapshot file name for one (program, EDB, key) triple:
+/// "plan-<program digest>-<edb digest>-<key hash>.dlcp" (hex).
+std::string SnapshotFileName(uint64_t program_digest, uint64_t edb_digest,
+                             const pipeline::PlanKey& key);
+
+/// Serializes `plan` (compiled from the identified program/EDB) to `path`.
+/// Fails on I/O errors only.
+Result<bool> SavePlan(const pipeline::CompiledPlan& plan,
+                      uint64_t program_digest, uint64_t edb_digest,
+                      const std::string& path);
+
+/// Deserializes a snapshot and validates it against the expected digests and
+/// key. Any mismatch (missing file, bad magic/version, checksum, digest or
+/// key disagreement, structural inconsistency) is an error; callers treat
+/// every error as "cold compile instead".
+Result<std::shared_ptr<const pipeline::CompiledPlan>> LoadPlan(
+    const std::string& path, uint64_t program_digest, uint64_t edb_digest,
+    const pipeline::PlanKey& key);
+
+}  // namespace serve
+}  // namespace dlcirc
+
+#endif  // DLCIRC_SERVE_SNAPSHOT_H_

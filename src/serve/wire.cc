@@ -1,0 +1,262 @@
+#include "src/serve/wire.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dlcirc {
+namespace serve {
+
+const JsonValue* JsonValue::Find(std::string_view name) const {
+  for (const auto& [key, value] : members) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    if (!Value(&v)) return Error();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      error_ = "trailing characters after JSON value";
+      return Error();
+    }
+    return v;
+  }
+
+ private:
+  Result<JsonValue> Error() const {
+    return Result<JsonValue>::Error("JSON error at byte " +
+                                    std::to_string(pos_) + ": " + error_);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      error_ = "unexpected end of input";
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object(out);
+      case '[':
+        return Array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return String(&out->text);
+      case 't':
+        out->kind = JsonValue::Kind::kTrue;
+        if (Literal("true")) return true;
+        error_ = "bad literal";
+        return false;
+      case 'f':
+        out->kind = JsonValue::Kind::kFalse;
+        if (Literal("false")) return true;
+        error_ = "bad literal";
+        return false;
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        if (Literal("null")) return true;
+        error_ = "bad literal";
+        return false;
+      default:
+        return Number(out);
+    }
+  }
+
+  bool Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !String(&key)) {
+        error_ = "expected object key string";
+        return false;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        error_ = "expected ':' after object key";
+        return false;
+      }
+      ++pos_;
+      JsonValue value;
+      if (!Value(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        error_ = "unterminated object";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      error_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!Value(&item)) return false;
+      out->items.push_back(std::move(item));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        error_ = "unterminated array";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      error_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  bool String(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          default:
+            error_ = "unsupported string escape (\\u is not supported)";
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    error_ = "unterminated string";
+    return false;
+  }
+
+  bool Number(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits) {
+      error_ = "expected a value";
+      pos_ = start;
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->text = std::string(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_ = "invalid JSON";
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // RFC 8259: control characters below 0x20 must be escaped — a
+        // decoded \b in a lane name would otherwise re-emit as a raw byte
+        // and make the response line invalid JSON for conforming clients.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace dlcirc

@@ -1,0 +1,50 @@
+// Minimal JSON for the newline-delimited serve protocol (dlcirc serve).
+//
+// The protocol needs flat objects, arrays, strings, numbers, booleans and
+// null — nothing that justifies an external dependency. Numbers keep their
+// source lexeme: tag values are re-parsed by the semiring's own
+// ParseSemiringValue, so "0.5" must survive verbatim rather than round-trip
+// through a double. Unicode escapes (\uXXXX) are not supported; the
+// protocol is ASCII (semiring values, fact names, lane ids).
+#ifndef DLCIRC_SERVE_WIRE_H_
+#define DLCIRC_SERVE_WIRE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace dlcirc {
+namespace serve {
+
+/// One parsed JSON value. Strings hold their decoded text; numbers hold
+/// their source lexeme (see file comment); kTrue/kFalse/kNull carry nothing.
+struct JsonValue {
+  enum class Kind { kNull, kTrue, kFalse, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  std::string text;                                     // kString / kNumber
+  std::vector<JsonValue> items;                         // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  /// Member lookup (first match), or nullptr.
+  const JsonValue* Find(std::string_view name) const;
+};
+
+/// Parses exactly one JSON value spanning the whole input (trailing
+/// whitespace allowed). Errors carry a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes for embedding in a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace serve
+}  // namespace dlcirc
+
+#endif  // DLCIRC_SERVE_WIRE_H_

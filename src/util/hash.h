@@ -1,0 +1,69 @@
+// Non-cryptographic hashing building blocks shared by hash-map keys and
+// content digests.
+//
+// SplitMix64   the finalizer of the splitmix64 generator (also src/util/rng.h):
+//              a cheap 64 -> 64 bijection whose low bits depend on every input
+//              bit. Good enough to decorrelate packed struct fields before
+//              truncation to a 32-bit size_t.
+// HashCombine  boost-style accumulation of one 64-bit word into a running
+//              hash, with the splitmix finalizer doing the mixing.
+// Fnv1a64      streaming FNV-1a over raw bytes; the content-digest convention
+//              for programs, EDBs, and plan-snapshot checksums (stable across
+//              platforms and runs, unlike std::hash).
+#ifndef DLCIRC_UTIL_HASH_H_
+#define DLCIRC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dlcirc {
+
+/// splitmix64 finalizer: bijective, every output bit depends on every input
+/// bit. Not cryptographic.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Folds `value` into running hash `seed`.
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return SplitMix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                            (seed >> 2)));
+}
+
+/// Streaming FNV-1a (64-bit). Feed bytes or fixed-width integers; the digest
+/// depends on feed order, so callers must fix a canonical order.
+class Fnv1a64 {
+ public:
+  Fnv1a64& Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+  Fnv1a64& String(std::string_view s) {
+    U64(s.size());
+    return Bytes(s.data(), s.size());
+  }
+  /// Little-endian, explicitly byte-ordered (platform independent).
+  Fnv1a64& U64(uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    return Bytes(b, 8);
+  }
+  Fnv1a64& U32(uint32_t v) { return U64(v); }
+
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+}  // namespace dlcirc
+
+#endif  // DLCIRC_UTIL_HASH_H_

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/constructions/grounded_circuit.h"
@@ -393,6 +394,55 @@ TEST(SessionServeTest, UpdateTagsErrors) {
   // Short tagging lanes are rejected before anything is served.
   EXPECT_FALSE(
       session.ServeTags<TropicalSemiring>(key, {{1, 2, 3}}, {fact}).ok());
+}
+
+// Collision sanity for the plan-cache hash. The pre-fix hash combined
+// fields with shifted XOR (`construction << 34 ^ ... ^ max_layers`), which
+// (a) vanishes entirely above bit 31 on 32-bit size_t, making every
+// (construction, flags) combination collide, and (b) leaves max_layers
+// verbatim in the low bits, the only bits a small hash table consumes. The
+// splitmix-based hash must spread a dense enumeration of keys with no
+// collisions even when truncated to 32 bits (deterministic enumeration, so
+// this is a fixed property of the hash function, not a probabilistic test).
+TEST(PlanKeyHashTest, DenseKeyEnumerationHasNoCollisions) {
+  pipeline::PlanKeyHash hash;
+  std::unordered_set<uint64_t> full;
+  std::unordered_set<uint32_t> low32;
+  size_t keys = 0;
+  for (pipeline::Construction c :
+       {Construction::kGrounded, Construction::kUvg}) {
+    for (int pi = 0; pi < 2; ++pi) {
+      for (int ab = 0; ab < 2; ++ab) {
+        for (uint32_t layers = 0; layers < 256; ++layers) {
+          pipeline::PlanKey key{c, pi != 0, ab != 0, layers};
+          uint64_t h = hash(key);
+          full.insert(h);
+          low32.insert(static_cast<uint32_t>(h));
+          ++keys;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(full.size(), keys);
+  EXPECT_EQ(low32.size(), keys)
+      << "hash collides in the low 32 bits, which is all a small "
+         "unordered_map bucket count ever sees";
+}
+
+// The specific pre-fix failure mode: keys identical up to the flag bits
+// must not collide once truncated to 32 bits.
+TEST(PlanKeyHashTest, FlagBitsSurvive32BitTruncation) {
+  pipeline::PlanKeyHash hash;
+  for (uint32_t layers : {0u, 1u, 7u, 4096u}) {
+    pipeline::PlanKey a{Construction::kGrounded, false, false, layers};
+    pipeline::PlanKey b{Construction::kGrounded, true, false, layers};
+    pipeline::PlanKey c{Construction::kGrounded, true, true, layers};
+    pipeline::PlanKey d{Construction::kUvg, true, true, layers};
+    EXPECT_NE(static_cast<uint32_t>(hash(a)), static_cast<uint32_t>(hash(b)));
+    EXPECT_NE(static_cast<uint32_t>(hash(b)), static_cast<uint32_t>(hash(c)));
+    EXPECT_NE(static_cast<uint32_t>(hash(c)), static_cast<uint32_t>(hash(d)));
+    EXPECT_NE(static_cast<uint32_t>(hash(a)), static_cast<uint32_t>(hash(d)));
+  }
 }
 
 TEST(SemiringRegistryTest, DispatchCoversEveryInstance) {

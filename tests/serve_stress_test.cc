@@ -1,0 +1,273 @@
+// Concurrency stress for src/serve: many client threads hammer one shared
+// Session/PlanStore/Server with interleaved inline evals, lane
+// creates/reads/updates/drops across several semirings, through multiple
+// dispatcher threads. Each thread owns a private lane whose tag vector it
+// mirrors locally, so every private-lane response can be checked against a
+// single-threaded oracle evaluation; a shared lane takes concurrent updates
+// from everyone, checking epoch monotonicity and serialization. The CI
+// ThreadSanitizer job runs exactly this binary (plus the eval/delta suites)
+// to catch data races the assertions can't see.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/pipeline/session.h"
+#include "src/serve/plan_store.h"
+#include "src/serve/server.h"
+#include "src/util/rng.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using pipeline::PlanKey;
+using pipeline::Session;
+
+constexpr const char* kFig1Facts = R"(
+E(s,u1). E(s,u2). E(u1,v1). E(u1,v2). E(u2,v2). E(v1,t). E(v2,t).
+)";
+constexpr uint32_t kNumFacts = 7;
+
+Session MakeFig1Session() {
+  Result<Session> s = Session::FromDatalog(testing::kTcText);
+  EXPECT_TRUE(s.ok()) << s.error();
+  Session session = std::move(s).value();
+  Result<bool> loaded = session.LoadFactsText(kFig1Facts);
+  EXPECT_TRUE(loaded.ok()) << loaded.error();
+  return session;
+}
+
+/// Oracle: T(s,t) over Tropical for a full tag vector, via the immutable
+/// compiled circuit (safe to share read-only across threads).
+uint64_t OracleSt(const Circuit& circuit, size_t st_output,
+                 const std::vector<uint64_t>& tags) {
+  return circuit.Evaluate<TropicalSemiring>(tags)[st_output];
+}
+
+TEST(ServeStressTest, ConcurrentMixedTrafficStaysConsistent) {
+  Session session = MakeFig1Session();
+  PlanKey key = PlanKey::For<TropicalSemiring>();
+  auto compiled = session.Compile(key);
+  ASSERT_TRUE(compiled.ok());
+  const Circuit& circuit = compiled.value()->circuit;
+  const uint32_t st_fact = session.FindFact("T", {"s", "t"}).value();
+  ASSERT_EQ(session.FactName(st_fact), "T(s,t)");
+
+  serve::PlanStore store;
+  serve::ServerOptions options;
+  options.num_dispatchers = 2;
+  options.queue_capacity = 64;  // small: exercises Submit backpressure
+  options.max_coalesce = 16;
+  serve::Server server(session, store, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 120;
+  std::atomic<int> failures{0};
+
+  // The shared lane everyone updates; created up front.
+  {
+    serve::ServeRequest make;
+    make.kind = serve::ServeRequest::Kind::kMakeLane;
+    make.semiring = "tropical";
+    make.lane = "shared";
+    make.tags.assign(kNumFacts, "1");
+    ASSERT_TRUE(server.Submit(make).get().ok);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      const std::string lane = "private-" + std::to_string(t);
+      std::vector<uint64_t> mirror(kNumFacts, 1);  // local copy of lane tags
+      bool lane_live = false;
+      uint64_t last_shared_epoch = 0;
+      auto tag_strings = [&](const std::vector<uint64_t>& tags) {
+        std::vector<std::string> out;
+        out.reserve(tags.size());
+        for (uint64_t v : tags) {
+          out.push_back(
+              pipeline::FormatSemiringValue<TropicalSemiring>(v));
+        }
+        return out;
+      };
+      auto check = [&](bool ok, const std::string& what) {
+        if (!ok) {
+          ++failures;
+          ADD_FAILURE() << "thread " << t << ": " << what;
+        }
+      };
+
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const uint64_t dice = rng.NextBounded(100);
+        if (dice < 30) {
+          // Inline eval with random tags; response must equal the oracle.
+          std::vector<uint64_t> tags;
+          tags.reserve(kNumFacts);
+          for (uint32_t v = 0; v < kNumFacts; ++v) {
+            tags.push_back(1 + rng.NextBounded(9));
+          }
+          serve::ServeRequest req;
+          req.kind = serve::ServeRequest::Kind::kEval;
+          req.semiring = "tropical";
+          req.tags = tag_strings(tags);
+          req.facts = {st_fact};
+          serve::ServeResponse r = server.Submit(std::move(req)).get();
+          check(r.ok, "inline eval failed: " + r.error);
+          if (r.ok) {
+            check(r.values[0] ==
+                      pipeline::FormatSemiringValue<TropicalSemiring>(
+                          OracleSt(circuit, st_fact, tags)),
+                  "inline eval mismatch");
+          }
+        } else if (dice < 50) {
+          // (Re)materialize the private lane with fresh random tags.
+          for (uint32_t v = 0; v < kNumFacts; ++v) {
+            mirror[v] = 1 + rng.NextBounded(9);
+          }
+          serve::ServeRequest req;
+          req.kind = serve::ServeRequest::Kind::kMakeLane;
+          req.semiring = "tropical";
+          req.lane = lane;
+          req.tags = tag_strings(mirror);
+          req.facts = {st_fact};
+          serve::ServeResponse r = server.Submit(std::move(req)).get();
+          check(r.ok, "make lane failed: " + r.error);
+          if (r.ok) {
+            lane_live = true;
+            check(r.values[0] ==
+                      pipeline::FormatSemiringValue<TropicalSemiring>(
+                          OracleSt(circuit, st_fact, mirror)),
+                  "lane materialization mismatch");
+          }
+        } else if (dice < 70 && lane_live) {
+          // Sparse update to the private lane; mirror tracks the truth.
+          serve::ServeRequest req;
+          req.kind = serve::ServeRequest::Kind::kUpdate;
+          req.semiring = "tropical";
+          req.lane = lane;
+          req.facts = {st_fact};
+          for (int k = 0; k < 2; ++k) {
+            uint32_t var = static_cast<uint32_t>(rng.NextBounded(kNumFacts));
+            uint64_t value = rng.NextBool(0.2)
+                                ? TropicalSemiring::Zero()
+                                : 1 + rng.NextBounded(9);
+            mirror[var] = value;
+            req.delta.emplace_back(
+                var, pipeline::FormatSemiringValue<TropicalSemiring>(value));
+          }
+          serve::ServeResponse r = server.Submit(std::move(req)).get();
+          check(r.ok, "update failed: " + r.error);
+          if (r.ok) {
+            check(r.values[0] ==
+                      pipeline::FormatSemiringValue<TropicalSemiring>(
+                          OracleSt(circuit, st_fact, mirror)),
+                  "incremental update mismatch");
+          }
+        } else if (dice < 80 && lane_live) {
+          // Read the private lane; must match the mirror exactly.
+          serve::ServeRequest req;
+          req.kind = serve::ServeRequest::Kind::kEval;
+          req.semiring = "tropical";
+          req.lane = lane;
+          req.facts = {st_fact};
+          serve::ServeResponse r = server.Submit(std::move(req)).get();
+          check(r.ok, "lane read failed: " + r.error);
+          if (r.ok) {
+            check(r.values[0] ==
+                      pipeline::FormatSemiringValue<TropicalSemiring>(
+                          OracleSt(circuit, st_fact, mirror)),
+                  "lane read mismatch");
+          }
+        } else if (dice < 90) {
+          // Hammer the shared lane; epochs must move forward and the value
+          // must be internally consistent (some serialized tagging), which
+          // the lane lock guarantees — here we check ok + epoch monotonic
+          // from this thread's point of view.
+          serve::ServeRequest req;
+          req.kind = serve::ServeRequest::Kind::kUpdate;
+          req.semiring = "tropical";
+          req.lane = "shared";
+          req.facts = {st_fact};
+          uint32_t var = static_cast<uint32_t>(rng.NextBounded(kNumFacts));
+          req.delta.emplace_back(
+              var, std::to_string(1 + rng.NextBounded(9)));
+          serve::ServeResponse r = server.Submit(std::move(req)).get();
+          check(r.ok, "shared update failed: " + r.error);
+          if (r.ok) {
+            check(r.epoch > last_shared_epoch,
+                  "shared lane epoch went backwards");
+            last_shared_epoch = r.epoch;
+          }
+        } else {
+          // Cross-semiring traffic through the same broker.
+          serve::ServeRequest req;
+          req.kind = serve::ServeRequest::Kind::kEval;
+          req.semiring = rng.NextBool(0.5) ? "boolean" : "counting";
+          req.facts = {st_fact};  // default (empty) tags = unit tagging
+          serve::ServeResponse r = server.Submit(std::move(req)).get();
+          check(r.ok, "cross-semiring eval failed: " + r.error);
+          if (r.ok) {
+            // Unit tagging: reachable, and path count is fixed (= 3).
+            check(r.values[0] == "true" || r.values[0] == "3",
+                  "cross-semiring unit eval mismatch: " + r.values[0]);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GE(stats.requests, static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_GE(stats.updates, 1u);
+}
+
+/// Stop() racing active producers: submits that lose the race fail fast
+/// with "server stopped", everything accepted gets answered, nothing hangs.
+TEST(ServeStressTest, StopUnderLoadAnswersEverything) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::ServerOptions options;
+  options.num_dispatchers = 2;
+  options.queue_capacity = 8;
+  auto server = std::make_unique<serve::Server>(session, store, options);
+
+  std::atomic<bool> go{true};
+  std::vector<std::thread> producers;
+  std::atomic<int> answered{0}, rejected{0};
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      while (go.load()) {
+        serve::ServeRequest req;
+        req.kind = serve::ServeRequest::Kind::kEval;
+        req.semiring = "tropical";
+        req.facts = {0};
+        serve::ServeResponse r = server->Submit(std::move(req)).get();
+        if (r.ok) {
+          ++answered;
+        } else {
+          EXPECT_NE(r.error.find("stopped"), std::string::npos) << r.error;
+          ++rejected;
+          break;
+        }
+      }
+    });
+  }
+  // Let traffic flow briefly, then stop under load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server->Stop();
+  go.store(false);
+  for (std::thread& t : producers) t.join();
+  EXPECT_GT(answered.load(), 0);
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -1,0 +1,498 @@
+// Tests for src/serve: snapshot round-trips must be bit-exact against the
+// fresh compile (structure and outputs, differential-checked across
+// semirings), the PlanStore must share/compile-once/warm-start correctly,
+// the Server must serve inline evals, lanes, and updates with values that
+// match the Session's own serving path, coalescing must actually batch, and
+// the wire JSON must parse/escape correctly. The concurrency stress test
+// lives in serve_stress_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/eval/state_pool.h"
+#include "src/pipeline/semiring_registry.h"
+#include "src/pipeline/session.h"
+#include "src/serve/plan_store.h"
+#include "src/serve/server.h"
+#include "src/serve/snapshot.h"
+#include "src/serve/wire.h"
+#include "src/util/rng.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using pipeline::PlanKey;
+using pipeline::Session;
+
+constexpr const char* kFig1Facts = R"(
+E(s,u1). E(s,u2). E(u1,v1). E(u1,v2). E(u2,v2). E(v1,t). E(v2,t).
+)";
+
+Session MakeFig1Session() {
+  Result<Session> s = Session::FromDatalog(testing::kTcText);
+  EXPECT_TRUE(s.ok()) << s.error();
+  Session session = std::move(s).value();
+  Result<bool> loaded = session.LoadFactsText(kFig1Facts);
+  EXPECT_TRUE(loaded.ok()) << loaded.error();
+  return session;
+}
+
+/// A scratch directory fresh per test.
+std::string MakeTempDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("dlcirc_" + name)).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+template <Semiring S>
+std::vector<typename S::Value> RandomTagging(Rng& rng, uint32_t num_vars) {
+  std::vector<typename S::Value> lane;
+  lane.reserve(num_vars);
+  for (uint32_t v = 0; v < num_vars; ++v) lane.push_back(S::RandomValue(rng));
+  return lane;
+}
+
+// ---------------------------------------------------------------- snapshot
+
+template <Semiring S>
+void RoundTripOneSemiring() {
+  SCOPED_TRACE(S::Name());
+  Session session = MakeFig1Session();
+  PlanKey key = PlanKey::For<S>();
+  auto compiled = session.Compile(key);
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  const pipeline::CompiledPlan& fresh = *compiled.value();
+
+  std::string dir = MakeTempDir("snap_" + S::Name());
+  std::string path = dir + "/" + serve::SnapshotFileName(
+                                     session.ProgramDigest(),
+                                     session.EdbDigest(), key);
+  auto saved = serve::SavePlan(fresh, session.ProgramDigest(),
+                               session.EdbDigest(), path);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  auto loaded = serve::LoadPlan(path, session.ProgramDigest(),
+                                session.EdbDigest(), key);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  const pipeline::CompiledPlan& warm = *loaded.value();
+
+  // Bit-exact structure: the circuit arena and every EvalPlan index.
+  EXPECT_TRUE(warm.key == fresh.key);
+  EXPECT_EQ(warm.layers_used, fresh.layers_used);
+  EXPECT_EQ(warm.reached_fixpoint, fresh.reached_fixpoint);
+  EXPECT_EQ(warm.unoptimized.size, fresh.unoptimized.size);
+  EXPECT_EQ(warm.circuit.num_vars(), fresh.circuit.num_vars());
+  ASSERT_EQ(warm.circuit.gates().size(), fresh.circuit.gates().size());
+  for (size_t i = 0; i < fresh.circuit.gates().size(); ++i) {
+    EXPECT_EQ(warm.circuit.gates()[i].kind, fresh.circuit.gates()[i].kind);
+    EXPECT_EQ(warm.circuit.gates()[i].a, fresh.circuit.gates()[i].a);
+    EXPECT_EQ(warm.circuit.gates()[i].b, fresh.circuit.gates()[i].b);
+  }
+  EXPECT_EQ(warm.circuit.outputs(), fresh.circuit.outputs());
+  ASSERT_EQ(warm.plan.num_slots(), fresh.plan.num_slots());
+  EXPECT_EQ(warm.plan.layer_starts(), fresh.plan.layer_starts());
+  EXPECT_EQ(warm.plan.output_slots(), fresh.plan.output_slots());
+  EXPECT_EQ(warm.plan.dep_starts(), fresh.plan.dep_starts());
+  EXPECT_EQ(warm.plan.dependents(), fresh.plan.dependents());
+  EXPECT_EQ(warm.plan.var_starts(), fresh.plan.var_starts());
+  EXPECT_EQ(warm.plan.var_input_slots(), fresh.plan.var_input_slots());
+  EXPECT_EQ(warm.plan.layer_of(), fresh.plan.layer_of());
+  EXPECT_EQ(warm.plan.max_layer_width(), fresh.plan.max_layer_width());
+  ASSERT_EQ(warm.pass_stats.size(), fresh.pass_stats.size());
+  for (size_t i = 0; i < fresh.pass_stats.size(); ++i) {
+    EXPECT_EQ(warm.pass_stats[i].name, fresh.pass_stats[i].name);
+    EXPECT_EQ(warm.pass_stats[i].gates_after, fresh.pass_stats[i].gates_after);
+  }
+
+  // Differential: identical outputs under random taggings through both the
+  // plan and the circuit.
+  Rng rng(42);
+  eval::Evaluator evaluator;
+  for (int round = 0; round < 20; ++round) {
+    auto tags = RandomTagging<S>(rng, session.db().num_facts());
+    auto a = evaluator.Evaluate<S>(fresh.plan, tags);
+    auto b = evaluator.Evaluate<S>(warm.plan, tags);
+    auto c = warm.circuit.Evaluate<S>(tags);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), c.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(S::Eq(a[i], b[i])) << "output " << i << " round " << round;
+      EXPECT_TRUE(S::Eq(a[i], c[i])) << "output " << i << " round " << round;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotTest, RoundTripIsBitExactAcrossSemirings) {
+  RoundTripOneSemiring<TropicalSemiring>();
+  RoundTripOneSemiring<BooleanSemiring>();
+  RoundTripOneSemiring<CountingSemiring>();
+  RoundTripOneSemiring<ViterbiSemiring>();
+}
+
+TEST(SnapshotTest, RejectsCorruptionTruncationAndMismatch) {
+  Session session = MakeFig1Session();
+  PlanKey key = PlanKey::For<TropicalSemiring>();
+  auto compiled = session.Compile(key);
+  ASSERT_TRUE(compiled.ok());
+  std::string dir = MakeTempDir("snap_reject");
+  std::string path = dir + "/plan.dlcp";
+  ASSERT_TRUE(serve::SavePlan(*compiled.value(), session.ProgramDigest(),
+                              session.EdbDigest(), path)
+                  .ok());
+  const uint64_t pd = session.ProgramDigest();
+  const uint64_t ed = session.EdbDigest();
+
+  // Pristine file loads.
+  EXPECT_TRUE(serve::LoadPlan(path, pd, ed, key).ok());
+  // Wrong digests and wrong key are rejected.
+  EXPECT_FALSE(serve::LoadPlan(path, pd + 1, ed, key).ok());
+  EXPECT_FALSE(serve::LoadPlan(path, pd, ed + 1, key).ok());
+  PlanKey other = key;
+  other.max_layers = 3;
+  EXPECT_FALSE(serve::LoadPlan(path, pd, ed, other).ok());
+  // Missing file.
+  EXPECT_FALSE(serve::LoadPlan(dir + "/nope.dlcp", pd, ed, key).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  // Flip one payload byte: checksum must catch it.
+  {
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() / 2] ^= 0x20;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+  auto r = serve::LoadPlan(path, pd, ed, key);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("checksum"), std::string::npos) << r.error();
+  // Truncate: must fail cleanly, not crash.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() / 3);
+  }
+  EXPECT_FALSE(serve::LoadPlan(path, pd, ed, key).ok());
+  // Bad magic.
+  {
+    std::string garbled = bytes;
+    garbled[0] = 'X';
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << garbled;
+  }
+  EXPECT_FALSE(serve::LoadPlan(path, pd, ed, key).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------------- PlanStore
+
+TEST(PlanStoreTest, SharesOnePlanAndCountsHits) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  PlanKey key = PlanKey::For<TropicalSemiring>();
+  auto a = store.GetOrCompile(session, key);
+  auto b = store.GetOrCompile(session, key);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().get(), b.value().get());
+  serve::PlanStoreStats stats = store.stats();
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.snapshot_loads, 0u);
+}
+
+TEST(PlanStoreTest, WarmStartsFromSnapshotDirWithIdenticalOutputs) {
+  std::string dir = MakeTempDir("store_warm");
+  PlanKey key = PlanKey::For<TropicalSemiring>();
+
+  // Cold store compiles and persists.
+  Session cold = MakeFig1Session();
+  serve::PlanStore cold_store(dir);
+  auto compiled = cold_store.GetOrCompile(cold, key);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(cold_store.stats().compiles, 1u);
+  EXPECT_EQ(cold_store.stats().snapshot_saves, 1u);
+
+  // A fresh process (new session, new store) warm-starts off disk...
+  Session warm = MakeFig1Session();
+  serve::PlanStore warm_store(dir);
+  auto loaded = warm_store.GetOrCompile(warm, key);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(warm_store.stats().compiles, 0u);
+  EXPECT_EQ(warm_store.stats().snapshot_loads, 1u);
+  // ...the session adopts the loaded plan (no recompilation on TagBatch)...
+  EXPECT_EQ(warm.stats().plan_cache_misses, 0u);
+  // ...and serving through it matches the cold path.
+  Rng rng(7);
+  auto tags = RandomTagging<TropicalSemiring>(rng, warm.db().num_facts());
+  auto facts = warm.TargetFacts();
+  auto cold_out = cold.TagBatch<TropicalSemiring>(key, {tags}, facts);
+  auto warm_out = warm.TagBatch<TropicalSemiring>(key, {tags}, facts);
+  ASSERT_TRUE(cold_out.ok());
+  ASSERT_TRUE(warm_out.ok());
+  EXPECT_EQ(cold_out.value(), warm_out.value());
+  EXPECT_EQ(warm.stats().plan_cache_hits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------------ Server
+
+serve::ServeRequest EvalRequest(const std::string& semiring,
+                                std::vector<std::string> tags,
+                                std::vector<uint32_t> facts) {
+  serve::ServeRequest req;
+  req.kind = serve::ServeRequest::Kind::kEval;
+  req.semiring = semiring;
+  req.tags = std::move(tags);
+  req.facts = std::move(facts);
+  return req;
+}
+
+TEST(ServerTest, InlineEvalsMatchSessionTagBatch) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::Server server(session, store);
+  std::vector<uint32_t> facts = session.TargetFacts();
+
+  // Tropical: the three fig1 lanes with the known answers 10 / 3 / 14.
+  std::vector<std::vector<std::string>> lanes = {
+      {"1", "2", "3", "4", "5", "6", "7"},
+      {"1", "1", "1", "1", "1", "1", "1"},
+      {"inf", "2", "3", "4", "5", "6", "7"}};
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (const auto& lane : lanes) {
+    futures.push_back(server.Submit(EvalRequest("tropical", lane, facts)));
+  }
+  // Independently through the session's own serving path.
+  std::vector<std::vector<uint64_t>> taggings = {
+      {1, 2, 3, 4, 5, 6, 7},
+      {1, 1, 1, 1, 1, 1, 1},
+      {TropicalSemiring::Zero(), 2, 3, 4, 5, 6, 7}};
+  auto expected = session.TagBatch<TropicalSemiring>(
+      PlanKey::For<TropicalSemiring>(), taggings, facts);
+  ASSERT_TRUE(expected.ok());
+  for (size_t lane = 0; lane < lanes.size(); ++lane) {
+    serve::ServeResponse r = futures[lane].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.values.size(), facts.size());
+    for (size_t i = 0; i < facts.size(); ++i) {
+      EXPECT_EQ(r.values[i],
+                pipeline::FormatSemiringValue<TropicalSemiring>(
+                    expected.value()[lane][i]))
+          << "lane " << lane << " fact " << i;
+    }
+  }
+
+  // Boolean rides the bit-packed kernel; same contract.
+  std::vector<std::string> bool_tags(7, "true");
+  bool_tags[0] = "false";
+  serve::ServeResponse rb =
+      server.Submit(EvalRequest("boolean", bool_tags, facts)).get();
+  ASSERT_TRUE(rb.ok) << rb.error;
+  std::vector<std::vector<bool>> bool_lane = {
+      {false, true, true, true, true, true, true}};
+  auto expected_b = session.TagBatch<BooleanSemiring>(
+      PlanKey::For<BooleanSemiring>(), bool_lane, facts);
+  ASSERT_TRUE(expected_b.ok());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    EXPECT_EQ(rb.values[i], pipeline::FormatSemiringValue<BooleanSemiring>(
+                                expected_b.value()[0][i]));
+  }
+}
+
+TEST(ServerTest, LanesMaterializeUpdateAndDrop) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::Server server(session, store);
+  std::vector<uint32_t> facts = {session.FindFact("T", {"s", "t"}).value()};
+
+  serve::ServeRequest make;
+  make.kind = serve::ServeRequest::Kind::kMakeLane;
+  make.semiring = "tropical";
+  make.lane = "alice";
+  make.tags = {"1", "2", "3", "4", "5", "6", "7"};
+  make.facts = facts;
+  serve::ServeResponse r = server.Submit(make).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.epoch, 1u);
+  EXPECT_EQ(r.values[0], "10");
+
+  // Read it back.
+  serve::ServeRequest read;
+  read.kind = serve::ServeRequest::Kind::kEval;
+  read.semiring = "tropical";
+  read.lane = "alice";
+  read.facts = facts;
+  r = server.Submit(read).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.epoch, 1u);
+  EXPECT_EQ(r.values[0], "10");
+
+  // Update: deleting E(s,u1) (x0 -> inf) reroutes the best path to 14.
+  serve::ServeRequest update;
+  update.kind = serve::ServeRequest::Kind::kUpdate;
+  update.semiring = "tropical";
+  update.lane = "alice";
+  update.delta = {{0, "inf"}};
+  update.facts = facts;
+  r = server.Submit(update).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.epoch, 2u);
+  EXPECT_EQ(r.values[0], "14");
+
+  // Replacing the lane keeps epochs monotonic.
+  r = server.Submit(make).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.epoch, 3u);
+  EXPECT_EQ(r.values[0], "10");
+
+  // Drop, then reads fail.
+  serve::ServeRequest drop;
+  drop.kind = serve::ServeRequest::Kind::kDropLane;
+  drop.semiring = "tropical";
+  drop.lane = "alice";
+  r = server.Submit(drop).get();
+  EXPECT_TRUE(r.ok) << r.error;
+  r = server.Submit(read).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown lane"), std::string::npos);
+}
+
+TEST(ServerTest, ErrorsAreRecoverableAndDoNotPoisonTheQueue) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::Server server(session, store);
+  std::vector<uint32_t> facts = {session.FindFact("T", {"s", "t"}).value()};
+
+  serve::ServeRequest bad_semiring = EvalRequest("frobnicating", {}, facts);
+  serve::ServeRequest bad_tags =
+      EvalRequest("tropical", {"1", "2"}, facts);  // EDB has 7 facts
+  serve::ServeRequest bad_value =
+      EvalRequest("tropical",
+                  {"1", "banana", "3", "4", "5", "6", "7"}, facts);
+  serve::ServeRequest bad_fact = EvalRequest("tropical", {}, {9999});
+  serve::ServeRequest good = EvalRequest(
+      "tropical", {"1", "1", "1", "1", "1", "1", "1"}, facts);
+
+  EXPECT_FALSE(server.Submit(bad_semiring).get().ok);
+  EXPECT_FALSE(server.Submit(bad_tags).get().ok);
+  EXPECT_FALSE(server.Submit(bad_value).get().ok);
+  EXPECT_FALSE(server.Submit(bad_fact).get().ok);
+  serve::ServeResponse r = server.Submit(good).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.values[0], "3");
+  EXPECT_EQ(server.stats().errors, 4u);
+}
+
+TEST(ServerTest, PausedServerCoalescesBacklogIntoOneBatch) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::ServerOptions options;
+  options.paused = true;
+  options.max_coalesce = 64;
+  serve::Server server(session, store, options);
+  std::vector<uint32_t> facts = {session.FindFact("T", {"s", "t"}).value()};
+
+  // Backlog of 16 requests while the dispatcher sleeps; on Resume they must
+  // arrive in one burst and evaluate as one coalesced sweep.
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<std::string> tags(7, std::to_string(1 + (i % 5)));
+    futures.push_back(server.Submit(EvalRequest("tropical", tags, facts)));
+  }
+  EXPECT_EQ(server.queue_depth(), 16u);
+  server.Resume();
+  for (int i = 0; i < 16; ++i) {
+    serve::ServeResponse r = futures[i].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    // Unit weight w on every edge makes T(s,t) = 3w.
+    EXPECT_EQ(r.values[0], std::to_string(3 * (1 + (i % 5))));
+  }
+  serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.evals, 16u);
+  EXPECT_EQ(stats.max_batch, 16u);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(ServerTest, PingFencesAndStopDrains) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::ServerOptions options;
+  options.paused = true;
+  serve::Server server(session, store, options);
+  std::vector<uint32_t> facts = {session.FindFact("T", {"s", "t"}).value()};
+
+  auto eval = server.Submit(
+      EvalRequest("tropical", {"1", "1", "1", "1", "1", "1", "1"}, facts));
+  serve::ServeRequest ping;
+  ping.kind = serve::ServeRequest::Kind::kPing;
+  auto fence = server.Submit(ping);
+  server.Stop();  // drains the backlog even though the server was paused
+  EXPECT_TRUE(eval.get().ok);
+  EXPECT_TRUE(fence.get().ok);
+  // After Stop, submits fail fast.
+  serve::ServeResponse r = server.Submit(ping).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("stopped"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- pooling
+
+TEST(ObjectPoolTest, RecyclesBuffersAndBoundsIdleList) {
+  eval::ObjectPool<std::vector<int>> pool(/*max_idle=*/2);
+  {
+    auto a = pool.Acquire();
+    a->assign(1000, 7);
+    auto b = pool.Acquire();
+    b->assign(500, 8);
+    auto c = pool.Acquire();
+    c->assign(100, 9);
+  }
+  EXPECT_EQ(pool.num_idle(), 2u);  // third release fell off the bounded list
+  auto reused = pool.Acquire();
+  EXPECT_GE(reused->capacity(), 100u);  // warm capacity came back
+  EXPECT_EQ(pool.num_idle(), 1u);
+}
+
+// -------------------------------------------------------------------- wire
+
+TEST(WireJsonTest, ParsesRequestsAndKeepsNumberLexemes) {
+  auto r = serve::ParseJson(
+      R"({"op":"eval","id":7,"tags":["1","0.5",3],"set":[["x2","inf"]],)"
+      R"("nested":{"a":[true,false,null]},"esc":"a\"b\\c\nd"})");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const serve::JsonValue& v = r.value();
+  ASSERT_TRUE(v.IsObject());
+  EXPECT_EQ(v.Find("op")->text, "eval");
+  EXPECT_EQ(v.Find("id")->text, "7");
+  ASSERT_TRUE(v.Find("tags")->IsArray());
+  EXPECT_EQ(v.Find("tags")->items[1].text, "0.5");  // lexeme preserved
+  EXPECT_EQ(v.Find("tags")->items[2].text, "3");
+  EXPECT_EQ(v.Find("set")->items[0].items[0].text, "x2");
+  EXPECT_EQ(v.Find("esc")->text, "a\"b\\c\nd");
+  EXPECT_EQ(v.Find("missing"), nullptr);
+
+  EXPECT_FALSE(serve::ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(serve::ParseJson("{'a': 1}").ok());
+  EXPECT_FALSE(serve::ParseJson("{} trailing").ok());
+  EXPECT_FALSE(serve::ParseJson("{\"a\": \"\\u0041\"}").ok());  // unsupported
+  EXPECT_TRUE(serve::ParseJson("  [1, -2.5e3]  ").ok());
+
+  EXPECT_EQ(serve::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(serve::JsonEscape(std::string("a\bc")), "a\\u0008c");
+}
+
+}  // namespace
+}  // namespace dlcirc

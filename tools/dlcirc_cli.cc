@@ -12,19 +12,34 @@
 //   dlcirc run --program tc.dl --graph fig1.graph.csv --semiring boolean
 //   dlcirc run --cfg dyck1.cfg --graph word.csv --construction uvg \
 //              --semiring viterbi --format json
+//   dlcirc serve --program tc.dl --facts fig1.facts --semiring tropical \
+//                --snapshot-dir /var/cache/dlcirc    # NDJSON on stdin/stdout
 //   dlcirc semirings
+//
+// `dlcirc serve` speaks newline-delimited JSON (one request per line, one
+// response per line, in request order) over stdin/stdout through the
+// src/serve request broker; see src/serve/README.md for the protocol.
 //
 // See README.md ("One-command pipeline") and EXPERIMENTS.md for the
 // per-bench invocations.
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/pipeline/io.h"
 #include "src/pipeline/semiring_registry.h"
 #include "src/pipeline/session.h"
+#include "src/serve/plan_store.h"
+#include "src/serve/server.h"
+#include "src/serve/wire.h"
 
 namespace dlcirc {
 namespace {
@@ -41,17 +56,38 @@ struct Args {
   std::string semiring = "boolean";
   std::string construction = "grounded";
   std::string format = "text";
+  std::string snapshot_dir;
+  std::string requests_file;
   std::vector<std::string> queries;
-  int threads = 1;
+  int threads = 0;  // 0 = unset; resolved via DLCIRC_THREADS, then 1
+  int dispatchers = 1;
+  int max_batch = 64;
+  int queue_capacity = 1024;
   bool show_facts = false;
   bool quiet = false;
 };
+
+/// --threads wins, then DLCIRC_THREADS, then single-threaded.
+int ResolveThreads(const Args& args) {
+  if (args.threads > 0) return args.threads;
+  if (const char* env = std::getenv("DLCIRC_THREADS")) {
+    try {
+      size_t used = 0;
+      int n = std::stoi(env, &used);
+      if (used == std::string(env).size() && n >= 1) return n;
+    } catch (...) {
+    }
+    std::cerr << "dlcirc: ignoring malformed DLCIRC_THREADS `" << env << "`\n";
+  }
+  return 1;
+}
 
 int Usage(std::ostream& out, int code) {
   out << R"usage(usage: dlcirc <command> [flags]
 
 commands:
   run         run the full pipeline: parse, ground, build, optimize, compile, tag
+  serve       serve NDJSON tagging requests over stdin/stdout (src/serve)
   semirings   list the registered semirings
   help        show this message
 
@@ -74,9 +110,26 @@ run flags:
   --query "T(s,t)"     IDB fact to report; repeatable (default: all facts of
                        the target predicate)
   --format NAME        text, csv, or json [text]
-  --threads N          evaluator worker threads [1]
+  --threads N          evaluator worker threads [$DLCIRC_THREADS, else 1]
+  --snapshot-dir DIR   plan snapshot cache: load compiled plans from DIR when
+                       present, save fresh compiles into it (warm starts)
   --show-facts         print the EDB fact <-> provenance variable table
   --quiet              suppress the pipeline narration; results only
+
+serve flags: --program/--cfg, --facts/--graph, --semiring, --construction,
+  --threads, --snapshot-dir and --quiet as above, plus:
+  --requests FILE      read NDJSON requests from FILE instead of stdin
+  --dispatchers N      broker threads draining the request queue [1]
+  --max-batch N        max requests coalesced into one batched sweep [64]
+  --queue N            bounded request-queue capacity [1024]
+
+serve protocol (one JSON object per line; `id` is echoed back):
+  {"op":"eval","tags":["1","2",...],"query":["T(s,t)"]}
+  {"op":"lane","lane":"alice","tags":["1","2",...]}
+  {"op":"eval","lane":"alice"}            {"op":"update","lane":"alice",
+  {"op":"drop","lane":"alice"}             "set":[["x3","5"],["x0","inf"]]}
+  {"op":"ping"}                           {"op":"stats"}
+  optional per-request: "semiring", "construction", "query", "id"
 )usage";
   return code;
 }
@@ -259,7 +312,15 @@ int RunTyped(const Args& args, Session& session) {
       pipeline::ParseConstruction(args.construction);
   if (!construction.ok()) return Fail(construction.error());
   pipeline::PlanKey key = pipeline::PlanKey::For<S>(construction.value());
-  auto compiled = session.Compile(key);
+  // With a snapshot directory the compile goes through a PlanStore, which
+  // warm-starts off disk when a valid snapshot exists and persists fresh
+  // compiles; the loaded plan is adopted into the session's cache, so the
+  // TagBatch/ServeTags below never recompile either way.
+  auto compiled = [&] {
+    if (args.snapshot_dir.empty()) return session.Compile(key);
+    serve::PlanStore store(args.snapshot_dir);
+    return store.GetOrCompile(session, key);
+  }();
   if (!compiled.ok()) return Fail(compiled.error());
   const pipeline::CompiledPlan& plan = *compiled.value();
 
@@ -401,20 +462,17 @@ int RunTyped(const Args& args, Session& session) {
   return 0;
 }
 
-int Run(const Args& args) {
+/// Builds the Session both commands share: program/CFG + EDB + evaluator
+/// threading (flag, then DLCIRC_THREADS, then 1).
+Result<Session> BuildSession(const Args& args) {
   if (args.program_file.empty() == args.cfg_file.empty()) {
-    return Fail("pass exactly one of --program or --cfg");
+    return Result<Session>::Error("pass exactly one of --program or --cfg");
   }
   if (args.facts_file.empty() == args.graph_file.empty()) {
-    return Fail("pass exactly one of --facts or --graph");
+    return Result<Session>::Error("pass exactly one of --facts or --graph");
   }
-  if (args.format != "text" && args.format != "csv" && args.format != "json") {
-    return Fail("unknown --format `" + args.format +
-                "` (expected text, csv, or json)");
-  }
-
   pipeline::SessionOptions options;
-  options.eval.num_threads = args.threads;
+  options.eval.num_threads = ResolveThreads(args);
   Result<Session> session_r = [&]() -> Result<Session> {
     std::string text, error;
     if (!args.program_file.empty()) {
@@ -430,19 +488,32 @@ int Run(const Args& args) {
     if (!cfg.ok()) return Result<Session>::Error(args.cfg_file + ": " + cfg.error());
     return Session::FromCfg(cfg.value(), options);
   }();
-  if (!session_r.ok()) return Fail(session_r.error());
+  if (!session_r.ok()) return session_r;
   Session session = std::move(session_r).value();
 
   {
     std::string text, error;
     const std::string& path =
         !args.facts_file.empty() ? args.facts_file : args.graph_file;
-    if (!ReadFile(path, &text, &error)) return Fail(error);
+    if (!ReadFile(path, &text, &error)) return Result<Session>::Error(error);
     Result<bool> loaded = !args.facts_file.empty()
                               ? session.LoadFactsText(text)
                               : session.LoadGraphCsv(text);
-    if (!loaded.ok()) return Fail(path + ": " + loaded.error());
+    if (!loaded.ok()) {
+      return Result<Session>::Error(path + ": " + loaded.error());
+    }
   }
+  return session;
+}
+
+int Run(const Args& args) {
+  if (args.format != "text" && args.format != "csv" && args.format != "json") {
+    return Fail("unknown --format `" + args.format +
+                "` (expected text, csv, or json)");
+  }
+  Result<Session> session_r = BuildSession(args);
+  if (!session_r.ok()) return Fail(session_r.error());
+  Session session = std::move(session_r).value();
 
   int code = 1;
   bool known = pipeline::DispatchSemiring(
@@ -458,6 +529,389 @@ int Run(const Args& args) {
   return code;
 }
 
+// ---------------------------------------------------------------------------
+// dlcirc serve: NDJSON request/response over stdin/stdout through the
+// src/serve broker. The main thread parses and submits; a writer thread
+// emits responses in request order (so coalescing never reorders output).
+// ---------------------------------------------------------------------------
+
+/// One request line, translated for the broker. `ready` non-empty means the
+/// line already failed (or needs no broker round-trip) and is emitted as is.
+struct OutItem {
+  std::string ready;
+  bool has_future = false;
+  std::future<serve::ServeResponse> future;
+  /// Aligned with response values. Shared, not copied: requests without an
+  /// explicit query all point at the one default name vector — copying
+  /// every target-fact name per request would dominate the reader thread
+  /// on large plans.
+  std::shared_ptr<const std::vector<std::string>> fact_names;
+  std::string id_json;                  ///< rendered "id" to echo, or empty
+  bool is_stats = false;                ///< render server stats on completion
+};
+
+std::string ServeError(const std::string& id_json, const std::string& error) {
+  std::string out = "{";
+  if (!id_json.empty()) out += "\"id\": " + id_json + ", ";
+  out += "\"ok\": false, \"error\": \"" + serve::JsonEscape(error) + "\"}";
+  return out;
+}
+
+std::string RenderStats(const std::string& id_json, const serve::Server& server,
+                        const serve::PlanStore& store) {
+  serve::ServerStats s = server.stats();
+  serve::PlanStoreStats p = store.stats();
+  std::ostringstream out;
+  out << "{";
+  if (!id_json.empty()) out << "\"id\": " << id_json << ", ";
+  out << "\"ok\": true, \"stats\": {\"requests\": " << s.requests
+      << ", \"evals\": " << s.evals << ", \"lane_reads\": " << s.lane_reads
+      << ", \"lane_makes\": " << s.lane_makes << ", \"updates\": " << s.updates
+      << ", \"update_fallbacks\": " << s.update_fallbacks
+      << ", \"batches\": " << s.batches
+      << ", \"batched_lanes\": " << s.batched_lanes
+      << ", \"max_batch\": " << s.max_batch << ", \"errors\": " << s.errors
+      << ", \"plan_hits\": " << p.hits << ", \"plan_compiles\": " << p.compiles
+      << ", \"snapshot_loads\": " << p.snapshot_loads
+      << ", \"snapshot_saves\": " << p.snapshot_saves << "}}";
+  return out.str();
+}
+
+std::string RenderResponse(const OutItem& item,
+                           const serve::ServeResponse& response) {
+  if (!response.ok) return ServeError(item.id_json, response.error);
+  std::string out = "{";
+  if (!item.id_json.empty()) out += "\"id\": " + item.id_json + ", ";
+  out += "\"ok\": true";
+  if (response.epoch > 0) {
+    out += ", \"epoch\": " + std::to_string(response.epoch);
+  }
+  if (!response.values.empty()) {
+    out += ", \"results\": [";
+    for (size_t i = 0; i < response.values.size(); ++i) {
+      if (i) out += ", ";
+      out += "{\"fact\": \"" + serve::JsonEscape((*item.fact_names)[i]) +
+             "\", \"value\": \"" + serve::JsonEscape(response.values[i]) +
+             "\"}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+/// "x3" / "3" / JSON number 3 -> EDB provenance variable.
+bool ParseVarToken(const serve::JsonValue& v, uint32_t num_facts,
+                   uint32_t* out) {
+  std::string text = v.text;
+  if (v.IsString() && !text.empty() && text[0] == 'x') text = text.substr(1);
+  if (!v.IsString() && !v.IsNumber()) return false;
+  try {
+    size_t used = 0;
+    unsigned long parsed = std::stoul(text, &used);
+    if (text.empty() || used != text.size() || parsed >= num_facts) {
+      return false;
+    }
+    *out = static_cast<uint32_t>(parsed);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+int Serve(const Args& args) {
+  Result<Session> session_r = BuildSession(args);
+  if (!session_r.ok()) return Fail(session_r.error());
+  Session session = std::move(session_r).value();
+  const uint32_t num_facts = session.db().num_facts();
+
+  Result<pipeline::Construction> default_construction =
+      pipeline::ParseConstruction(args.construction);
+  if (!default_construction.ok()) return Fail(default_construction.error());
+  if (!pipeline::DispatchSemiring(args.semiring, []<Semiring S>() {})) {
+    return Fail("unknown --semiring `" + args.semiring + "`");
+  }
+
+  serve::PlanStore store(args.snapshot_dir);
+
+  // Warm the default channel's plan before accepting traffic, so the first
+  // request pays serving cost, not compile cost. Other (semiring,
+  // construction) channels compile on first use.
+  {
+    bool ok = true;
+    std::string error;
+    pipeline::DispatchSemiring(args.semiring, [&]<Semiring S>() {
+      auto compiled = store.GetOrCompile(
+          session, pipeline::PlanKey::For<S>(default_construction.value()));
+      if (!compiled.ok()) {
+        ok = false;
+        error = compiled.error();
+      } else if (!args.quiet) {
+        const pipeline::CompiledPlan& plan = *compiled.value();
+        serve::PlanStoreStats ps = store.stats();
+        std::cerr << "dlcirc serve: " << S::Name() << "/"
+                  << pipeline::ConstructionName(plan.key.construction)
+                  << " plan ready ("
+                  << (ps.snapshot_loads > 0 ? "snapshot warm start"
+                                            : "cold compile")
+                  << "; " << plan.plan.num_slots() << " slots in "
+                  << plan.plan.num_layers() << " layers)\n";
+      }
+    });
+    if (!ok) return Fail(error);
+  }
+
+  // Default report set: every target-predicate fact, like `dlcirc run`.
+  // (The fact-id vector is still copied per request — a flat memcpy dwarfed
+  // by evaluating and formatting those same facts' values.)
+  std::vector<uint32_t> default_facts = session.TargetFacts();
+  auto default_fact_names = [&] {
+    std::vector<std::string> names;
+    names.reserve(default_facts.size());
+    for (uint32_t f : default_facts) names.push_back(session.FactName(f));
+    return std::make_shared<const std::vector<std::string>>(std::move(names));
+  }();
+
+  serve::ServerOptions server_options;
+  server_options.queue_capacity = static_cast<size_t>(args.queue_capacity);
+  server_options.max_coalesce = static_cast<size_t>(args.max_batch);
+  server_options.num_dispatchers = args.dispatchers;
+  server_options.eval.num_threads = ResolveThreads(args);
+  serve::Server server(session, store, server_options);
+
+  std::ifstream requests_file;
+  if (!args.requests_file.empty()) {
+    requests_file.open(args.requests_file);
+    if (!requests_file) return Fail("cannot open " + args.requests_file);
+  }
+  std::istream& in = args.requests_file.empty() ? std::cin : requests_file;
+
+  // Ordered, bounded response pipeline: the writer blocks on each future in
+  // turn, so responses come out in request order however the broker
+  // coalesces; the bound keeps a fast producer from buffering unboundedly.
+  std::mutex out_mu;
+  std::condition_variable out_nonempty, out_space;
+  std::deque<OutItem> out_queue;
+  bool out_done = false;
+  const size_t kMaxPendingResponses = 4096;
+
+  std::thread writer([&] {
+    while (true) {
+      OutItem item;
+      {
+        std::unique_lock<std::mutex> lock(out_mu);
+        out_nonempty.wait(lock, [&] { return out_done || !out_queue.empty(); });
+        if (out_queue.empty()) return;
+        item = std::move(out_queue.front());
+        out_queue.pop_front();
+      }
+      out_space.notify_one();
+      std::string line;
+      if (item.has_future) {
+        serve::ServeResponse response = item.future.get();
+        line = item.is_stats && response.ok ? RenderStats(item.id_json, server, store)
+                                            : RenderResponse(item, response);
+      } else {
+        line = std::move(item.ready);
+      }
+      std::cout << line << "\n" << std::flush;
+    }
+  });
+
+  auto emit = [&](OutItem item) {
+    {
+      std::unique_lock<std::mutex> lock(out_mu);
+      out_space.wait(lock,
+                     [&] { return out_queue.size() < kMaxPendingResponses; });
+      out_queue.push_back(std::move(item));
+    }
+    out_nonempty.notify_one();
+  };
+
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    OutItem item;
+    auto fail_line = [&](const std::string& what) {
+      item.ready = ServeError(item.id_json,
+                              "line " + std::to_string(line_number) + ": " + what);
+      item.has_future = false;
+      emit(std::move(item));
+    };
+
+    Result<serve::JsonValue> parsed = serve::ParseJson(line);
+    if (!parsed.ok()) {
+      fail_line(parsed.error());
+      continue;
+    }
+    const serve::JsonValue& json = parsed.value();
+    if (!json.IsObject()) {
+      fail_line("request must be a JSON object");
+      continue;
+    }
+    if (const serve::JsonValue* id = json.Find("id")) {
+      if (id->IsNumber()) {
+        item.id_json = id->text;
+      } else if (id->IsString()) {
+        item.id_json = "\"" + serve::JsonEscape(id->text) + "\"";
+      }
+    }
+
+    const serve::JsonValue* op = json.Find("op");
+    if (op == nullptr || !op->IsString()) {
+      fail_line("missing \"op\"");
+      continue;
+    }
+
+    serve::ServeRequest request;
+    request.semiring = args.semiring;
+    request.construction = default_construction.value();
+    if (const serve::JsonValue* s = json.Find("semiring")) {
+      if (!s->IsString()) {
+        fail_line("\"semiring\" must be a string");
+        continue;
+      }
+      request.semiring = s->text;
+    }
+    bool bad = false;
+    if (const serve::JsonValue* c = json.Find("construction")) {
+      if (!c->IsString()) {
+        fail_line("\"construction\" must be a string");
+        continue;
+      }
+      Result<pipeline::Construction> parsed_c =
+          pipeline::ParseConstruction(c->text);
+      if (!parsed_c.ok()) {
+        fail_line(parsed_c.error());
+        continue;
+      }
+      request.construction = parsed_c.value();
+    }
+    if (const serve::JsonValue* lane = json.Find("lane")) {
+      if (!lane->IsString()) {
+        fail_line("\"lane\" must be a string");
+        continue;
+      }
+      request.lane = lane->text;
+    }
+    if (const serve::JsonValue* tags = json.Find("tags")) {
+      if (!tags->IsArray()) {
+        fail_line("\"tags\" must be an array");
+        continue;
+      }
+      request.tags.reserve(tags->items.size());
+      for (const serve::JsonValue& t : tags->items) {
+        if (!t.IsString() && !t.IsNumber()) {
+          fail_line("\"tags\" entries must be strings or numbers");
+          bad = true;
+          break;
+        }
+        request.tags.push_back(t.text);
+      }
+      if (bad) continue;
+    }
+    if (const serve::JsonValue* set = json.Find("set")) {
+      if (!set->IsArray()) {
+        fail_line("\"set\" must be an array of [var, value] pairs");
+        continue;
+      }
+      for (const serve::JsonValue& pair : set->items) {
+        uint32_t var = 0;
+        if (!pair.IsArray() || pair.items.size() != 2 ||
+            !ParseVarToken(pair.items[0], num_facts, &var) ||
+            (!pair.items[1].IsString() && !pair.items[1].IsNumber())) {
+          fail_line("bad \"set\" entry (expected [var, value]; EDB has " +
+                    std::to_string(num_facts) + " facts)");
+          bad = true;
+          break;
+        }
+        request.delta.emplace_back(var, pair.items[1].text);
+      }
+      if (bad) continue;
+    }
+
+    const std::string& op_name = op->text;
+    if (op_name == "eval") {
+      request.kind = serve::ServeRequest::Kind::kEval;
+    } else if (op_name == "lane") {
+      request.kind = serve::ServeRequest::Kind::kMakeLane;
+    } else if (op_name == "update") {
+      request.kind = serve::ServeRequest::Kind::kUpdate;
+    } else if (op_name == "drop") {
+      request.kind = serve::ServeRequest::Kind::kDropLane;
+    } else if (op_name == "ping" || op_name == "stats") {
+      request.kind = serve::ServeRequest::Kind::kPing;
+      item.is_stats = op_name == "stats";
+    } else {
+      fail_line("unknown op `" + op_name + "`");
+      continue;
+    }
+
+    // Facts to report: explicit queries or the target predicate's facts.
+    // Resolution happens here (single reader thread; read-only after the
+    // constructor's warm-up), so the broker deals only in fact ids.
+    bool wants_values = request.kind == serve::ServeRequest::Kind::kEval ||
+                        request.kind == serve::ServeRequest::Kind::kMakeLane ||
+                        request.kind == serve::ServeRequest::Kind::kUpdate;
+    if (wants_values) {
+      if (const serve::JsonValue* query = json.Find("query")) {
+        if (!query->IsArray()) {
+          fail_line("\"query\" must be an array of fact strings");
+          continue;
+        }
+        std::vector<std::string> query_names;
+        for (const serve::JsonValue& q : query->items) {
+          std::string pred;
+          std::vector<std::string> constants;
+          if (!q.IsString() || !ParseQuery(q.text, &pred, &constants)) {
+            fail_line("bad query (expected \"Pred(c1,...,ck)\")");
+            bad = true;
+            break;
+          }
+          Result<uint32_t> fact = session.FindFact(pred, constants);
+          if (!fact.ok()) {
+            fail_line("query `" + q.text + "`: " + fact.error());
+            bad = true;
+            break;
+          }
+          request.facts.push_back(fact.value());
+          query_names.push_back(q.text);
+        }
+        if (bad) continue;
+        item.fact_names = std::make_shared<const std::vector<std::string>>(
+            std::move(query_names));
+      } else {
+        request.facts = default_facts;
+        item.fact_names = default_fact_names;
+      }
+    }
+
+    item.has_future = true;
+    item.future = server.Submit(std::move(request));
+    emit(std::move(item));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out_done = true;
+  }
+  out_nonempty.notify_all();
+  writer.join();
+  server.Stop();
+
+  if (!args.quiet) {
+    serve::ServerStats s = server.stats();
+    std::cerr << "dlcirc serve: " << s.requests << " request(s), " << s.evals
+              << " batched eval(s) in " << s.batches << " sweep(s) (widest "
+              << s.max_batch << "), " << s.updates << " update(s), "
+              << s.errors << " error(s)\n";
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage(std::cerr, 1);
   std::string command = argv[1];
@@ -468,11 +922,20 @@ int Main(int argc, char** argv) {
     for (const std::string& n : pipeline::SemiringNames()) std::cout << n << "\n";
     return 0;
   }
-  if (command != "run") {
+  if (command != "run" && command != "serve") {
     return Fail("unknown command `" + command + "` (try `dlcirc help`)");
   }
 
   Args args;
+  auto positive_int = [](const std::string& text, int* out) {
+    try {
+      size_t used = 0;
+      *out = std::stoi(text, &used);
+      return used == text.size() && *out >= 1;
+    } catch (...) {
+      return false;
+    }
+  };
   auto value = [&](int& i, const char* flag) -> Result<std::string> {
     if (i + 1 >= argc) {
       return Result<std::string>::Error(std::string(flag) + " needs a value");
@@ -514,12 +977,32 @@ int Main(int argc, char** argv) {
       args.queries.push_back(v.value());
     } else if (flag == "--threads") {
       if (!(v = value(i, "--threads")).ok()) return Fail(v.error());
-      try {
-        size_t used = 0;
-        args.threads = std::stoi(v.value(), &used);
-        if (used != v.value().size() || args.threads < 1) throw 0;
-      } catch (...) {
+      if (!positive_int(v.value(), &args.threads)) {
         return Fail("--threads expects a positive integer, got `" + v.value() +
+                    "`");
+      }
+    } else if (flag == "--snapshot-dir") {
+      if (!(v = value(i, "--snapshot-dir")).ok()) return Fail(v.error());
+      args.snapshot_dir = v.value();
+    } else if (flag == "--requests") {
+      if (!(v = value(i, "--requests")).ok()) return Fail(v.error());
+      args.requests_file = v.value();
+    } else if (flag == "--dispatchers") {
+      if (!(v = value(i, "--dispatchers")).ok()) return Fail(v.error());
+      if (!positive_int(v.value(), &args.dispatchers)) {
+        return Fail("--dispatchers expects a positive integer, got `" +
+                    v.value() + "`");
+      }
+    } else if (flag == "--max-batch") {
+      if (!(v = value(i, "--max-batch")).ok()) return Fail(v.error());
+      if (!positive_int(v.value(), &args.max_batch)) {
+        return Fail("--max-batch expects a positive integer, got `" +
+                    v.value() + "`");
+      }
+    } else if (flag == "--queue") {
+      if (!(v = value(i, "--queue")).ok()) return Fail(v.error());
+      if (!positive_int(v.value(), &args.queue_capacity)) {
+        return Fail("--queue expects a positive integer, got `" + v.value() +
                     "`");
       }
     } else if (flag == "--show-facts") {
@@ -531,7 +1014,7 @@ int Main(int argc, char** argv) {
       return Usage(std::cerr, 1);
     }
   }
-  return Run(args);
+  return command == "serve" ? Serve(args) : Run(args);
 }
 
 }  // namespace

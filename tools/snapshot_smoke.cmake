@@ -1,0 +1,43 @@
+# Snapshot round-trip smoke (registered as ctest `cli_smoke_snapshot`):
+# run the same `dlcirc run` twice against one --snapshot-dir — the first run
+# compiles and persists the plan, the second must warm-start off the
+# snapshot — and require byte-identical results. Driven by `cmake -P` so the
+# two-invocations-plus-diff sequence works without a shell.
+#
+# Inputs: -DDLCIRC_CLI=<binary> -DDLCIRC_DATA=<examples/data> -DWORK_DIR=<scratch>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(RUN_ARGS run --program ${DLCIRC_DATA}/tc.dl --facts ${DLCIRC_DATA}/fig1.facts
+    --semiring tropical --batch ${DLCIRC_DATA}/fig1.tags.csv
+    --query "T(s,t)" --query "T(s,v2)" --snapshot-dir ${WORK_DIR} --quiet)
+
+execute_process(COMMAND ${DLCIRC_CLI} ${RUN_ARGS}
+  OUTPUT_FILE ${WORK_DIR}/cold.out RESULT_VARIABLE COLD_RC)
+if(NOT COLD_RC EQUAL 0)
+  message(FATAL_ERROR "cold run failed with ${COLD_RC}")
+endif()
+
+file(GLOB SNAPSHOTS ${WORK_DIR}/plan-*.dlcp)
+if(SNAPSHOTS STREQUAL "")
+  message(FATAL_ERROR "cold run left no plan snapshot in ${WORK_DIR}")
+endif()
+
+execute_process(COMMAND ${DLCIRC_CLI} ${RUN_ARGS}
+  OUTPUT_FILE ${WORK_DIR}/warm.out RESULT_VARIABLE WARM_RC)
+if(NOT WARM_RC EQUAL 0)
+  message(FATAL_ERROR "warm run failed with ${WARM_RC}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/cold.out ${WORK_DIR}/warm.out RESULT_VARIABLE DIFF_RC)
+if(NOT DIFF_RC EQUAL 0)
+  message(FATAL_ERROR "cold and warm outputs differ")
+endif()
+
+file(READ ${WORK_DIR}/cold.out COLD_OUT)
+if(NOT COLD_OUT MATCHES "T\\(s,t\\) = 10 3 14")
+  message(FATAL_ERROR "unexpected results: ${COLD_OUT}")
+endif()
+message(STATUS "snapshot round trip OK: identical cold/warm outputs")
