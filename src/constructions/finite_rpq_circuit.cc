@@ -4,34 +4,33 @@
 
 namespace dlcirc {
 
-Result<Circuit> FiniteRpqCircuit(const LabeledGraph& graph,
-                                 const std::vector<uint32_t>& edge_vars,
-                                 uint32_t num_vars, const Dfa& dfa, uint32_t s,
-                                 uint32_t t) {
+std::vector<std::vector<GateId>> FiniteRpqReachTerms(
+    CircuitBuilder& b, const LabeledGraph& graph,
+    const std::vector<std::vector<uint32_t>>& in_edges,
+    const std::vector<uint32_t>& edge_vars, const Dfa& dfa, uint32_t s) {
   DLCIRC_CHECK_EQ(edge_vars.size(), graph.num_edges());
+  DLCIRC_CHECK_EQ(in_edges.size(), graph.num_vertices());
   DLCIRC_CHECK_GE(dfa.num_labels(), graph.num_labels());
-  if (!dfa.IsFiniteLanguage()) {
-    return Result<Circuit>::Error("FiniteRpqCircuit requires a finite language");
-  }
-  uint32_t k_max = dfa.LongestAcceptedWordLength();
+  uint32_t k_max = dfa.LongestAcceptedWordLength();  // CHECKs finiteness
   uint32_t nq = dfa.num_states();
   uint32_t nv = graph.num_vertices();
-  CircuitBuilder b(num_vars);  // any-semiring: no absorptive rewrites
 
-  auto in = graph.InEdgeIndex();
   auto slot = [&](uint32_t q, uint32_t v) { return q * nv + v; };
   std::vector<GateId> cur(nq * nv, b.Zero());
   cur[slot(dfa.start(), s)] = b.One();
 
-  std::vector<GateId> accept_terms;
+  std::vector<std::vector<GateId>> accept_terms(nv);
   auto harvest = [&]() {
     for (uint32_t q = 0; q < nq; ++q) {
-      if (dfa.accept(q) && cur[slot(q, t)] != b.Zero()) {
-        accept_terms.push_back(cur[slot(q, t)]);
+      if (!dfa.accept(q)) continue;
+      for (uint32_t v = 0; v < nv; ++v) {
+        if (cur[slot(q, v)] != b.Zero()) {
+          accept_terms[v].push_back(cur[slot(q, v)]);
+        }
       }
     }
   };
-  harvest();  // length-0 match (empty word) when s == t and q0 accepting
+  harvest();  // length-0 match (empty word) when q0 is accepting
   std::vector<GateId> terms;
   for (uint32_t step = 1; step <= k_max; ++step) {
     std::vector<GateId> next(nq * nv, b.Zero());
@@ -39,7 +38,7 @@ Result<Circuit> FiniteRpqCircuit(const LabeledGraph& graph,
       for (uint32_t q = 0; q < nq; ++q) {
         terms.clear();
         // val(q, v) from edges (u, v) with some q' -label-> q.
-        for (uint32_t ei : in[v]) {
+        for (uint32_t ei : in_edges[v]) {
           const LabeledEdge& e = graph.edge(ei);
           for (uint32_t qp = 0; qp < nq; ++qp) {
             if (dfa.Next(qp, e.label) != static_cast<int32_t>(q)) continue;
@@ -53,7 +52,21 @@ Result<Circuit> FiniteRpqCircuit(const LabeledGraph& graph,
     cur = std::move(next);
     harvest();
   }
-  return b.Build({b.PlusN(accept_terms)});
+  return accept_terms;
+}
+
+Result<Circuit> FiniteRpqCircuit(const LabeledGraph& graph,
+                                 const std::vector<uint32_t>& edge_vars,
+                                 uint32_t num_vars, const Dfa& dfa, uint32_t s,
+                                 uint32_t t) {
+  DLCIRC_CHECK_EQ(edge_vars.size(), graph.num_edges());
+  if (!dfa.IsFiniteLanguage()) {
+    return Result<Circuit>::Error("FiniteRpqCircuit requires a finite language");
+  }
+  CircuitBuilder b(num_vars);  // any-semiring: no absorptive rewrites
+  std::vector<std::vector<GateId>> terms =
+      FiniteRpqReachTerms(b, graph, graph.InEdgeIndex(), edge_vars, dfa, s);
+  return b.Build({b.PlusN(terms[t])});
 }
 
 }  // namespace dlcirc

@@ -32,6 +32,23 @@ Result<Circuit> FiniteRpqCircuit(const LabeledGraph& graph,
                                  uint32_t num_vars, const Dfa& dfa, uint32_t s,
                                  uint32_t t);
 
+/// The core of the Theorem 5.8 unrolling, exposed for multi-output
+/// constructions (the pipeline's dichotomy planner builds one circuit
+/// covering every IDB fact): unrolls the graph x DFA product from source
+/// vertex `s` into `b`, and returns for every vertex t the list of terms
+/// whose (+)-sum computes
+///   sum over accepted words w and w-labeled paths s -> t
+///     of the product of the path's edge variables
+/// (each matched path contributes exactly once — the DFA run is unique).
+/// Callers PlusN only the vertices they report, so unqueried vertices cost
+/// no gates. `in_edges` is graph.InEdgeIndex(), hoisted so one index serves
+/// many source unrollings. Requires L(dfa) finite (CHECK) and
+/// dfa.num_labels() >= graph labels.
+std::vector<std::vector<GateId>> FiniteRpqReachTerms(
+    CircuitBuilder& b, const LabeledGraph& graph,
+    const std::vector<std::vector<uint32_t>>& in_edges,
+    const std::vector<uint32_t>& edge_vars, const Dfa& dfa, uint32_t s);
+
 }  // namespace dlcirc
 
 #endif  // DLCIRC_CONSTRUCTIONS_FINITE_RPQ_CIRCUIT_H_

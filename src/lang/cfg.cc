@@ -250,6 +250,47 @@ std::vector<uint32_t> Cfg::ShortestYieldLengths() const {
   return out;
 }
 
+std::optional<uint32_t> Cfg::LongestWordLength() const {
+  if (IsEmptyLanguage() || !IsFiniteLanguage()) return std::nullopt;
+  Cfg g = EliminateUnitProductions();
+  std::vector<bool> useful = g.UsefulNonterminals();
+  std::vector<bool> productive = g.ProductiveNonterminals();
+  size_t n = g.nonterminals_.size();
+  // Finite language => the useful nonterminals of the unit-free grammar form
+  // a DAG (IsFiniteLanguage's criterion), so the max-yield DP reaches its
+  // fixpoint within n rounds. Productions with a non-productive rhs symbol
+  // derive nothing and are skipped.
+  std::vector<uint64_t> longest(n, 0);
+  std::vector<bool> has(n, false);
+  for (size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const Production& p : g.productions_) {
+      if (!useful[p.lhs]) continue;
+      uint64_t total = 0;
+      bool ready = true;
+      for (const GSymbol& s : p.rhs) {
+        if (s.is_terminal) {
+          total = SatAdd(total, 1);
+        } else if (!productive[s.id] || !has[s.id]) {
+          ready = false;
+          break;
+        } else {
+          total = SatAdd(total, longest[s.id]);
+        }
+      }
+      if (!ready) continue;
+      if (!has[p.lhs] || total > longest[p.lhs]) {
+        has[p.lhs] = true;
+        longest[p.lhs] = total;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (!has[start_]) return std::nullopt;
+  return static_cast<uint32_t>(std::min<uint64_t>(longest[start_], kNoWord - 1));
+}
+
 std::optional<std::vector<uint32_t>> Cfg::ShortestYield(uint32_t nt) const {
   std::vector<uint32_t> lens = ShortestYieldLengths();
   if (lens[nt] == kNoWord) return std::nullopt;

@@ -77,6 +77,11 @@ class Cfg {
   static constexpr uint32_t kNoWord = 0xffffffffu;
   std::vector<uint32_t> ShortestYieldLengths() const;
 
+  /// Length of a longest word in L, for the finite side of the dichotomy
+  /// (Theorem 5.8's unrolling bound). Empty optional when L is empty or
+  /// infinite.
+  std::optional<uint32_t> LongestWordLength() const;
+
   /// A shortest terminal word derivable from `nt`; empty optional when none.
   std::optional<std::vector<uint32_t>> ShortestYield(uint32_t nt) const;
 

@@ -109,6 +109,10 @@ Result<ChainNfa> LeftLinearChainToNfa(const Program& program) {
   for (size_t p = 0; p < program.num_preds(); ++p) {
     if (a.idb_mask[p]) idb_state[p] = num_idbs++;
   }
+  out.pred_state.assign(program.num_preds(), ChainNfa::kNoState);
+  for (size_t p = 0; p < program.num_preds(); ++p) {
+    if (a.idb_mask[p]) out.pred_state[p] = idb_state[p];
+  }
   out.nfa.num_states = num_idbs + 1;
   out.nfa.start = num_idbs;  // q0
   out.nfa.num_labels = static_cast<uint32_t>(out.label_preds.size());

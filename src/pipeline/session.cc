@@ -19,6 +19,8 @@ std::string_view ConstructionName(Construction c) {
       return "grounded";
     case Construction::kUvg:
       return "uvg";
+    case Construction::kFiniteRpq:
+      return "finite-rpq";
   }
   return "?";
 }
@@ -26,8 +28,10 @@ std::string_view ConstructionName(Construction c) {
 Result<Construction> ParseConstruction(std::string_view name) {
   if (name == "grounded") return Construction::kGrounded;
   if (name == "uvg") return Construction::kUvg;
-  return Result<Construction>::Error("unknown construction `" + std::string(name) +
-                                     "` (expected grounded or uvg)");
+  if (name == "finite-rpq") return Construction::kFiniteRpq;
+  return Result<Construction>::Error(
+      "unknown construction `" + std::string(name) +
+      "` (expected grounded, uvg, or finite-rpq)");
 }
 
 Session::Session(Program program, SessionOptions options)
@@ -81,6 +85,18 @@ const GroundedProgram& Session::grounded() {
   return *grounded_;
 }
 
+const Result<ChainRoute>& Session::chain_route() {
+  if (!chain_route_.has_value()) chain_route_ = PlanChainRoute(program_);
+  return *chain_route_;
+}
+
+Result<Construction> Session::RouteChainConstruction(bool plus_idempotent) {
+  const Result<ChainRoute>& route = chain_route();
+  if (!route.ok()) return Result<Construction>::Error(route.error());
+  return route.value().finite && plus_idempotent ? Construction::kFiniteRpq
+                                                 : Construction::kGrounded;
+}
+
 Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key) {
   using Out = Result<std::shared_ptr<const CompiledPlan>>;
   if (!db_.has_value()) return Out::Error("no EDB loaded");
@@ -93,6 +109,13 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
     return Out::Error(
         "the UVG construction (Theorem 6.2) is only sound over absorptive "
         "semirings; use the grounded construction instead");
+  }
+  if (key.construction == Construction::kFiniteRpq && !key.plus_idempotent) {
+    return Out::Error(
+        "the finite-RPQ construction (Theorem 5.8) sums once per word while "
+        "the program sums once per derivation; only plus-idempotent "
+        "semirings collapse the difference — use the grounded construction "
+        "instead");
   }
 
   auto compiled = std::make_shared<CompiledPlan>();
@@ -115,6 +138,25 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
       built = std::move(r.circuit);
       compiled->layers_used = r.stages_used;
       compiled->reached_fixpoint = true;  // UVG always covers all proofs
+      break;
+    }
+    case Construction::kFiniteRpq: {
+      const Result<ChainRoute>& route = chain_route();
+      if (!route.ok()) return Out::Error(route.error());
+      if (!route.value().finite) {
+        return Out::Error(
+            "the finite-RPQ construction does not apply: " +
+            route.value().reason);
+      }
+      Result<Circuit> built_r =
+          BuildFiniteChainCircuit(route.value(), program_, db(), grounded());
+      if (!built_r.ok()) return Out::Error(built_r.error());
+      built = std::move(built_r).value();
+      // The unrolling bound plays the role the ICO layer count plays for
+      // the grounded construction, and the construction covers every
+      // matched path by definition.
+      compiled->layers_used = route.value().longest_word;
+      compiled->reached_fixpoint = true;
       break;
     }
   }

@@ -39,6 +39,7 @@
 #include "src/eval/evaluator.h"
 #include "src/eval/passes.h"
 #include "src/lang/cfg.h"
+#include "src/pipeline/chain_planner.h"
 #include "src/util/hash.h"
 #include "src/util/result.h"
 
@@ -48,8 +49,12 @@ namespace pipeline {
 /// Circuit constructions the Session can pick from src/constructions.
 /// kGrounded (Theorem 3.1) works for every program; kUvg (Theorem 6.2) is
 /// shallower (depth O(log^2 m)) for programs with polynomial fringes and
-/// requires an absorptive semiring.
-enum class Construction : uint8_t { kGrounded, kUvg };
+/// requires an absorptive semiring; kFiniteRpq (Theorem 5.8) is the finite
+/// side of the Section 5 dichotomy — depth O(log n) for chain programs
+/// whose languages are finite, requires a plus-idempotent semiring and a
+/// binary-edge (labeled-graph) EDB. RouteChainConstruction picks between
+/// kFiniteRpq and kGrounded automatically (src/pipeline/chain_planner.h).
+enum class Construction : uint8_t { kGrounded, kUvg, kFiniteRpq };
 
 std::string_view ConstructionName(Construction c);
 Result<Construction> ParseConstruction(std::string_view name);
@@ -152,6 +157,19 @@ class Session {
 
   /// The grounded program (computed lazily, once). Requires a loaded EDB.
   const GroundedProgram& grounded();
+
+  /// The Section 5 dichotomy analysis for this session's program (which
+  /// must be basic chain Datalog), computed lazily once and cached: per-
+  /// predicate language finiteness plus, on the finite side, the DFAs the
+  /// kFiniteRpq construction compiles from. EDB-independent.
+  const Result<ChainRoute>& chain_route();
+
+  /// Resolves the dichotomy to a construction: kFiniteRpq when every chain
+  /// language is finite AND the serving semiring is plus-idempotent (the
+  /// finite construction sums per word, the grounded one per derivation;
+  /// idempotent plus collapses the difference), else kGrounded. Fails when
+  /// the program is not basic chain.
+  Result<Construction> RouteChainConstruction(bool plus_idempotent);
 
   /// Compiles (or returns the cached) plan for `key`. Fails when the key is
   /// inconsistent (UVG without absorptive flags). Requires a loaded EDB.
@@ -326,6 +344,7 @@ class Session {
   std::optional<Database> db_;
   std::vector<uint32_t> edge_vars_;
   std::optional<GroundedProgram> grounded_;
+  std::optional<Result<ChainRoute>> chain_route_;
   std::unordered_map<PlanKey, std::shared_ptr<const CompiledPlan>, PlanKeyHash>
       plan_cache_;
   std::unique_ptr<eval::Evaluator> evaluator_;

@@ -84,12 +84,28 @@ class Parser {
     }
   }
 
+  /// Depth guard for Object/Array: the grammar recurses through Value, so
+  /// container depth bounds stack depth. Callers must pair a successful
+  /// Descend with --depth_ on their success paths (error paths abort the
+  /// whole parse, where a stale counter is unobservable).
+  bool Descend() {
+    if (depth_ >= kMaxJsonDepth) {
+      error_ = "nesting deeper than " + std::to_string(kMaxJsonDepth) +
+               " containers";
+      return false;
+    }
+    ++depth_;
+    return true;
+  }
+
   bool Object(JsonValue* out) {
+    if (!Descend()) return false;
     out->kind = JsonValue::Kind::kObject;
     ++pos_;  // '{'
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -119,6 +135,7 @@ class Parser {
       }
       if (text_[pos_] == '}') {
         ++pos_;
+        --depth_;
         return true;
       }
       error_ = "expected ',' or '}' in object";
@@ -127,11 +144,13 @@ class Parser {
   }
 
   bool Array(JsonValue* out) {
+    if (!Descend()) return false;
     out->kind = JsonValue::Kind::kArray;
     ++pos_;  // '['
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -149,6 +168,7 @@ class Parser {
       }
       if (text_[pos_] == ']') {
         ++pos_;
+        --depth_;
         return true;
       }
       error_ = "expected ',' or ']' in array";
@@ -186,24 +206,37 @@ class Parser {
     return false;
   }
 
+  size_t Digits() {
+    size_t n = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++n;
+    }
+    return n;
+  }
+
+  // RFC 8259: -? ( 0 | [1-9][0-9]* ) frac? exp?. The lexeme is forwarded
+  // verbatim to semiring value parsers, so anything the RFC rejects must be
+  // a parse error here, not a best-effort prefix.
   bool Number(JsonValue* out) {
     size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    size_t digits = pos_;
-    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
-                                      text_[pos_]))) {
-      ++pos_;
-    }
-    if (pos_ == digits) {
+    size_t int_start = pos_;
+    if (Digits() == 0) {
       error_ = "expected a value";
       pos_ = start;
       return false;
     }
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      error_ = "leading zeros are not allowed in numbers";
+      return false;
+    }
     if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
+      if (Digits() == 0) {
+        error_ = "expected digits after '.' in number";
+        return false;
       }
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
@@ -211,9 +244,9 @@ class Parser {
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
         ++pos_;
       }
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
+      if (Digits() == 0) {
+        error_ = "expected digits in number exponent";
+        return false;
       }
     }
     out->kind = JsonValue::Kind::kNumber;
@@ -223,6 +256,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_ = "invalid JSON";
 };
 

@@ -6,6 +6,21 @@
 // ParseSemiringValue, so "0.5" must survive verbatim rather than round-trip
 // through a double. Unicode escapes (\uXXXX) are not supported; the
 // protocol is ASCII (semiring values, fact names, lane ids).
+//
+// The parser is hardened against adversarial input, since `dlcirc serve`
+// feeds it raw network-ish bytes:
+//   * Nesting is capped at kMaxJsonDepth (64) containers. The grammar is
+//     recursive (Value -> Object/Array -> Value), so without the cap a
+//     request line of `[[[[...` recurses once per byte and overflows the
+//     stack; at the cap the parser returns a normal parse error and the
+//     serve loop answers it like any malformed line. The protocol itself
+//     needs depth 3 (request object -> "set" array -> pair array).
+//   * Numbers are validated against the exact RFC 8259 grammar:
+//       -? ( 0 | [1-9][0-9]* ) ( "." [0-9]+ )? ( [eE] [+-]? [0-9]+ )?
+//     A bare `-`, a `.` or exponent with no following digits (`1.`, `1e`,
+//     `1e+`) and leading zeros (`01`, `-01.5`) are parse errors, not
+//     accepted lexemes — the lexeme travels verbatim into semiring value
+//     parsers, which must never see a non-JSON number.
 #ifndef DLCIRC_SERVE_WIRE_H_
 #define DLCIRC_SERVE_WIRE_H_
 
@@ -18,6 +33,10 @@
 
 namespace dlcirc {
 namespace serve {
+
+/// Maximum container (object/array) nesting ParseJson accepts; deeper input
+/// is a parse error (see file comment).
+inline constexpr int kMaxJsonDepth = 64;
 
 /// One parsed JSON value. Strings hold their decoded text; numbers hold
 /// their source lexeme (see file comment); kTrue/kFalse/kNull carry nothing.

@@ -1,0 +1,376 @@
+// The Section 5 dichotomy planner end to end (src/pipeline/chain_planner):
+// finite chain languages route to the finite-RPQ construction (Theorem
+// 5.8), infinite ones to the grounded construction (Theorems 5.6/5.7), and
+// the routed circuits are differential-tested two ways —
+//   * against the src/cflr/ Knuth oracle on the selective semirings it is
+//     sound for (Boolean / Tropical / Viterbi / Fuzzy), over every vertex
+//     pair of random labeled graphs, and
+//   * against the grounded construction itself on every grounded IDB fact
+//     (both run through the same Session, so this also pins the routed
+//     plan to the normal EvalPlan serving contract).
+// Plus: plan-cache keying, PlanStore snapshot round trips for chain plans,
+// and the idempotence gate (counting rejects finite-rpq).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cflr/cflr.h"
+#include "src/graph/generators.h"
+#include "src/lang/cfg.h"
+#include "src/lang/chain_datalog.h"
+#include "src/pipeline/chain_planner.h"
+#include "src/semiring/instances.h"
+#include "src/pipeline/session.h"
+#include "src/serve/plan_store.h"
+#include "src/util/rng.h"
+
+namespace dlcirc {
+namespace pipeline {
+namespace {
+
+// Grammar corpus, ParseCfgText syntax. First LHS is the start symbol.
+constexpr char kFiniteLeftLinear[] = "S -> T b | a\nT -> U c | c\nU -> a | b";
+constexpr char kFiniteGeneral[] = "S -> A b A\nA -> a | c";
+constexpr char kFiniteUnit[] = "S -> A\nA -> a b | a c b";  // unit production
+constexpr char kInfiniteLeftLinear[] = "T -> a | T a";      // a+ (TC-shaped)
+constexpr char kInfiniteDyck[] = "S -> a b | a S b | S S";
+constexpr char kAmbiguousFinite[] = "S -> A | B\nA -> a b\nB -> a b";
+
+Cfg MustCfg(const char* text) {
+  Result<Cfg> cfg = ParseCfgText(text);
+  EXPECT_TRUE(cfg.ok()) << cfg.error();
+  return std::move(cfg).value();
+}
+
+Session MustSession(const char* grammar, const std::string& graph_csv) {
+  Result<Session> s = Session::FromCfg(MustCfg(grammar));
+  EXPECT_TRUE(s.ok()) << s.error();
+  Session session = std::move(s).value();
+  Result<bool> loaded = session.LoadGraphCsv(graph_csv);
+  EXPECT_TRUE(loaded.ok()) << loaded.error();
+  return session;
+}
+
+/// Random labeled graph whose labels are the grammar's terminal names, plus
+/// the CSV rendering the Session loads. Edge i's label id is its terminal
+/// id, so the graph can feed SolveCflReachability directly.
+struct TestGraph {
+  LabeledGraph graph{0};
+  std::string csv;
+};
+
+TestGraph MakeGraph(const Cfg& cfg, uint32_t n, uint32_t m, Rng& rng) {
+  TestGraph out;
+  StGraph sg =
+      RandomGraph(n, m, static_cast<uint32_t>(cfg.num_terminals()), rng);
+  out.graph = sg.graph;
+  std::ostringstream csv;
+  for (const LabeledEdge& e : out.graph.edges()) {
+    csv << "v" << e.src << ",v" << e.dst << ","
+        << cfg.terminals().Name(e.label) << "\n";
+  }
+  out.csv = csv.str();
+  return out;
+}
+
+template <Semiring S>
+std::vector<typename S::Value> RandomEdgeValues(size_t n, Rng& rng) {
+  std::vector<typename S::Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (std::is_same_v<typename S::Value, bool>) {
+      out.push_back(rng.NextBool(0.8));
+    } else if constexpr (std::is_same_v<typename S::Value, uint64_t>) {
+      out.push_back(rng.NextBounded(20) + 1);
+    } else {
+      out.push_back(0.05 + 0.9 * rng.NextDouble());
+    }
+  }
+  return out;
+}
+
+/// Equality up to floating-point association: the two constructions sum and
+/// multiply the same terms in different gate orders, so double-valued
+/// semirings compare within a relative epsilon.
+template <Semiring S>
+bool ValuesAgree(typename S::Value a, typename S::Value b) {
+  if constexpr (std::is_same_v<typename S::Value, double>) {
+    double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= 1e-9 * scale;
+  } else {
+    return S::Eq(a, b);
+  }
+}
+
+/// One tagging lane in provenance-variable order from per-edge values.
+template <Semiring S>
+std::vector<typename S::Value> LaneFromEdges(
+    const Session& session, const std::vector<typename S::Value>& edge_values) {
+  std::vector<typename S::Value> lane(session.db().num_facts(), S::Zero());
+  const std::vector<uint32_t>& vars = session.edge_vars();
+  EXPECT_EQ(vars.size(), edge_values.size());
+  for (size_t i = 0; i < edge_values.size(); ++i) {
+    lane[vars[i]] = S::Plus(lane[vars[i]], edge_values[i]);
+  }
+  return lane;
+}
+
+/// Routed circuit vs the Knuth oracle, every vertex pair of the target.
+template <Semiring S>
+void CheckAgainstCflr(const char* grammar, uint32_t n, uint32_t m,
+                      uint64_t seed) {
+  Rng rng(seed);
+  Cfg cfg = MustCfg(grammar);
+  TestGraph tg = MakeGraph(cfg, n, m, rng);
+  Session session = MustSession(grammar, tg.csv);
+
+  Result<Construction> routed =
+      session.RouteChainConstruction(S::kIsIdempotent);
+  ASSERT_TRUE(routed.ok()) << routed.error();
+  PlanKey key = PlanKey::For<S>(routed.value());
+
+  std::vector<typename S::Value> edge_values =
+      RandomEdgeValues<S>(tg.graph.num_edges(), rng);
+  std::vector<std::vector<typename S::Value>> lanes = {
+      LaneFromEdges<S>(session, edge_values)};
+
+  Cfg cnf = cfg.ToCnf();
+  auto solved = SolveCflReachability<S>(cnf, tg.graph, edge_values);
+
+  const std::string target =
+      session.program().preds.Name(session.program().target_pred);
+  for (uint32_t u = 0; u < tg.graph.num_vertices(); ++u) {
+    for (uint32_t v = 0; v < tg.graph.num_vertices(); ++v) {
+      Result<uint32_t> fact = session.FindFact(
+          target, {"v" + std::to_string(u), "v" + std::to_string(v)});
+      ASSERT_TRUE(fact.ok()) << fact.error();
+      auto batch = session.TagBatch<S>(key, lanes, {fact.value()});
+      ASSERT_TRUE(batch.ok()) << batch.error();
+      typename S::Value got = batch.value()[0][0];
+      auto it = solved.find(CflrKey(cnf.start(), u, v));
+      typename S::Value expected =
+          it == solved.end() ? S::Zero() : it->second;
+      EXPECT_TRUE(ValuesAgree<S>(got, expected))
+          << ConstructionName(key.construction) << " v" << u << "->v" << v
+          << ": got " << S::ToString(got) << " expected "
+          << S::ToString(expected) << " (seed " << seed << ")";
+    }
+  }
+}
+
+/// Routed vs grounded construction on EVERY grounded IDB fact (not just the
+/// target predicate) through the same session.
+template <Semiring S>
+void CheckFiniteMatchesGrounded(const char* grammar, uint32_t n, uint32_t m,
+                                uint64_t seed) {
+  Rng rng(seed);
+  Cfg cfg = MustCfg(grammar);
+  TestGraph tg = MakeGraph(cfg, n, m, rng);
+  Session session = MustSession(grammar, tg.csv);
+  ASSERT_TRUE(session.chain_route().ok()) << session.chain_route().error();
+  ASSERT_TRUE(session.chain_route().value().finite)
+      << session.chain_route().value().reason;
+
+  std::vector<std::vector<typename S::Value>> lanes = {LaneFromEdges<S>(
+      session, RandomEdgeValues<S>(tg.graph.num_edges(), rng))};
+  std::vector<uint32_t> all_facts;
+  // grounded() requires the EDB; it also fixes the fact-id space both
+  // constructions share.
+  for (uint32_t i = 0; i < session.grounded().num_idb_facts(); ++i) {
+    all_facts.push_back(i);
+  }
+  ASSERT_FALSE(all_facts.empty());
+
+  auto fine = session.TagBatch<S>(
+      PlanKey::For<S>(Construction::kFiniteRpq), lanes, all_facts);
+  ASSERT_TRUE(fine.ok()) << fine.error();
+  auto coarse = session.TagBatch<S>(
+      PlanKey::For<S>(Construction::kGrounded), lanes, all_facts);
+  ASSERT_TRUE(coarse.ok()) << coarse.error();
+  for (size_t i = 0; i < all_facts.size(); ++i) {
+    EXPECT_TRUE(ValuesAgree<S>(fine.value()[0][i], coarse.value()[0][i]))
+        << session.FactName(all_facts[i]) << ": finite-rpq "
+        << S::ToString(fine.value()[0][i]) << " vs grounded "
+        << S::ToString(coarse.value()[0][i]) << " (seed " << seed << ")";
+  }
+}
+
+TEST(ChainPlannerTest, RoutesFiniteAndInfiniteLanguages) {
+  for (const char* finite :
+       {kFiniteLeftLinear, kFiniteGeneral, kFiniteUnit, kAmbiguousFinite}) {
+    Result<ChainRoute> route =
+        PlanChainRoute(CfgToChainProgram(MustCfg(finite)));
+    ASSERT_TRUE(route.ok()) << route.error();
+    EXPECT_TRUE(route.value().finite) << finite << ": " << route.value().reason;
+    EXPECT_FALSE(route.value().pred_langs.empty());
+    EXPECT_GT(route.value().longest_word, 0u);
+  }
+  for (const char* infinite : {kInfiniteLeftLinear, kInfiniteDyck}) {
+    Result<ChainRoute> route =
+        PlanChainRoute(CfgToChainProgram(MustCfg(infinite)));
+    ASSERT_TRUE(route.ok()) << route.error();
+    EXPECT_FALSE(route.value().finite) << infinite;
+    EXPECT_NE(route.value().reason.find("infinite"), std::string::npos)
+        << route.value().reason;
+  }
+  // Left-linear programs take the NFA/DFA decision path.
+  Result<ChainRoute> ll =
+      PlanChainRoute(CfgToChainProgram(MustCfg(kFiniteLeftLinear)));
+  EXPECT_TRUE(ll.value().left_linear);
+  Result<ChainRoute> gen =
+      PlanChainRoute(CfgToChainProgram(MustCfg(kFiniteGeneral)));
+  EXPECT_FALSE(gen.value().left_linear);
+}
+
+TEST(ChainPlannerTest, PlannerCapsFallBackToGrounded) {
+  // 2^12 words of length 12: over the 16-word cap => grounded, not an error.
+  std::string big = "S ->";
+  for (int i = 0; i < 12; ++i) big += " A";
+  big += "\nA -> a | b";
+  ChainPlannerOptions tight;
+  tight.max_words = 16;
+  Result<ChainRoute> route =
+      PlanChainRoute(CfgToChainProgram(MustCfg(big.c_str())), tight);
+  ASSERT_TRUE(route.ok()) << route.error();
+  EXPECT_FALSE(route.value().finite);
+  EXPECT_NE(route.value().reason.find("cap"), std::string::npos)
+      << route.value().reason;
+
+  ChainPlannerOptions short_words;
+  short_words.max_word_length = 4;
+  Result<ChainRoute> capped =
+      PlanChainRoute(CfgToChainProgram(MustCfg(big.c_str())), short_words);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_FALSE(capped.value().finite);
+}
+
+TEST(ChainRouteTest, SessionRoutesByLanguageAndSemiring) {
+  Rng rng(4711);
+  Cfg cfg = MustCfg(kFiniteLeftLinear);
+  TestGraph tg = MakeGraph(cfg, 8, 20, rng);
+  Session session = MustSession(kFiniteLeftLinear, tg.csv);
+  // Finite + plus-idempotent => finite-rpq; non-idempotent => grounded.
+  EXPECT_EQ(session.RouteChainConstruction(true).value(),
+            Construction::kFiniteRpq);
+  EXPECT_EQ(session.RouteChainConstruction(false).value(),
+            Construction::kGrounded);
+
+  Session inf = MustSession(kInfiniteLeftLinear, "v0,v1,a\nv1,v2,a\n");
+  EXPECT_EQ(inf.RouteChainConstruction(true).value(),
+            Construction::kGrounded);
+}
+
+TEST(ChainRouteTest, NonIdempotentKeyIsRejected) {
+  Rng rng(11);
+  Cfg cfg = MustCfg(kFiniteGeneral);
+  TestGraph tg = MakeGraph(cfg, 6, 14, rng);
+  Session session = MustSession(kFiniteGeneral, tg.csv);
+  auto compiled =
+      session.Compile(PlanKey::For<CountingSemiring>(Construction::kFiniteRpq));
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.error().find("idempotent"), std::string::npos)
+      << compiled.error();
+}
+
+TEST(ChainRouteTest, InfiniteLanguageKeyIsRejected) {
+  Session session = MustSession(kInfiniteDyck, "v0,v1,a\nv1,v2,b\n");
+  auto compiled =
+      session.Compile(PlanKey::For<BooleanSemiring>(Construction::kFiniteRpq));
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.error().find("infinite"), std::string::npos)
+      << compiled.error();
+}
+
+TEST(ChainRouteDifferentialTest, FiniteRoutesMatchCflrOracle) {
+  uint64_t seed = 20260731;
+  for (const char* grammar : {kFiniteLeftLinear, kFiniteGeneral, kFiniteUnit}) {
+    CheckAgainstCflr<BooleanSemiring>(grammar, 8, 22, seed++);
+    CheckAgainstCflr<TropicalSemiring>(grammar, 8, 22, seed++);
+    CheckAgainstCflr<ViterbiSemiring>(grammar, 8, 22, seed++);
+    CheckAgainstCflr<FuzzySemiring>(grammar, 8, 22, seed++);
+  }
+}
+
+TEST(ChainRouteDifferentialTest, InfiniteRoutesMatchCflrOracle) {
+  // The router sends these to grounded; the same end-to-end check proves
+  // the routed (grounded) plan agrees with the oracle too.
+  uint64_t seed = 999101;
+  for (const char* grammar : {kInfiniteLeftLinear, kInfiniteDyck}) {
+    CheckAgainstCflr<BooleanSemiring>(grammar, 7, 16, seed++);
+    CheckAgainstCflr<TropicalSemiring>(grammar, 7, 16, seed++);
+    CheckAgainstCflr<ViterbiSemiring>(grammar, 7, 16, seed++);
+    CheckAgainstCflr<FuzzySemiring>(grammar, 7, 16, seed++);
+  }
+}
+
+TEST(ChainRouteDifferentialTest, FiniteMatchesGroundedOnAllIdbFacts) {
+  uint64_t seed = 606060;
+  for (const char* grammar :
+       {kFiniteLeftLinear, kFiniteGeneral, kFiniteUnit, kAmbiguousFinite}) {
+    CheckFiniteMatchesGrounded<BooleanSemiring>(grammar, 8, 24, seed++);
+    CheckFiniteMatchesGrounded<TropicalSemiring>(grammar, 8, 24, seed++);
+    CheckFiniteMatchesGrounded<ViterbiSemiring>(grammar, 8, 24, seed++);
+    CheckFiniteMatchesGrounded<FuzzySemiring>(grammar, 8, 24, seed++);
+  }
+}
+
+TEST(ChainRouteTest, PlanCacheKeysFiniteAndGroundedSeparately) {
+  Rng rng(77);
+  Cfg cfg = MustCfg(kFiniteLeftLinear);
+  TestGraph tg = MakeGraph(cfg, 6, 15, rng);
+  Session session = MustSession(kFiniteLeftLinear, tg.csv);
+  auto a = session.Compile(PlanKey::For<BooleanSemiring>(Construction::kFiniteRpq));
+  auto b = session.Compile(PlanKey::For<BooleanSemiring>(Construction::kGrounded));
+  auto c = session.Compile(PlanKey::For<BooleanSemiring>(Construction::kFiniteRpq));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(a.value().get(), b.value().get());
+  EXPECT_EQ(a.value().get(), c.value().get());  // cache hit
+  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
+  EXPECT_EQ(session.stats().plan_cache_misses, 2u);
+}
+
+TEST(ChainRouteTest, ChainPlansSnapshotRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "dlcirc_chain_snapshot_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  Rng rng(314);
+  Cfg cfg = MustCfg(kFiniteGeneral);
+  TestGraph tg = MakeGraph(cfg, 7, 18, rng);
+  std::vector<typename TropicalSemiring::Value> edge_values =
+      RandomEdgeValues<TropicalSemiring>(tg.graph.num_edges(), rng);
+  PlanKey key = PlanKey::For<TropicalSemiring>(Construction::kFiniteRpq);
+
+  std::vector<std::vector<uint64_t>> cold_results, warm_results;
+  uint64_t loads = 0, saves = 0;
+  for (int round = 0; round < 2; ++round) {
+    Session session = MustSession(kFiniteGeneral, tg.csv);
+    serve::PlanStore store(dir.string());
+    auto compiled = store.GetOrCompile(session, key);
+    ASSERT_TRUE(compiled.ok()) << compiled.error();
+    std::vector<std::vector<uint64_t>> lanes = {
+        LaneFromEdges<TropicalSemiring>(session, edge_values)};
+    auto batch =
+        session.TagBatch<TropicalSemiring>(key, lanes, session.TargetFacts());
+    ASSERT_TRUE(batch.ok()) << batch.error();
+    (round == 0 ? cold_results : warm_results) = batch.value();
+    loads = store.stats().snapshot_loads;
+    saves = store.stats().snapshot_saves;
+  }
+  // Round 1 compiled cold and persisted; round 2 warm-started off disk.
+  EXPECT_EQ(saves, 0u);
+  EXPECT_EQ(loads, 1u);
+  EXPECT_EQ(cold_results, warm_results);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace dlcirc

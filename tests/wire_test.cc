@@ -1,0 +1,132 @@
+// Adversarial suite for the serve wire parser (src/serve/wire.h): the
+// inputs `dlcirc serve` must survive are exactly the inputs an attacker
+// controls byte for byte. Covers the nesting-depth cap (a `[[[[...` line
+// used to recurse once per byte and overflow the stack), the RFC 8259
+// number grammar, truncated escapes/strings, and huge-but-legal inputs.
+// The serve-level regression (the broker answering a hostile line with an
+// error response and continuing) is the cli_smoke_serve_hostile ctest.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/serve/wire.h"
+
+namespace dlcirc {
+namespace serve {
+namespace {
+
+std::string Nested(int depth, char open, char close) {
+  std::string s;
+  s.reserve(2 * depth);
+  s.append(depth, open);
+  s.append(depth, close);
+  return s;
+}
+
+TEST(WireDepthTest, AcceptsNestingAtTheCap) {
+  EXPECT_TRUE(ParseJson(Nested(kMaxJsonDepth, '[', ']')).ok());
+  // Depth is container depth, not byte count: siblings don't accumulate.
+  std::string wide = "[" + Nested(kMaxJsonDepth - 1, '[', ']') + "," +
+                     Nested(kMaxJsonDepth - 1, '[', ']') + "]";
+  EXPECT_TRUE(ParseJson(wide).ok());
+}
+
+TEST(WireDepthTest, RejectsNestingOverTheCap) {
+  Result<JsonValue> r = ParseJson(Nested(kMaxJsonDepth + 1, '[', ']'));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("nesting"), std::string::npos) << r.error();
+}
+
+TEST(WireDepthTest, RejectsDeepObjectsAndMixedNesting) {
+  std::string deep_obj;
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) deep_obj += "{\"k\":";
+  deep_obj += "0";
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) deep_obj += "}";
+  EXPECT_FALSE(ParseJson(deep_obj).ok());
+
+  std::string mixed;
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) mixed += "[{\"k\":";
+  mixed += "0";
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) mixed += "}]";
+  EXPECT_FALSE(ParseJson(mixed).ok());
+}
+
+// The original bug: one NDJSON line of brackets, deep enough that the
+// pre-cap parser's byte-per-stack-frame recursion overflowed. With the cap
+// this must return a parse error without touching more than 64 frames —
+// under ASan the old behavior is a hard crash, making this the regression.
+TEST(WireDepthTest, SurvivesHundredsOfKilobytesOfBrackets) {
+  EXPECT_FALSE(ParseJson(std::string(200000, '[')).ok());
+  EXPECT_FALSE(ParseJson(Nested(100000, '[', ']')).ok());
+  EXPECT_FALSE(ParseJson(std::string(200000, '{')).ok());
+  std::string unclosed_objects;
+  for (int i = 0; i < 100000; ++i) unclosed_objects += "{\"a\":";
+  EXPECT_FALSE(ParseJson(unclosed_objects).ok());
+}
+
+TEST(WireNumberTest, AcceptsRfc8259Numbers) {
+  for (const char* ok : {"0", "-0", "7", "-7", "10", "1.5", "-0.5", "0.0",
+                         "1e9", "1E9", "1e+9", "1e-9", "1.25e-3", "120", "102"}) {
+    Result<JsonValue> r = ParseJson(ok);
+    ASSERT_TRUE(r.ok()) << ok << ": " << r.error();
+    EXPECT_TRUE(r.value().IsNumber()) << ok;
+    // The source lexeme survives verbatim (semiring parsers re-read it).
+    EXPECT_EQ(r.value().text, ok);
+  }
+}
+
+TEST(WireNumberTest, RejectsMalformedNumbers) {
+  for (const char* bad :
+       {"1.", "1e", "1e+", "1e-", "1E", "01", "00", "-01", "01.5", "-",
+        "-.5", ".5", "+1", "1.e3", "1..2", "0x10", "NaN", "Infinity",
+        "-Infinity", "1,000"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+  // Same lexemes embedded where the protocol actually carries numbers.
+  EXPECT_FALSE(ParseJson("{\"id\": 01}").ok());
+  EXPECT_FALSE(ParseJson("[1., 2]").ok());
+  EXPECT_FALSE(ParseJson("{\"tags\": [1e+]}").ok());
+}
+
+TEST(WireStringTest, RejectsTruncatedEscapesAndStrings) {
+  EXPECT_FALSE(ParseJson("\"abc").ok());           // unterminated
+  EXPECT_FALSE(ParseJson("\"abc\\").ok());         // escape at end of input
+  EXPECT_FALSE(ParseJson("{\"a\": \"b\\").ok());   // ditto inside object
+  EXPECT_FALSE(ParseJson("\"\\x41\"").ok());       // unsupported escape
+  EXPECT_FALSE(ParseJson("\"\\u0041\"").ok());     // \u unsupported by design
+  EXPECT_TRUE(ParseJson("\"a\\\"b\\\\c\\n\"").ok());
+}
+
+TEST(WireStressTest, HugeFlatInputsParse) {
+  // Legal width must keep working under the depth cap: 100k siblings.
+  std::string wide = "[";
+  for (int i = 0; i < 100000; ++i) {
+    wide += i ? ",0" : "0";
+  }
+  wide += "]";
+  Result<JsonValue> r = ParseJson(wide);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().items.size(), 100000u);
+
+  std::string big_string = "\"" + std::string(1 << 20, 'x') + "\"";
+  ASSERT_TRUE(ParseJson(big_string).ok());
+
+  std::string many_keys = "{";
+  for (int i = 0; i < 20000; ++i) {
+    many_keys += (i ? ",\"k" : "\"k") + std::to_string(i) + "\":\"v\"";
+  }
+  many_keys += "}";
+  ASSERT_TRUE(ParseJson(many_keys).ok());
+}
+
+TEST(WireStressTest, GarbageAndTruncationNeverSucceed) {
+  for (const char* bad : {"", "   ", "[", "{", "[1,", "{\"a\"", "{\"a\":",
+                          "[1 2]", "{\"a\" 1}", "tru", "nul", "falsee",
+                          "[]]", "{},", "\x01\x02"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "`" << bad << "`";
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dlcirc

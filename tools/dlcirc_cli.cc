@@ -49,6 +49,8 @@ using pipeline::Session;
 struct Args {
   std::string program_file;
   std::string cfg_file;
+  bool route_chain = false;  ///< --grammar: pick the construction via the
+                             ///< Section 5 dichotomy planner
   std::string facts_file;
   std::string graph_file;
   std::string batch_file;
@@ -95,6 +97,11 @@ run flags:
   --program FILE       Datalog program (src/datalog/parser.h syntax)
   --cfg FILE           CFG workload instead (src/lang ParseCfgText syntax),
                        converted to chain Datalog via Proposition 5.2
+  --grammar FILE       like --cfg, but routed through the Section 5
+                       dichotomy planner: finite chain languages compile to
+                       the finite-RPQ construction (Thm 5.8, depth O(log n)),
+                       infinite ones to grounded (Thms 5.6/5.7); overrides
+                       --construction
   --facts FILE         EDB as ground facts, e.g. `E(s,u1). E(u1,t).`
   --graph FILE         EDB as edge CSV: `src,dst[,label]` per line
   --batch FILE         tagging CSV: one lane per line, one value per EDB fact
@@ -105,8 +112,10 @@ run flags:
                        variables, `x3` or `3`) and reports the refreshed
                        queried facts through the incremental evaluator
   --semiring NAME      semiring to tag over (default boolean; see `semirings`)
-  --construction NAME  grounded (Thm 3.1, any program) or uvg (Thm 6.2,
-                       absorptive semirings; depth O(log^2 m)) [grounded]
+  --construction NAME  grounded (Thm 3.1, any program), uvg (Thm 6.2,
+                       absorptive semirings; depth O(log^2 m)), or
+                       finite-rpq (Thm 5.8, finite chain languages over
+                       plus-idempotent semirings; depth O(log n)) [grounded]
   --query "T(s,t)"     IDB fact to report; repeatable (default: all facts of
                        the target predicate)
   --format NAME        text, csv, or json [text]
@@ -116,8 +125,8 @@ run flags:
   --show-facts         print the EDB fact <-> provenance variable table
   --quiet              suppress the pipeline narration; results only
 
-serve flags: --program/--cfg, --facts/--graph, --semiring, --construction,
-  --threads, --snapshot-dir and --quiet as above, plus:
+serve flags: --program/--cfg/--grammar, --facts/--graph, --semiring,
+  --construction, --threads, --snapshot-dir and --quiet as above, plus:
   --requests FILE      read NDJSON requests from FILE instead of stdin
   --dispatchers N      broker threads draining the request queue [1]
   --max-batch N        max requests coalesced into one batched sweep [64]
@@ -130,6 +139,8 @@ serve protocol (one JSON object per line; `id` is echoed back):
   {"op":"drop","lane":"alice"}             "set":[["x3","5"],["x0","inf"]]}
   {"op":"ping"}                           {"op":"stats"}
   optional per-request: "semiring", "construction", "query", "id"
+  ("construction": "chain" resolves through the dichotomy planner per the
+   request's semiring, like --grammar)
 )usage";
   return code;
 }
@@ -307,9 +318,12 @@ int RunTyped(const Args& args, Session& session) {
   }
 
   // Compile explicitly so the narration can show plan provenance; the
-  // TagBatch right after hits the plan cache.
+  // TagBatch right after hits the plan cache. With --grammar the
+  // construction comes from the dichotomy planner (finite language + plus-
+  // idempotent semiring -> finite-rpq, else grounded), not the flag.
   Result<pipeline::Construction> construction =
-      pipeline::ParseConstruction(args.construction);
+      args.route_chain ? session.RouteChainConstruction(S::kIsIdempotent)
+                       : pipeline::ParseConstruction(args.construction);
   if (!construction.ok()) return Fail(construction.error());
   pipeline::PlanKey key = pipeline::PlanKey::For<S>(construction.value());
   // With a snapshot directory the compile goes through a PlanStore, which
@@ -353,12 +367,20 @@ int RunTyped(const Args& args, Session& session) {
                 << num_facts << " EDB facts\n"
                 << "grounding: " << g.num_idb_facts() << " IDB facts, "
                 << g.rules().size() << " ground rules (size " << g.TotalSize()
-                << ")\n"
-                << "construction: " << pipeline::ConstructionName(key.construction)
+                << ")\n";
+      if (args.route_chain) {
+        std::cout << "route: "
+                  << pipeline::RouteReason(session.chain_route().value(),
+                                           S::kIsIdempotent)
+                  << "\n";
+      }
+      std::cout << "construction: " << pipeline::ConstructionName(key.construction)
                 << ", " << plan.layers_used
                 << (key.construction == pipeline::Construction::kGrounded
                         ? " ICO layers"
-                        : " stages")
+                        : key.construction == pipeline::Construction::kFiniteRpq
+                              ? " unroll steps"
+                              : " stages")
                 << ", circuit size " << plan.unoptimized.size << " -> "
                 << plan.circuit.Size() << " after "
                 << plan.pass_stats.size() << " passes\n"
@@ -420,7 +442,14 @@ int RunTyped(const Args& args, Session& session) {
   } else if (args.format == "json") {
     std::cout << "{\n  \"semiring\": \"" << S::Name() << "\",\n"
               << "  \"construction\": \""
-              << pipeline::ConstructionName(key.construction) << "\",\n"
+              << pipeline::ConstructionName(key.construction) << "\",\n";
+    if (args.route_chain) {
+      std::cout << "  \"route\": \""
+                << JsonEscape(pipeline::RouteReason(
+                       session.chain_route().value(), S::kIsIdempotent))
+                << "\",\n";
+    }
+    std::cout
               << "  \"circuit\": {\"size\": " << plan.circuit.Size()
               << ", \"depth\": " << plan.circuit.Depth()
               << ", \"layers_used\": " << plan.layers_used << "},\n"
@@ -466,7 +495,8 @@ int RunTyped(const Args& args, Session& session) {
 /// threading (flag, then DLCIRC_THREADS, then 1).
 Result<Session> BuildSession(const Args& args) {
   if (args.program_file.empty() == args.cfg_file.empty()) {
-    return Result<Session>::Error("pass exactly one of --program or --cfg");
+    return Result<Session>::Error(
+        "pass exactly one of --program, --cfg, or --grammar");
   }
   if (args.facts_file.empty() == args.graph_file.empty()) {
     return Result<Session>::Error("pass exactly one of --facts or --graph");
@@ -625,11 +655,27 @@ int Serve(const Args& args) {
   Session session = std::move(session_r).value();
   const uint32_t num_facts = session.db().num_facts();
 
-  Result<pipeline::Construction> default_construction =
-      pipeline::ParseConstruction(args.construction);
-  if (!default_construction.ok()) return Fail(default_construction.error());
-  if (!pipeline::DispatchSemiring(args.semiring, []<Semiring S>() {})) {
+  bool default_idempotent = false;
+  if (!pipeline::DispatchSemiring(args.semiring, [&]<Semiring S>() {
+        default_idempotent = S::kIsIdempotent;
+      })) {
     return Fail("unknown --semiring `" + args.semiring + "`");
+  }
+  // Warm the dichotomy analysis cache on the foreground thread, BEFORE any
+  // dispatcher exists: per-request "construction": "chain" resolution reads
+  // it from this thread while dispatchers compile through it, and only a
+  // pre-populated cache makes those reads race-free. Non-chain programs
+  // cache the planner's error the same way.
+  session.chain_route();
+  Result<pipeline::Construction> default_construction =
+      args.route_chain ? session.RouteChainConstruction(default_idempotent)
+                       : pipeline::ParseConstruction(args.construction);
+  if (!default_construction.ok()) return Fail(default_construction.error());
+  if (args.route_chain && !args.quiet) {
+    std::cerr << "dlcirc serve: route: "
+              << pipeline::RouteReason(session.chain_route().value(),
+                                       default_idempotent)
+              << "\n";
   }
 
   serve::PlanStore store(args.snapshot_dir);
@@ -777,18 +823,50 @@ int Serve(const Args& args) {
       request.semiring = s->text;
     }
     bool bad = false;
-    if (const serve::JsonValue* c = json.Find("construction")) {
+    // Dichotomy resolution for this request's semiring (the finite branch
+    // needs idempotent plus). chain_route() was warmed above, so this is a
+    // read-only resolution. Returns false after emitting the error line.
+    auto resolve_chain = [&](pipeline::Construction* out) {
+      bool idempotent = false;
+      if (!pipeline::DispatchSemiring(request.semiring, [&]<Semiring S>() {
+            idempotent = S::kIsIdempotent;
+          })) {
+        fail_line("unknown semiring `" + request.semiring + "`");
+        return false;
+      }
+      Result<pipeline::Construction> routed =
+          session.RouteChainConstruction(idempotent);
+      if (!routed.ok()) {
+        fail_line(routed.error());
+        return false;
+      }
+      *out = routed.value();
+      return true;
+    };
+    const serve::JsonValue* c = json.Find("construction");
+    if (c != nullptr) {
       if (!c->IsString()) {
         fail_line("\"construction\" must be a string");
         continue;
       }
-      Result<pipeline::Construction> parsed_c =
-          pipeline::ParseConstruction(c->text);
-      if (!parsed_c.ok()) {
-        fail_line(parsed_c.error());
-        continue;
+      if (c->text == "chain") {
+        if (!resolve_chain(&request.construction)) continue;
+      } else {
+        Result<pipeline::Construction> parsed_c =
+            pipeline::ParseConstruction(c->text);
+        if (!parsed_c.ok()) {
+          fail_line(parsed_c.error());
+          continue;
+        }
+        request.construction = parsed_c.value();
       }
-      request.construction = parsed_c.value();
+    } else if (args.route_chain &&
+               request.semiring != args.semiring) {
+      // --grammar + a per-request semiring override: the startup default
+      // was routed for --semiring's idempotence; re-route for this one so
+      // e.g. counting lands on grounded instead of failing the finite-RPQ
+      // idempotence gate.
+      if (!resolve_chain(&request.construction)) continue;
     }
     if (const serve::JsonValue* lane = json.Find("lane")) {
       if (!lane->IsString()) {
@@ -950,7 +1028,15 @@ int Main(int argc, char** argv) {
       args.program_file = v.value();
     } else if (flag == "--cfg") {
       if (!(v = value(i, "--cfg")).ok()) return Fail(v.error());
+      if (args.route_chain) return Fail("pass exactly one of --cfg or --grammar");
       args.cfg_file = v.value();
+    } else if (flag == "--grammar") {
+      if (!(v = value(i, "--grammar")).ok()) return Fail(v.error());
+      if (!args.cfg_file.empty() && !args.route_chain) {
+        return Fail("pass exactly one of --cfg or --grammar");
+      }
+      args.cfg_file = v.value();
+      args.route_chain = true;
     } else if (flag == "--facts") {
       if (!(v = value(i, "--facts")).ok()) return Fail(v.error());
       args.facts_file = v.value();
