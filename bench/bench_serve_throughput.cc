@@ -66,13 +66,6 @@ struct LoadPoint {
   uint64_t max_batch = 0;
 };
 
-double Percentile(std::vector<double>* latencies, double p) {
-  if (latencies->empty()) return 0;
-  size_t k = static_cast<size_t>(p * static_cast<double>(latencies->size() - 1));
-  std::nth_element(latencies->begin(), latencies->begin() + k, latencies->end());
-  return (*latencies)[k];
-}
-
 /// Builds the shared TC session over a random connected graph; returns the
 /// graph CSV so callers can rebuild an identical session (cold-compile
 /// timing needs a second, uncached session).
@@ -130,7 +123,10 @@ LoadPoint RunClosedLoop(serve::Server& server, const std::string& semiring,
   std::atomic<bool> measuring{false};
   std::atomic<bool> done{false};
   std::vector<uint64_t> completed(clients, 0);
-  std::vector<std::vector<double>> latencies(clients);
+  // Per-client recorders (merged at the end): the shared obs histogram,
+  // nearest-rank quantiles — the same arithmetic the server's metrics
+  // report, not a private sort-the-samples variant.
+  std::vector<bench::LatencyRecorder> latencies(clients);
 
   const uint64_t before_max_batch = server.stats().max_batch;
   std::vector<std::thread> threads;
@@ -173,7 +169,10 @@ LoadPoint RunClosedLoop(serve::Server& server, const std::string& semiring,
         DLCIRC_CHECK(r.ok) << r.error;
         if (measuring.load(std::memory_order_relaxed)) {
           ++completed[c];
-          latencies[c].push_back(MsSince(start));
+          latencies[c].RecordNs(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - start)
+                  .count()));
         }
       }
     });
@@ -192,14 +191,14 @@ LoadPoint RunClosedLoop(serve::Server& server, const std::string& semiring,
   point.semiring = semiring;
   point.workload = workload;
   point.clients = clients;
-  std::vector<double> all;
+  bench::LatencyRecorder all;
   for (int c = 0; c < clients; ++c) {
     point.requests += completed[c];
-    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    all.Merge(latencies[c]);
   }
   point.qps = static_cast<double>(point.requests) / (window_ms / 1000.0);
-  point.p50_ms = Percentile(&all, 0.50);
-  point.p99_ms = Percentile(&all, 0.99);
+  point.p50_ms = all.QuantileMs(0.50);
+  point.p99_ms = all.QuantileMs(0.99);
   point.max_batch = std::max(server.stats().max_batch, before_max_batch);
   return point;
 }

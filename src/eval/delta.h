@@ -129,6 +129,17 @@ struct DeltaStats {
   bool full_fallback = false;  ///< dirty cone blew the budget; full re-eval ran
 };
 
+namespace internal {
+/// Obs hook for IncrementalEvaluator::Update — update counts, fallback
+/// counts, and the dirty-fraction distribution (parts-per-million of plan
+/// slots marked). Defined in delta.cc so the header-templated Update calls
+/// one opaque function per update instead of inlining registry machinery
+/// into every semiring instantiation; it early-outs while the default
+/// registry is disabled.
+void RecordUpdateObs(const DeltaStats& stats, size_t num_slots,
+                     size_t num_marked);
+}  // namespace internal
+
 /// Recomputes one gate from current slot values, with the semiring-class
 /// early exits `options` permits: 0 (x) x = 0 (universal), 1 (+) x = 1
 /// (absorptive), x (+) x = x (plus-idempotent). The early exits skip the
@@ -296,6 +307,8 @@ class IncrementalEvaluator {
       if (dirty.num_marked() > budget) {
         stats.full_fallback = true;
         full_->EvaluateInto<S>(plan, state->assignment, &state->slots);
+        internal::RecordUpdateObs(stats, plan.num_slots(),
+                                  dirty.num_marked());
         return stats;
       }
       for (uint32_t s : dirty.LayerSlots(l)) {
@@ -313,6 +326,7 @@ class IncrementalEvaluator {
         }
       }
     }
+    internal::RecordUpdateObs(stats, plan.num_slots(), dirty.num_marked());
     return stats;
   }
 

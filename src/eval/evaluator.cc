@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/metrics.h"
+
 namespace dlcirc {
 namespace eval {
 
@@ -246,6 +248,13 @@ void Evaluator::ParallelFor(size_t begin, size_t end, size_t grain,
 void Evaluator::ForEachLayer(
     const EvalPlan& plan, size_t work_per_gate,
     const std::function<void(size_t, size_t)>& eval_range) const {
+  // Every full-plan walk — EvaluateInto, the SoA batch kernels, and the
+  // bit-packed Boolean kernel — funnels through here, so one timer covers
+  // all sweep flavors. Resolved once; free while the registry is disabled.
+  static obs::Histogram& sweep_ns = obs::Registry::Default().GetHistogram(
+      "dlcirc_eval_sweep_ns", "",
+      "One full layered plan sweep (any batch width), nanoseconds");
+  obs::ScopedTimer sweep_timer(sweep_ns);
   if (work_per_gate == 0) work_per_gate = 1;
   if (num_threads_ <= 1 ||
       plan.num_slots() * work_per_gate < options_.min_parallel_work) {

@@ -1,0 +1,125 @@
+// Trace spans: named, timed phases exportable as Chrome trace_event JSON.
+//
+// Metrics (metrics.h) answer "how much / how fast on aggregate"; spans
+// answer "where did *this* request's time go". A span is one complete event
+// — (category, name, start, duration, thread) — recorded into a bounded
+// in-memory buffer and dumped with WriteChromeTrace as the Chrome
+// trace_event JSON array format, which loads directly in about:tracing or
+// https://ui.perfetto.dev. `dlcirc serve --trace-out FILE` and
+// `dlcirc run --trace-out FILE` are the front doors.
+//
+// Same cost discipline as metrics: the recorder starts disabled, and a
+// disabled recorder costs one relaxed load per would-be span (TraceSpan
+// reads the clock only when enabled at construction). Recording takes a
+// mutex — spans mark request/compile phases (microseconds to seconds), not
+// per-gate work, so the lock is uncontended in practice and keeps the
+// buffer trivially correct under TSan. The buffer is bounded (kMaxEvents);
+// once full, further spans count into dropped() instead of growing memory.
+#ifndef DLCIRC_OBS_TRACE_H_
+#define DLCIRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"  // NowNs, ThreadIndex
+
+namespace dlcirc {
+namespace obs {
+
+/// Bounded buffer of complete spans, exportable as Chrome trace JSON.
+class TraceRecorder {
+ public:
+  /// Buffer cap; ~1M spans * ~100 bytes keeps worst-case memory near 100MB,
+  /// far beyond any profiling session that a human will actually open in a
+  /// trace viewer.
+  static constexpr size_t kMaxEvents = 1u << 20;
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder all dlcirc subsystems record into.
+  static TraceRecorder& Default();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Records one complete span. `category` and `name` should be string
+  /// literals or otherwise short ("serve", "batch_eval"); `args_json`, if
+  /// non-empty, must be a valid JSON object body rendered by the caller
+  /// (e.g. `"batch":12`) and is emitted verbatim into the event's "args".
+  void Record(std::string_view category, std::string_view name,
+              uint64_t start_ns, uint64_t dur_ns, std::string args_json = "");
+
+  size_t size() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void Clear();
+
+  /// Writes the JSON Object Format: {"traceEvents":[...complete events...],
+  /// "displayTimeUnit":"ms"}. Timestamps are microseconds relative to the
+  /// recorder's first span. Loads in about:tracing / Perfetto.
+  void WriteChromeTrace(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string category;
+    std::string name;
+    uint64_t start_ns;
+    uint64_t dur_ns;
+    uint32_t thread;
+    std::string args_json;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// RAII span: stamps the clock at construction (only if the recorder is
+/// enabled there — the decision is latched, so a span never half-records
+/// across an enable flip) and records at destruction or End().
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder& rec, std::string_view category,
+            std::string_view name)
+      : rec_(rec.enabled() ? &rec : nullptr),
+        category_(category),
+        name_(name),
+        start_ns_(rec_ ? NowNs() : 0) {}
+  TraceSpan(std::string_view category, std::string_view name)
+      : TraceSpan(TraceRecorder::Default(), category, name) {}
+  ~TraceSpan() { End(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an args object body (e.g. `"batch":12`) to the eventual event.
+  void set_args_json(std::string args_json) {
+    if (rec_) args_json_ = std::move(args_json);
+  }
+
+  /// Records now; the destructor then does nothing. Idempotent.
+  void End() {
+    if (rec_ == nullptr) return;
+    rec_->Record(category_, name_, start_ns_, NowNs() - start_ns_,
+                 std::move(args_json_));
+    rec_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* rec_;
+  std::string_view category_;
+  std::string_view name_;
+  uint64_t start_ns_;
+  std::string args_json_;
+};
+
+}  // namespace obs
+}  // namespace dlcirc
+
+#endif  // DLCIRC_OBS_TRACE_H_

@@ -7,11 +7,19 @@
 #include "src/datalog/parser.h"
 #include "src/graph/graph_db.h"
 #include "src/lang/chain_datalog.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/io.h"
 #include "src/util/check.h"
 
 namespace dlcirc {
 namespace pipeline {
+
+namespace {
+double MsSince(uint64_t start_ns) {
+  return static_cast<double>(obs::NowNs() - start_ns) * 1e-6;
+}
+}  // namespace
 
 std::string_view ConstructionName(Construction c) {
   switch (c) {
@@ -41,9 +49,13 @@ Session::Session(Program program, SessionOptions options)
 
 Result<Session> Session::FromDatalog(std::string_view program_text,
                                      SessionOptions options) {
+  const uint64_t t0 = obs::NowNs();
+  obs::TraceSpan span("compile", "parse");
   Result<Program> program = ParseProgram(program_text);
   if (!program.ok()) return Result<Session>::Error(program.error());
-  return Session(std::move(program).value(), options);
+  Session session(std::move(program).value(), options);
+  session.phases_.parse_ms = MsSince(t0);
+  return session;
 }
 
 Result<Session> Session::FromCfg(const Cfg& cfg, SessionOptions options) {
@@ -51,7 +63,11 @@ Result<Session> Session::FromCfg(const Cfg& cfg, SessionOptions options) {
     return Result<Session>::Error(
         "CFG generates the empty language; no reachability program to run");
   }
-  return Session(CfgToChainProgram(cfg), options);
+  const uint64_t t0 = obs::NowNs();
+  obs::TraceSpan span("compile", "parse");
+  Session session(CfgToChainProgram(cfg), options);
+  session.phases_.parse_ms = MsSince(t0);
+  return session;
 }
 
 Result<bool> Session::LoadFactsText(std::string_view facts_text) {
@@ -81,12 +97,22 @@ const Database& Session::db() const {
 
 const GroundedProgram& Session::grounded() {
   DLCIRC_CHECK(db_.has_value()) << "no EDB loaded";
-  if (!grounded_.has_value()) grounded_ = Ground(program_, *db_);
+  if (!grounded_.has_value()) {
+    const uint64_t t0 = obs::NowNs();
+    obs::TraceSpan span("compile", "ground");
+    grounded_ = Ground(program_, *db_);
+    phases_.ground_ms = MsSince(t0);
+  }
   return *grounded_;
 }
 
 const Result<ChainRoute>& Session::chain_route() {
-  if (!chain_route_.has_value()) chain_route_ = PlanChainRoute(program_);
+  if (!chain_route_.has_value()) {
+    const uint64_t t0 = obs::NowNs();
+    obs::TraceSpan span("compile", "route");
+    chain_route_ = PlanChainRoute(program_);
+    phases_.route_ms = MsSince(t0);
+  }
   return *chain_route_;
 }
 
@@ -121,6 +147,8 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
   auto compiled = std::make_shared<CompiledPlan>();
   compiled->key = key;
   Circuit built;
+  uint64_t t0 = obs::NowNs();
+  obs::TraceSpan construct_span("compile", "construct");
   switch (key.construction) {
     case Construction::kGrounded: {
       GroundedCircuitOptions options;
@@ -161,14 +189,24 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
     }
   }
   compiled->unoptimized = built.ComputeStats();
+  construct_span.End();
+  phases_.construct_ms = MsSince(t0);
 
   eval::PassOptions pass_options;
   pass_options.plus_idempotent = key.plus_idempotent;
   pass_options.absorptive = key.absorptive;
+  t0 = obs::NowNs();
+  obs::TraceSpan passes_span("compile", "passes");
   eval::PipelineResult optimized = eval::OptimizeForEval(built, pass_options);
   compiled->pass_stats = std::move(optimized.stats);
   compiled->circuit = std::move(optimized.circuit);
+  passes_span.End();
+  phases_.passes_ms = MsSince(t0);
+  t0 = obs::NowNs();
+  obs::TraceSpan plan_span("compile", "plan_build");
   compiled->plan = eval::EvalPlan::Build(compiled->circuit);
+  plan_span.End();
+  phases_.plan_build_ms = MsSince(t0);
 
   ++stats_.plan_cache_misses;
   plan_cache_.emplace(key, compiled);

@@ -114,6 +114,23 @@ struct SessionStats {
   uint64_t incremental_fallbacks = 0;  ///< of those, full re-evaluations
 };
 
+/// Wall-clock breakdown of the compile pipeline, milliseconds. Parse and
+/// ground are once per Session; route is the chain-planner analysis (PR 5's
+/// dichotomy decision); construct/passes/plan_build reflect the MOST RECENT
+/// Compile miss (a cache hit leaves them untouched). Phases are timed
+/// unconditionally — each runs at most once per compiled plan, so two clock
+/// reads per phase vanish against the work they bracket — which is what
+/// lets `dlcirc run --profile` report them even when the flag is parsed
+/// after the session was built.
+struct PhaseProfile {
+  double parse_ms = 0;       ///< Datalog/CFG text -> Program
+  double ground_ms = 0;      ///< relevant grounding
+  double route_ms = 0;       ///< chain-planner dichotomy analysis
+  double construct_ms = 0;   ///< provenance circuit construction
+  double passes_ms = 0;      ///< optimizer pass pipeline
+  double plan_build_ms = 0;  ///< EvalPlan::Build
+};
+
 /// A batch of taggings kept live for incremental updates: one materialized
 /// EvalState per lane, pinned to the compiled plan it was evaluated through.
 /// Owned by the Session (type-erased); users go through ServeTags/UpdateTags.
@@ -185,6 +202,7 @@ class Session {
   void AdoptPlan(std::shared_ptr<const CompiledPlan> plan);
 
   const SessionStats& stats() const { return stats_; }
+  const PhaseProfile& phase_profile() const { return phases_; }
   eval::Evaluator& evaluator() { return *evaluator_; }
 
   /// Content digests identifying what a compiled plan was built from, for
@@ -350,6 +368,7 @@ class Session {
   std::unique_ptr<eval::Evaluator> evaluator_;
   std::any served_;  ///< ServedTagBatch<S> for the serving semiring, if any
   SessionStats stats_;
+  PhaseProfile phases_;
   std::optional<uint64_t> program_digest_;
   std::optional<uint64_t> edb_digest_;
 };

@@ -2,13 +2,30 @@
 
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/serve/snapshot.h"
 
 namespace dlcirc {
 namespace serve {
 
 PlanStore::PlanStore(std::string snapshot_dir)
-    : snapshot_dir_(std::move(snapshot_dir)) {}
+    : snapshot_dir_(std::move(snapshot_dir)) {
+  obs::Registry& reg = obs::Registry::Default();
+  obs_hits_ = &reg.GetCounter("dlcirc_plan_store_hits_total", "",
+                              "Plan lookups served from the registry");
+  obs_misses_ = &reg.GetCounter("dlcirc_plan_store_misses_total", "",
+                                "Plan lookups that left the registry");
+  obs_compiles_ = &reg.GetCounter("dlcirc_plan_store_compiles_total", "",
+                                  "Cold compiles through a Session");
+  obs_loads_ = &reg.GetCounter("dlcirc_plan_store_snapshot_loads_total", "",
+                               "Warm starts off a snapshot file");
+  obs_saves_ = &reg.GetCounter("dlcirc_plan_store_snapshot_saves_total", "",
+                               "Fresh compiles persisted to disk");
+  obs_compile_ns_ = &reg.GetHistogram("dlcirc_plan_compile_ns", "",
+                                      "Cold plan compile time, nanoseconds");
+  obs_load_ns_ = &reg.GetHistogram("dlcirc_plan_snapshot_load_ns", "",
+                                   "Snapshot load time, nanoseconds");
+}
 
 Result<std::shared_ptr<const pipeline::CompiledPlan>> PlanStore::GetOrCompile(
     pipeline::Session& session, const pipeline::PlanKey& key) {
@@ -44,9 +61,11 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> PlanStore::GetOrCompile(
     std::lock_guard<std::mutex> lock(mu_);
     if (auto it = plans_.find(store_key); it != plans_.end()) {
       ++stats_.hits;
+      obs_hits_->Inc();
       return it->second;
     }
   }
+  obs_misses_->Inc();
 
   // Miss: take the compile lock, re-check (another thread may have finished
   // the same compile while we waited), then snapshot-load or compile.
@@ -55,6 +74,7 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> PlanStore::GetOrCompile(
     std::lock_guard<std::mutex> lock(mu_);
     if (auto it = plans_.find(store_key); it != plans_.end()) {
       ++stats_.hits;
+      obs_hits_->Inc();
       return it->second;
     }
   }
@@ -66,9 +86,16 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> PlanStore::GetOrCompile(
     path = snapshot_dir_ + "/" +
            SnapshotFileName(store_key.program_digest, store_key.edb_digest,
                             key);
+    // Timed unconditionally (loads are rare and file-IO expensive); Record
+    // itself drops the sample while the registry is disabled.
+    const uint64_t t0 = obs::NowNs();
     auto loaded =
         LoadPlan(path, store_key.program_digest, store_key.edb_digest, key);
     if (loaded.ok()) {
+      const uint64_t load_ns = obs::NowNs() - t0;
+      obs_load_ns_->Record(load_ns);
+      obs::TraceRecorder::Default().Record("plan_store", "snapshot_load", t0,
+                                           load_ns);
       plan = std::move(loaded).value();
       from_snapshot = true;
       // The session's own serving paths (TagBatch/UpdateTags) should run
@@ -77,8 +104,13 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> PlanStore::GetOrCompile(
     }
   }
   if (plan == nullptr) {
+    const uint64_t t0 = obs::NowNs();
     auto compiled = session.Compile(key);
     if (!compiled.ok()) return Out::Error(compiled.error());
+    const uint64_t compile_ns = obs::NowNs() - t0;
+    obs_compile_ns_->Record(compile_ns);
+    obs::TraceRecorder::Default().Record("plan_store", "compile", t0,
+                                         compile_ns);
     plan = compiled.value();
     if (!path.empty()) {
       // Best-effort: a failed save leaves the next restart cold, nothing more.
@@ -86,6 +118,7 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> PlanStore::GetOrCompile(
               .ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.snapshot_saves;
+        obs_saves_->Inc();
       }
     }
   }
@@ -93,8 +126,10 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> PlanStore::GetOrCompile(
   std::lock_guard<std::mutex> lock(mu_);
   if (from_snapshot) {
     ++stats_.snapshot_loads;
+    obs_loads_->Inc();
   } else {
     ++stats_.compiles;
+    obs_compiles_->Inc();
   }
   plans_.emplace(store_key, plan);
   return plan;

@@ -17,6 +17,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
 #include "src/pipeline/session.h"
 #include "src/util/hash.h"
 #include "src/util/result.h"
@@ -72,6 +73,16 @@ class PlanStore {
 
  private:
   std::string snapshot_dir_;
+  // Obs series (default registry, resolved at construction): the counters
+  // mirror PlanStoreStats for the Prometheus exposition; the histograms add
+  // the cost distribution of the rare events (compiles, snapshot loads).
+  obs::Counter* obs_hits_ = nullptr;        ///< dlcirc_plan_store_hits_total
+  obs::Counter* obs_misses_ = nullptr;      ///< dlcirc_plan_store_misses_total
+  obs::Counter* obs_compiles_ = nullptr;    ///< dlcirc_plan_store_compiles_total
+  obs::Counter* obs_loads_ = nullptr;       ///< ..._snapshot_loads_total
+  obs::Counter* obs_saves_ = nullptr;       ///< ..._snapshot_saves_total
+  obs::Histogram* obs_compile_ns_ = nullptr;  ///< dlcirc_plan_compile_ns
+  obs::Histogram* obs_load_ns_ = nullptr;     ///< dlcirc_plan_snapshot_load_ns
   mutable std::mutex mu_;  ///< guards plans_, digests_, and stats_
   std::mutex compile_mu_;  ///< serializes compiles (and all Session access)
   /// Digests per session, filled on first use so the hot hit path reads

@@ -16,6 +16,23 @@ Server::Server(pipeline::Session& session, PlanStore& plans,
   DLCIRC_CHECK_GE(options_.num_dispatchers, 1);
   num_facts_ = session.db().num_facts();
   paused_ = options_.paused;
+  start_ns_ = obs::NowNs();
+  obs::Registry& reg = obs::Registry::Default();
+  obs_requests_ = &reg.GetCounter("dlcirc_serve_requests_total", "",
+                                  "Requests accepted into the serve queue");
+  obs_errors_ = &reg.GetCounter("dlcirc_serve_errors_total", "",
+                                "Requests answered with an error");
+  obs_queue_depth_ = &reg.GetGauge("dlcirc_serve_queue_depth", "",
+                                   "Requests waiting in the serve queue");
+  obs_queue_wait_ = &reg.GetHistogram(
+      "dlcirc_serve_queue_wait_ns", "",
+      "Time from submit to dispatcher pop, nanoseconds");
+  obs_latency_ = &reg.GetHistogram(
+      "dlcirc_serve_request_ns", "",
+      "End-to-end request latency (submit to response), nanoseconds");
+  obs_lane_wait_ = &reg.GetHistogram(
+      "dlcirc_serve_lane_wait_ns", "",
+      "Lane lock acquisition wait (epoch serialization), nanoseconds");
   // Warm every lazily-computed Session cache while still single-threaded;
   // afterwards dispatchers touch the Session only under the PlanStore's
   // compile lock, and foreground naming (FindFact/FactName) is read-only.
@@ -37,6 +54,7 @@ Server::~Server() { Stop(); }
 std::future<ServeResponse> Server::Submit(ServeRequest request) {
   Pending pending;
   pending.request = std::move(request);
+  pending.submit_ns = obs_latency_->StartTimeNs();  // 0 while disabled
   std::future<ServeResponse> future = pending.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
@@ -51,6 +69,8 @@ std::future<ServeResponse> Server::Submit(ServeRequest request) {
     queue_.push_back(std::move(pending));
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
+  obs_requests_->Inc();
+  obs_queue_depth_->Add(1);
   queue_pop_cv_.notify_one();
   return future;
 }
@@ -96,6 +116,29 @@ size_t Server::queue_depth() const {
   return queue_.size();
 }
 
+std::vector<ChannelBatchSummary> Server::ChannelSummaries() const {
+  std::vector<ChannelBatchSummary> out;
+  {
+    std::lock_guard<std::mutex> lock(channels_mu_);
+    out.reserve(channels_.size());
+    for (const auto& [key, chan] : channels_) {
+      const obs::LocalHistogram snap = chan->batch_size->Snapshot();
+      ChannelBatchSummary s;
+      s.channel = key;
+      s.sweeps = snap.count();
+      s.p50 = snap.Quantile(0.5);
+      s.p99 = snap.Quantile(0.99);
+      s.max = snap.max();
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChannelBatchSummary& a, const ChannelBatchSummary& b) {
+              return a.channel < b.channel;
+            });
+  return out;
+}
+
 bool Server::PopBurst(std::vector<Pending>* burst) {
   std::unique_lock<std::mutex> lock(queue_mu_);
   queue_pop_cv_.wait(lock, [this] {
@@ -110,6 +153,15 @@ bool Server::PopBurst(std::vector<Pending>* burst) {
     queue_.pop_front();
   }
   lock.unlock();
+  obs_queue_depth_->Add(-static_cast<int64_t>(n));
+  for (const Pending& p : *burst) {
+    if (p.submit_ns != 0) {
+      const uint64_t wait_ns = obs::NowNs() - p.submit_ns;
+      obs_queue_wait_->Record(wait_ns);
+      obs::TraceRecorder::Default().Record("serve", "queue_wait", p.submit_ns,
+                                           wait_ns);
+    }
+  }
   // A burst can free many capacity slots at once; wake every blocked Submit.
   queue_push_cv_.notify_all();
   return true;
@@ -129,6 +181,8 @@ void Server::ServeBurst(std::vector<Pending>* burst,
   std::vector<std::string> group_order;
   std::unordered_map<std::string, std::vector<Pending*>> groups;
   std::vector<Pending*> pings;
+  obs::TraceSpan coalesce_span("serve", "coalesce");
+  coalesce_span.set_args_json("\"burst\":" + std::to_string(burst->size()));
   for (Pending& p : *burst) {
     const ServeRequest& req = p.request;
     if (req.kind == ServeRequest::Kind::kPing) {
@@ -147,9 +201,13 @@ void Server::ServeBurst(std::vector<Pending>* burst,
     if (inserted) group_order.push_back(it->first);
     it->second.push_back(&p);
   }
+  coalesce_span.End();
   for (const std::string& key : group_order) {
     std::vector<Pending*>& group = groups[key];
     const std::string& semiring = group[0]->request.semiring;
+    obs::TraceSpan group_span("serve", "channel_group");
+    group_span.set_args_json("\"channel\":\"" + key +
+                             "\",\"requests\":" + std::to_string(group.size()));
     bool known = pipeline::DispatchSemiring(semiring, [&]<Semiring S>() {
       ServeChannelGroup<S>(key, &group, evaluator);
     });
@@ -159,6 +217,7 @@ void Server::ServeBurst(std::vector<Pending>* burst,
       }
     }
   }
+  obs::TraceSpan respond_span("serve", "respond_pings");
   for (Pending* p : pings) Respond(p, {true, "", 0, {}});
 }
 

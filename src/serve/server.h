@@ -49,6 +49,8 @@
 #include "src/eval/delta.h"
 #include "src/eval/evaluator.h"
 #include "src/eval/state_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/semiring_registry.h"
 #include "src/pipeline/session.h"
 #include "src/serve/plan_store.h"
@@ -116,6 +118,18 @@ struct ServerStats {
   uint64_t errors = 0;            ///< requests answered with an error
 };
 
+/// Batch-size distribution of one channel, for the extended `stats` op. The
+/// quantiles come from the channel's obs histogram, so they are only
+/// populated while the default obs registry is enabled (dlcirc serve enables
+/// it; embedders opt in via obs::Registry::Default().set_enabled(true)).
+struct ChannelBatchSummary {
+  std::string channel;  ///< "semiring/construction" channel key
+  uint64_t sweeps = 0;  ///< coalesced sweeps recorded
+  uint64_t p50 = 0;     ///< median requests per sweep
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
 /// See file comment. The Session must have its EDB loaded; the Server warms
 /// the grounding and digests at construction and thereafter the Session is
 /// only touched through the PlanStore's compile lock, so one Session may sit
@@ -145,10 +159,25 @@ class Server {
   ServerStats stats() const;
   size_t queue_depth() const;
 
+  /// Seconds since construction.
+  double uptime_seconds() const {
+    return static_cast<double>(obs::NowNs() - start_ns_) * 1e-9;
+  }
+
+  /// Per-channel coalescing summaries (see ChannelBatchSummary), sorted by
+  /// channel key.
+  std::vector<ChannelBatchSummary> ChannelSummaries() const;
+
  private:
   struct Pending {
     ServeRequest request;
     std::promise<ServeResponse> promise;
+    /// Submit timestamp (obs clock), or 0 when metrics were disabled at
+    /// submit time — the sentinel that keeps disabled requests clockless.
+    uint64_t submit_ns = 0;
+    /// Channel request-latency histogram, attached once the request is
+    /// routed; overall latency always goes to the unlabeled histogram.
+    obs::Histogram* channel_latency = nullptr;
   };
 
   /// One named lane: a materialized EvalState guarded by a shared_mutex.
@@ -162,6 +191,10 @@ class Server {
 
   struct ChannelBase {
     virtual ~ChannelBase() = default;
+    /// Per-channel obs series (label channel="<key>"), resolved once at
+    /// channel creation; the registry owns the histograms.
+    obs::Histogram* latency = nullptr;    ///< dlcirc_serve_request_ns
+    obs::Histogram* batch_size = nullptr; ///< dlcirc_serve_batch_size
   };
 
   /// Per-(semiring, construction) serving state. `name` fixes S, so the
@@ -181,15 +214,34 @@ class Server {
   Channel<S>& GetChannel(const std::string& channel_key) {
     std::lock_guard<std::mutex> lock(channels_mu_);
     std::unique_ptr<ChannelBase>& slot = channels_[channel_key];
-    if (slot == nullptr) slot = std::make_unique<Channel<S>>();
+    if (slot == nullptr) {
+      auto chan = std::make_unique<Channel<S>>();
+      obs::Registry& reg = obs::Registry::Default();
+      const std::string labels = "channel=\"" + channel_key + "\"";
+      chan->latency = &reg.GetHistogram(
+          "dlcirc_serve_request_ns", labels,
+          "End-to-end request latency (submit to response), nanoseconds");
+      chan->batch_size = &reg.GetHistogram(
+          "dlcirc_serve_batch_size", labels,
+          "Inline eval requests coalesced per batch sweep");
+      slot = std::move(chan);
+    }
     return *static_cast<Channel<S>*>(slot.get());
   }
 
-  static void Respond(Pending* p, ServeResponse response) {
+  /// Every response funnels through here: records end-to-end latency
+  /// (overall + per-channel once routed) before resolving the future.
+  void Respond(Pending* p, ServeResponse response) {
+    if (p->submit_ns != 0) {
+      const uint64_t d = obs::NowNs() - p->submit_ns;
+      obs_latency_->Record(d);
+      if (p->channel_latency != nullptr) p->channel_latency->Record(d);
+    }
     p->promise.set_value(std::move(response));
   }
   void RespondError(Pending* p, std::string error) {
     errors_.fetch_add(1, std::memory_order_relaxed);
+    obs_errors_->Inc();
     Respond(p, {false, std::move(error), 0, {}});
   }
 
@@ -265,7 +317,7 @@ class Server {
   bool paused_ = false;
   bool stopped_ = false;
 
-  std::mutex channels_mu_;
+  mutable std::mutex channels_mu_;
   std::unordered_map<std::string, std::unique_ptr<ChannelBase>> channels_;
 
   std::vector<std::unique_ptr<eval::Evaluator>> evaluators_;
@@ -274,6 +326,17 @@ class Server {
   std::atomic<uint64_t> requests_{0}, evals_{0}, lane_reads_{0},
       lane_makes_{0}, updates_{0}, update_fallbacks_{0}, batches_{0},
       batched_lanes_{0}, max_batch_{0}, errors_{0};
+
+  // Obs series (default registry; resolved once in the constructor). The
+  // ServerStats atomics above stay authoritative for the cheap `stats` op;
+  // these add distributions and the Prometheus exposition.
+  uint64_t start_ns_ = 0;
+  obs::Counter* obs_requests_ = nullptr;   ///< dlcirc_serve_requests_total
+  obs::Counter* obs_errors_ = nullptr;     ///< dlcirc_serve_errors_total
+  obs::Gauge* obs_queue_depth_ = nullptr;  ///< dlcirc_serve_queue_depth
+  obs::Histogram* obs_queue_wait_ = nullptr;  ///< dlcirc_serve_queue_wait_ns
+  obs::Histogram* obs_latency_ = nullptr;     ///< dlcirc_serve_request_ns
+  obs::Histogram* obs_lane_wait_ = nullptr;   ///< dlcirc_serve_lane_wait_ns
 };
 
 // ---------------------------------------------------------------------------
@@ -297,6 +360,7 @@ void Server::ServeChannelGroup(const std::string& channel_key,
   const pipeline::CompiledPlan& plan = *compiled.value();
   const eval::EvalPlan& eplan = plan.plan;
   Channel<S>& chan = GetChannel<S>(channel_key);
+  for (Pending* p : *group) p->channel_latency = chan.latency;
 
   struct InlineEval {
     Pending* pending;
@@ -333,7 +397,9 @@ void Server::ServeChannelGroup(const std::string& channel_key,
           RespondError(p, "unknown lane `" + req.lane + "`");
           break;
         }
+        const uint64_t wait_start = obs_lane_wait_->StartTimeNs();
         std::shared_lock<std::shared_mutex> read(lane->mu);
+        obs_lane_wait_->RecordSince(wait_start);
         Respond(p, {true, "", lane->epoch,
                     FactValues<S>(eplan, lane->state->slots, req.facts)});
         lane_reads_.fetch_add(1, std::memory_order_relaxed);
@@ -380,7 +446,9 @@ void Server::ServeChannelGroup(const std::string& channel_key,
           }
         }
         if (!write.owns_lock()) {
+          const uint64_t wait_start = obs_lane_wait_->StartTimeNs();
           write = std::unique_lock<std::shared_mutex>(lane->mu);
+          obs_lane_wait_->RecordSince(wait_start);
         }
         evaluator.EvaluateInto<S>(eplan, tags.value(), &lane->state->slots);
         lane->state->assignment = std::move(tags).value();
@@ -418,7 +486,9 @@ void Server::ServeChannelGroup(const std::string& channel_key,
         if (bad) break;
         eval::IncrementalEvaluator incremental(evaluator,
                                                eval::DeltaOptions::For<S>());
+        const uint64_t wait_start = obs_lane_wait_->StartTimeNs();
         std::unique_lock<std::shared_mutex> write(lane->mu);
+        obs_lane_wait_->RecordSince(wait_start);
         eval::DeltaStats st =
             incremental.Update<S>(eplan, &*lane->state, delta);
         ++lane->epoch;
@@ -470,6 +540,10 @@ void Server::ServeChannelGroup(const std::string& channel_key,
   while (B > prev && !max_batch_.compare_exchange_weak(
                          prev, B, std::memory_order_relaxed)) {
   }
+  chan.batch_size->Record(B);
+  obs::TraceSpan sweep_span("serve", "batch_eval");
+  sweep_span.set_args_json("\"channel\":\"" + channel_key +
+                           "\",\"lanes\":" + std::to_string(B));
   if constexpr (std::is_same_v<typename S::Value, bool>) {
     std::vector<std::vector<bool>> outputs =
         eval::EvaluateBooleanBitBatch(evaluator, eplan, assignments);

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/session.h"
 #include "src/serve/plan_store.h"
 #include "src/serve/server.h"
@@ -23,6 +25,23 @@
 
 namespace dlcirc {
 namespace {
+
+/// The whole stress binary runs with metrics and trace recording enabled:
+/// the TSan job must see the serve path *with* the obs instrumentation hot,
+/// not the no-op disabled branches.
+class EnableObsEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    obs::Registry::Default().set_enabled(true);
+    obs::TraceRecorder::Default().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Registry::Default().set_enabled(false);
+    obs::TraceRecorder::Default().set_enabled(false);
+  }
+};
+const ::testing::Environment* const kEnableObs =
+    ::testing::AddGlobalTestEnvironment(new EnableObsEnvironment);
 
 using pipeline::PlanKey;
 using pipeline::Session;

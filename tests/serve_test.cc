@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/eval/state_pool.h"
+#include "src/obs/metrics.h"
 #include "src/pipeline/semiring_registry.h"
 #include "src/pipeline/session.h"
 #include "src/serve/plan_store.h"
@@ -446,6 +447,60 @@ TEST(ServerTest, PingFencesAndStopDrains) {
   serve::ServeResponse r = server.Submit(ping).get();
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("stopped"), std::string::npos);
+}
+
+TEST(ServerTest, ObsInstrumentationRecordsServingMetrics) {
+  // The server's metrics all hang off the process-wide obs registry, so this
+  // test enables it, serves, asserts, and restores the disabled default
+  // (other tests in this binary must keep seeing zero-cost no-op metrics).
+  obs::Registry& reg = obs::Registry::Default();
+  reg.ResetValuesForTest();
+  reg.set_enabled(true);
+
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::Server server(session, store);
+  std::vector<uint32_t> facts = {session.FindFact("T", {"s", "t"}).value()};
+
+  const int kRequests = 12;
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    std::vector<std::string> tags(7, std::to_string(1 + (i % 5)));
+    futures.push_back(server.Submit(EvalRequest("tropical", tags, facts)));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok);
+
+  EXPECT_GT(server.uptime_seconds(), 0.0);
+  EXPECT_EQ(reg.GetCounter("dlcirc_serve_requests_total").Value(),
+            static_cast<uint64_t>(kRequests));
+  // Every submit was answered, so the queue-depth gauge is back to zero.
+  EXPECT_EQ(reg.GetGauge("dlcirc_serve_queue_depth").Value(), 0);
+  // One latency sample per request, quantiles sane.
+  obs::LocalHistogram lat =
+      reg.GetHistogram("dlcirc_serve_request_ns").Snapshot();
+  EXPECT_EQ(lat.count(), static_cast<uint64_t>(kRequests));
+  EXPECT_GT(lat.Quantile(0.5), 0u);
+  EXPECT_LE(lat.Quantile(0.5), lat.max());
+
+  // Per-channel batch-size summaries surface through ChannelSummaries().
+  std::vector<serve::ChannelBatchSummary> channels = server.ChannelSummaries();
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_NE(channels[0].channel.find("tropical"), std::string::npos);
+  EXPECT_GT(channels[0].sweeps, 0u);
+  EXPECT_GE(channels[0].p50, 1u);
+  EXPECT_GE(channels[0].max, channels[0].p50);
+
+  // The same numbers flow into the Prometheus exposition.
+  std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("dlcirc_serve_requests_total 12"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dlcirc_serve_batch_size{channel="), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dlcirc_plan_store_misses_total 1"), std::string::npos)
+      << text;
+
+  reg.set_enabled(false);
+  reg.ResetValuesForTest();
 }
 
 // ----------------------------------------------------------------- pooling

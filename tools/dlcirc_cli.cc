@@ -27,6 +27,7 @@
 #include <deque>
 #include <fstream>
 #include <future>
+#include <iomanip>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -34,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/io.h"
 #include "src/pipeline/semiring_registry.h"
 #include "src/pipeline/session.h"
@@ -67,6 +70,8 @@ struct Args {
   int queue_capacity = 1024;
   bool show_facts = false;
   bool quiet = false;
+  bool profile = false;    ///< --profile: compile/eval phase table on stderr
+  std::string trace_out;   ///< --trace-out: Chrome trace JSON dump path
 };
 
 /// --threads wins, then DLCIRC_THREADS, then single-threaded.
@@ -123,10 +128,16 @@ run flags:
   --snapshot-dir DIR   plan snapshot cache: load compiled plans from DIR when
                        present, save fresh compiles into it (warm starts)
   --show-facts         print the EDB fact <-> provenance variable table
+  --profile            print the compile/eval phase table (parse, ground,
+                       route, construct, passes, plan build; plan-cache
+                       hits/misses; eval sweeps) on stderr after the results
+  --trace-out FILE     dump recorded phase spans as Chrome trace_event JSON
+                       (open in about:tracing or ui.perfetto.dev)
   --quiet              suppress the pipeline narration; results only
 
 serve flags: --program/--cfg/--grammar, --facts/--graph, --semiring,
-  --construction, --threads, --snapshot-dir and --quiet as above, plus:
+  --construction, --threads, --snapshot-dir, --trace-out and --quiet as
+  above, plus:
   --requests FILE      read NDJSON requests from FILE instead of stdin
   --dispatchers N      broker threads draining the request queue [1]
   --max-batch N        max requests coalesced into one batched sweep [64]
@@ -137,10 +148,11 @@ serve protocol (one JSON object per line; `id` is echoed back):
   {"op":"lane","lane":"alice","tags":["1","2",...]}
   {"op":"eval","lane":"alice"}            {"op":"update","lane":"alice",
   {"op":"drop","lane":"alice"}             "set":[["x3","5"],["x0","inf"]]}
-  {"op":"ping"}                           {"op":"stats"}
+  {"op":"ping"}                 {"op":"stats"}                {"op":"metrics"}
   optional per-request: "semiring", "construction", "query", "id"
   ("construction": "chain" resolves through the dichotomy planner per the
-   request's semiring, like --grammar)
+   request's semiring, like --grammar; "metrics" returns the Prometheus
+   text exposition of the obs registry as one JSON string)
 )usage";
   return code;
 }
@@ -488,6 +500,35 @@ int RunTyped(const Args& args, Session& session) {
     }
     std::cout << "\n}\n";
   }
+
+  // The phase table goes to stderr so csv/json stdout stays machine-clean.
+  if (args.profile) {
+    const pipeline::PhaseProfile& ph = session.phase_profile();
+    const pipeline::SessionStats& st = session.stats();
+    std::ostringstream prof;
+    prof.setf(std::ios::fixed);
+    prof << std::setprecision(3)
+         << "profile: phase table (ms)\n"
+         << "  parse       " << ph.parse_ms << "\n"
+         << "  ground      " << ph.ground_ms << "\n"
+         << "  route       " << ph.route_ms
+         << (args.route_chain ? "" : "   (chain planner not used)") << "\n"
+         << "  construct   " << ph.construct_ms << "\n"
+         << "  passes      " << ph.passes_ms << "\n"
+         << "  plan-build  " << ph.plan_build_ms << "\n"
+         << "profile: plan cache " << st.plan_cache_hits << " hit(s) / "
+         << st.plan_cache_misses << " miss(es)\n";
+    const obs::LocalHistogram sweeps =
+        obs::Registry::Default()
+            .GetHistogram("dlcirc_eval_sweep_ns")
+            .Snapshot();
+    if (sweeps.count() > 0) {
+      prof << "profile: eval sweeps " << sweeps.count() << ", p50 "
+           << static_cast<double>(sweeps.Quantile(0.5)) * 1e-3 << " us, p99 "
+           << static_cast<double>(sweeps.Quantile(0.99)) * 1e-3 << " us\n";
+    }
+    std::cerr << prof.str();
+  }
   return 0;
 }
 
@@ -578,6 +619,7 @@ struct OutItem {
   std::shared_ptr<const std::vector<std::string>> fact_names;
   std::string id_json;                  ///< rendered "id" to echo, or empty
   bool is_stats = false;                ///< render server stats on completion
+  bool is_metrics = false;              ///< render Prometheus text on completion
 };
 
 std::string ServeError(const std::string& id_json, const std::string& error) {
@@ -603,8 +645,33 @@ std::string RenderStats(const std::string& id_json, const serve::Server& server,
       << ", \"max_batch\": " << s.max_batch << ", \"errors\": " << s.errors
       << ", \"plan_hits\": " << p.hits << ", \"plan_compiles\": " << p.compiles
       << ", \"snapshot_loads\": " << p.snapshot_loads
-      << ", \"snapshot_saves\": " << p.snapshot_saves << "}}";
+      << ", \"snapshot_saves\": " << p.snapshot_saves
+      << ", \"uptime_s\": " << std::fixed << std::setprecision(3)
+      << server.uptime_seconds() << std::defaultfloat
+      << ", \"queue_depth\": " << server.queue_depth() << ", \"channels\": [";
+  bool first = true;
+  for (const serve::ChannelBatchSummary& c : server.ChannelSummaries()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"channel\": \"" << serve::JsonEscape(c.channel)
+        << "\", \"sweeps\": " << c.sweeps << ", \"batch_p50\": " << c.p50
+        << ", \"batch_p99\": " << c.p99 << ", \"batch_max\": " << c.max
+        << "}";
+  }
+  out << "]}}";
   return out.str();
+}
+
+/// The whole obs registry as Prometheus text, embedded as one JSON string
+/// (serve::JsonEscape turns the newlines into \n escapes, so the response
+/// stays a single NDJSON line).
+std::string RenderMetrics(const std::string& id_json) {
+  std::string out = "{";
+  if (!id_json.empty()) out += "\"id\": " + id_json + ", ";
+  out += "\"ok\": true, \"metrics\": \"" +
+         serve::JsonEscape(obs::Registry::Default().RenderPrometheus()) +
+         "\"}";
+  return out;
 }
 
 std::string RenderResponse(const OutItem& item,
@@ -755,8 +822,10 @@ int Serve(const Args& args) {
       std::string line;
       if (item.has_future) {
         serve::ServeResponse response = item.future.get();
-        line = item.is_stats && response.ok ? RenderStats(item.id_json, server, store)
-                                            : RenderResponse(item, response);
+        line = !response.ok ? RenderResponse(item, response)
+               : item.is_stats ? RenderStats(item.id_json, server, store)
+               : item.is_metrics ? RenderMetrics(item.id_json)
+                                 : RenderResponse(item, response);
       } else {
         line = std::move(item.ready);
       }
@@ -920,9 +989,13 @@ int Serve(const Args& args) {
       request.kind = serve::ServeRequest::Kind::kUpdate;
     } else if (op_name == "drop") {
       request.kind = serve::ServeRequest::Kind::kDropLane;
-    } else if (op_name == "ping" || op_name == "stats") {
+    } else if (op_name == "ping" || op_name == "stats" ||
+               op_name == "metrics") {
+      // stats and metrics ride the ping fence: the snapshot they render
+      // reflects everything submitted before them.
       request.kind = serve::ServeRequest::Kind::kPing;
       item.is_stats = op_name == "stats";
+      item.is_metrics = op_name == "metrics";
     } else {
       fail_line("unknown op `" + op_name + "`");
       continue;
@@ -1093,6 +1166,11 @@ int Main(int argc, char** argv) {
       }
     } else if (flag == "--show-facts") {
       args.show_facts = true;
+    } else if (flag == "--profile") {
+      args.profile = true;
+    } else if (flag == "--trace-out") {
+      if (!(v = value(i, "--trace-out")).ok()) return Fail(v.error());
+      args.trace_out = v.value();
     } else if (flag == "--quiet") {
       args.quiet = true;
     } else {
@@ -1100,7 +1178,32 @@ int Main(int argc, char** argv) {
       return Usage(std::cerr, 1);
     }
   }
-  return command == "serve" ? Serve(args) : Run(args);
+  // Observability switches, before any Session exists so parse/ground spans
+  // are captured too. `serve` always enables metrics — the `stats` and
+  // `metrics` ops are part of its protocol and the E16 bench puts the
+  // enabled overhead within noise of disabled.
+  if (command == "serve" || args.profile || !args.trace_out.empty()) {
+    obs::Registry::Default().set_enabled(true);
+  }
+  if (!args.trace_out.empty()) {
+    obs::TraceRecorder::Default().set_enabled(true);
+  }
+  const int code = command == "serve" ? Serve(args) : Run(args);
+  if (!args.trace_out.empty()) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::Default();
+    std::ofstream trace(args.trace_out);
+    if (!trace) return Fail("cannot write " + args.trace_out);
+    rec.WriteChromeTrace(trace);
+    if (!args.quiet) {
+      std::cerr << "dlcirc: wrote " << rec.size() << " trace span(s) to "
+                << args.trace_out
+                << (rec.dropped() > 0
+                        ? " (" + std::to_string(rec.dropped()) + " dropped)"
+                        : "")
+                << "\n";
+    }
+  }
+  return code;
 }
 
 }  // namespace
