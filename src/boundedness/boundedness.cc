@@ -75,6 +75,17 @@ Result<BoundednessReport> CheckBoundednessChain(const Program& program) {
   return report;
 }
 
+BoundednessReport CheckBoundedness(const Program& program,
+                                   const ExpansionLimits& limits) {
+  Result<BoundednessReport> chain = CheckBoundednessChain(program);
+  if (chain.ok()) {
+    BoundednessReport report = chain.value();
+    report.chain_exact = true;
+    return report;
+  }
+  return CheckBoundednessChom(program, limits);
+}
+
 uint32_t MeasureConvergenceIterations(const Program& program, const Database& db) {
   GroundedProgram g = Ground(program, db);
   std::vector<bool> edb(db.num_facts(), true);

@@ -37,6 +37,11 @@ struct BoundednessReport {
   uint32_t bound = 0;
   /// Expansion enumeration hit a budget (the verdict is a semi-decision).
   bool horizon_limited = false;
+  /// The verdict came from the exact chain decision (Prop 5.5), in which
+  /// case `bound` is the longest word length and both verdicts are exact;
+  /// false means the Chom semi-decision produced it and `bound` counts rule
+  /// applications. Set by CheckBoundedness.
+  bool chain_exact = false;
 };
 
 /// Theorem 4.5/4.6 semi-decision (see file comment).
@@ -45,6 +50,14 @@ BoundednessReport CheckBoundednessChom(const Program& program,
 
 /// Proposition 5.5: exact for basic chain programs; errors otherwise.
 Result<BoundednessReport> CheckBoundednessChain(const Program& program);
+
+/// The planner-facing combined analysis (src/pipeline/planner.h routes on
+/// it): the exact chain decision when the program is basic chain, else the
+/// Chom semi-decision. `chain_exact` on the report says which one ran —
+/// which matters downstream because the two bounds are sound over
+/// different semiring classes (see the planner's kBounded gate).
+BoundednessReport CheckBoundedness(const Program& program,
+                                   const ExpansionLimits& limits = {});
 
 /// Naive-evaluation iterations to fixpoint over the Boolean semiring for a
 /// concrete instance (the Definition 4.1 observable).

@@ -101,6 +101,59 @@ Circuit BellmanFordCircuit(const LabeledGraph& graph,
   return b.Build({cur[t]});
 }
 
+Circuit BellmanFordCircuitMulti(
+    const LabeledGraph& graph, const std::vector<uint32_t>& edge_vars,
+    uint32_t num_vars,
+    const std::vector<std::pair<uint32_t, uint32_t>>& outputs,
+    uint32_t layers) {
+  DLCIRC_CHECK_EQ(edge_vars.size(), graph.num_edges());
+  const uint32_t n = graph.num_vertices();
+  if (layers == 0) layers = n;
+  CircuitBuilder b = CircuitBuilder::ForAbsorptive(num_vars);
+  auto in = graph.InEdgeIndex();
+
+  // Outputs grouped by source: one relaxation sweep covers every target.
+  std::vector<std::vector<uint32_t>> by_source(n);
+  for (uint32_t i = 0; i < outputs.size(); ++i) {
+    DLCIRC_CHECK_LT(outputs[i].first, n);
+    DLCIRC_CHECK_LT(outputs[i].second, n);
+    by_source[outputs[i].first].push_back(i);
+  }
+
+  std::vector<GateId> outs(outputs.size(), b.Zero());
+  std::vector<GateId> terms;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (by_source[s].empty()) continue;
+    // f^1_j = x_{s,j}.
+    std::vector<GateId> cur(n, b.Zero());
+    for (uint32_t v = 0; v < n; ++v) {
+      terms.clear();
+      for (uint32_t ei : in[v]) {
+        if (graph.edge(ei).src == s) terms.push_back(b.Input(edge_vars[ei]));
+      }
+      cur[v] = b.PlusN(terms);
+    }
+    // f^k_j = f^{k-1}_j (+) sum_{(i,j) in E} f^{k-1}_i (x) x_{i,j}.
+    for (uint32_t k = 2; k <= layers; ++k) {
+      std::vector<GateId> next(n, b.Zero());
+      for (uint32_t v = 0; v < n; ++v) {
+        terms.clear();
+        terms.push_back(cur[v]);
+        for (uint32_t ei : in[v]) {
+          const LabeledEdge& e = graph.edge(ei);
+          if (cur[e.src] == b.Zero()) continue;
+          terms.push_back(b.Times(cur[e.src], b.Input(edge_vars[ei])));
+        }
+        next[v] = b.PlusN(terms);
+      }
+      if (next == cur) break;  // structural fixpoint
+      cur = std::move(next);
+    }
+    for (uint32_t i : by_source[s]) outs[i] = cur[outputs[i].second];
+  }
+  return b.Build(std::move(outs));
+}
+
 Circuit BellmanFordCircuitIdentity(const StGraph& g, uint32_t layers) {
   std::vector<uint32_t> vars(g.graph.num_edges());
   for (uint32_t i = 0; i < vars.size(); ++i) vars[i] = i;

@@ -46,6 +46,18 @@ Circuit BellmanFordCircuit(const LabeledGraph& graph,
                            uint32_t layers = 0);
 Circuit BellmanFordCircuitIdentity(const StGraph& g, uint32_t layers = 0);
 
+/// Theorem 5.6, multi-output: one relaxation vector per distinct source,
+/// output i the provenance of all s_i -> t_i walks of length >= 1. Unlike
+/// the single-output form, s == t is allowed — the output is then the sum
+/// over closed walks through s, which is what TC's T(v,v) denotes on cyclic
+/// graphs — so `layers` defaults (0) to n (covers every simple cycle, not
+/// just every simple path). Absorptive semirings only.
+Circuit BellmanFordCircuitMulti(
+    const LabeledGraph& graph, const std::vector<uint32_t>& edge_vars,
+    uint32_t num_vars,
+    const std::vector<std::pair<uint32_t, uint32_t>>& outputs,
+    uint32_t layers = 0);
+
 /// Theorem 5.7. One circuit, one output per requested (s,t) pair (s != t).
 /// Absorptive semirings only. Sparse rows are exploited; the dense bound
 /// O(n^3 log n) remains the worst case.

@@ -37,6 +37,13 @@
 // *derivation*. The two coincide whenever duplicate identical terms
 // collapse, i.e. over plus-idempotent semirings; Session::Compile enforces
 // that (non-idempotent keys route to grounded).
+//
+// Since the cost-based planner landed (src/pipeline/planner.h), this module
+// is one candidate generator among several: PlanChainRoute feeds the
+// PlannerContext's chain-shape facts and the kFiniteRpq candidate, next to
+// the Section 4 bounded route and the Theorem 5.6/5.7 path constructions.
+// RouteChainConstruction (the PR 5 `--grammar` front door) remains as the
+// dichotomy-only resolver.
 #ifndef DLCIRC_PIPELINE_CHAIN_PLANNER_H_
 #define DLCIRC_PIPELINE_CHAIN_PLANNER_H_
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/constructions/grounded_circuit.h"
+#include "src/constructions/path_circuits.h"
 #include "src/constructions/uvg_circuit.h"
 #include "src/datalog/parser.h"
 #include "src/graph/graph_db.h"
@@ -20,27 +21,6 @@ double MsSince(uint64_t start_ns) {
   return static_cast<double>(obs::NowNs() - start_ns) * 1e-6;
 }
 }  // namespace
-
-std::string_view ConstructionName(Construction c) {
-  switch (c) {
-    case Construction::kGrounded:
-      return "grounded";
-    case Construction::kUvg:
-      return "uvg";
-    case Construction::kFiniteRpq:
-      return "finite-rpq";
-  }
-  return "?";
-}
-
-Result<Construction> ParseConstruction(std::string_view name) {
-  if (name == "grounded") return Construction::kGrounded;
-  if (name == "uvg") return Construction::kUvg;
-  if (name == "finite-rpq") return Construction::kFiniteRpq;
-  return Result<Construction>::Error(
-      "unknown construction `" + std::string(name) +
-      "` (expected grounded, uvg, or finite-rpq)");
-}
 
 Session::Session(Program program, SessionOptions options)
     : program_(std::move(program)),
@@ -123,6 +103,25 @@ Result<Construction> Session::RouteChainConstruction(bool plus_idempotent) {
                                                  : Construction::kGrounded;
 }
 
+const PlannerContext& Session::planner_context() {
+  if (!planner_context_.has_value()) {
+    // Force the prerequisites first so ground/route phase attribution stays
+    // clean, then time only the context build itself under route_ms.
+    const GroundedProgram& g = grounded();
+    const Result<ChainRoute>& route = chain_route();
+    const uint64_t t0 = obs::NowNs();
+    obs::TraceSpan span("compile", "route");
+    planner_context_ = BuildPlannerContext(program_, db(), g, route);
+    phases_.route_ms += MsSince(t0);
+  }
+  return *planner_context_;
+}
+
+RouteDecision Session::PlanConstruction(const SemiringTraits& traits,
+                                        const PlannerOptions& options) {
+  return PlanRoute(planner_context(), traits, options);
+}
+
 Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key) {
   using Out = Result<std::shared_ptr<const CompiledPlan>>;
   if (!db_.has_value()) return Out::Error("no EDB loaded");
@@ -143,6 +142,53 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
         "semirings collapse the difference — use the grounded construction "
         "instead");
   }
+  if (key.construction == Construction::kBounded) {
+    const PlannerContext& ctx = planner_context();
+    if (ctx.bounded.verdict != BoundednessReport::Verdict::kBounded) {
+      return Out::Error(
+          "the bounded construction (Theorem 4.3) needs a boundedness "
+          "verdict, and none was found" +
+          std::string(ctx.bounded.horizon_limited
+                          ? " within the expansion horizon (Theorem 4.5 "
+                            "semi-decision)"
+                          : " (the program is unbounded)") +
+          " — use the grounded construction instead");
+    }
+    if (ctx.bounded.chain_exact ? !key.plus_idempotent
+                                : !(key.absorptive && key.times_idempotent)) {
+      return Out::Error(
+          ctx.bounded.chain_exact
+              ? "the chain-exact bound truncates repeated unit cycles, which "
+                "is only sound over plus-idempotent semirings — use the "
+                "grounded construction instead"
+              : "the Chom boundedness verdict (Theorem 4.6) only transfers "
+                "to absorptive times-idempotent semirings (Corollary 4.7) — "
+                "use the grounded construction instead");
+    }
+  }
+  if (key.construction == Construction::kBellmanFord ||
+      key.construction == Construction::kRepeatedSquaring) {
+    const PlannerContext& ctx = planner_context();
+    if (!key.absorptive) {
+      return Out::Error(
+          "the Theorem 5.6/5.7 path constructions sum over walks up to a "
+          "layer bound; only absorptive semirings collapse the longer walks "
+          "— use the grounded construction instead");
+    }
+    if (!ctx.sigma_plus || !ctx.binary_edb || !ctx.binary_idb) {
+      return Out::Error(
+          "the Theorem 5.6/5.7 path constructions apply to TC-shaped chain "
+          "programs (every non-empty language Sigma+ over a binary EDB) — "
+          "use the grounded construction instead");
+    }
+    if (key.construction == Construction::kRepeatedSquaring &&
+        ctx.has_diagonal_fact) {
+      return Out::Error(
+          "a grounded IDB fact P(v,v) exists (closed walks) and the "
+          "repeated-squaring matrix fixes the diagonal at 1 — use "
+          "bellman-ford instead");
+    }
+  }
 
   auto compiled = std::make_shared<CompiledPlan>();
   compiled->key = key;
@@ -150,15 +196,23 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
   uint64_t t0 = obs::NowNs();
   obs::TraceSpan construct_span("compile", "construct");
   switch (key.construction) {
-    case Construction::kGrounded: {
+    case Construction::kGrounded:
+    case Construction::kBounded: {
       GroundedCircuitOptions options;
-      options.max_layers = key.max_layers;
+      // kBounded is the grounded construction truncated at the Theorem 4.3
+      // layer cap; serve channels key plans with max_layers = 0, so the cap
+      // comes from the planner context rather than the key.
+      options.max_layers = key.max_layers != 0 ? key.max_layers
+                           : key.construction == Construction::kBounded
+                               ? planner_context().bounded_layer_cap
+                               : 0;
       options.builder.plus_idempotent = key.plus_idempotent;
       options.builder.absorptive = key.absorptive;
       GroundedCircuitResult r = GroundedProgramCircuit(grounded(), options);
       built = std::move(r.circuit);
       compiled->layers_used = r.layers_used;
-      compiled->reached_fixpoint = r.reached_structural_fixpoint;
+      compiled->reached_fixpoint = r.reached_structural_fixpoint ||
+                                   key.construction == Construction::kBounded;
       break;
     }
     case Construction::kUvg: {
@@ -184,6 +238,37 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
       // the grounded construction, and the construction covers every
       // matched path by definition.
       compiled->layers_used = route.value().longest_word;
+      compiled->reached_fixpoint = true;
+      break;
+    }
+    case Construction::kBellmanFord:
+    case Construction::kRepeatedSquaring: {
+      Result<EdbGraph> graph_r = EdbAsGraph(program_, db());
+      if (!graph_r.ok()) return Out::Error(graph_r.error());
+      const EdbGraph& eg = graph_r.value();
+      std::vector<std::pair<uint32_t, uint32_t>> outputs;
+      const std::vector<GroundedProgram::IdbFact>& facts =
+          grounded().idb_facts();
+      outputs.reserve(facts.size());
+      for (const GroundedProgram::IdbFact& f : facts) {
+        DLCIRC_CHECK_EQ(f.tuple.size(), 2u) << "gated on binary_idb above";
+        outputs.push_back({f.tuple[0], f.tuple[1]});
+      }
+      const uint32_t n = eg.graph.num_vertices();
+      if (key.construction == Construction::kBellmanFord) {
+        built = BellmanFordCircuitMulti(eg.graph, eg.edge_vars,
+                                        db().num_facts(), outputs,
+                                        key.max_layers);
+        compiled->layers_used = key.max_layers != 0 ? key.max_layers : n;
+      } else {
+        built = RepeatedSquaringCircuit(eg.graph, eg.edge_vars,
+                                        db().num_facts(), outputs);
+        uint32_t rounds = 0;
+        for (uint32_t len = 1; len < n; len *= 2) ++rounds;
+        compiled->layers_used = rounds;
+      }
+      // Both constructions cover every walk length that can matter
+      // (absorption collapses the rest) — the plan is a true fixpoint.
       compiled->reached_fixpoint = true;
       break;
     }

@@ -40,39 +40,36 @@
 #include "src/eval/passes.h"
 #include "src/lang/cfg.h"
 #include "src/pipeline/chain_planner.h"
+#include "src/pipeline/planner.h"
 #include "src/util/hash.h"
 #include "src/util/result.h"
 
 namespace dlcirc {
 namespace pipeline {
 
-/// Circuit constructions the Session can pick from src/constructions.
-/// kGrounded (Theorem 3.1) works for every program; kUvg (Theorem 6.2) is
-/// shallower (depth O(log^2 m)) for programs with polynomial fringes and
-/// requires an absorptive semiring; kFiniteRpq (Theorem 5.8) is the finite
-/// side of the Section 5 dichotomy — depth O(log n) for chain programs
-/// whose languages are finite, requires a plus-idempotent semiring and a
-/// binary-edge (labeled-graph) EDB. RouteChainConstruction picks between
-/// kFiniteRpq and kGrounded automatically (src/pipeline/chain_planner.h).
-enum class Construction : uint8_t { kGrounded, kUvg, kFiniteRpq };
-
-std::string_view ConstructionName(Construction c);
-Result<Construction> ParseConstruction(std::string_view name);
-
 /// Everything that identifies one compiled plan for a fixed (program, EDB):
-/// which construction, which semiring-class rewrites the circuit may use
-/// (mirroring CircuitBuilder::Options / eval::PassOptions), and the ICO
-/// layer bound for the grounded construction (0 = absorptive-safe default).
+/// which construction (src/pipeline/planner.h), which semiring-class
+/// rewrites the circuit may use (mirroring CircuitBuilder::Options /
+/// eval::PassOptions), and the ICO layer bound for the grounded family
+/// (0 = the construction's own safe default).
 struct PlanKey {
   Construction construction = Construction::kGrounded;
   bool plus_idempotent = true;
   bool absorptive = true;
+  /// Only keyed for kBounded: no rewrite consumes it, but the Theorem 4.3
+  /// truncation of a Chom-derived bound is sound exactly over absorptive
+  /// times-idempotent semirings, and Tropical/Fuzzy agree on every other
+  /// flag — without this bit they would share a bounded plan unsoundly.
+  /// For<S> zeroes it elsewhere so all other constructions keep their
+  /// cross-semiring plan sharing.
+  bool times_idempotent = false;
   uint32_t max_layers = 0;
 
   /// Key with the rewrite flags a given semiring permits.
   template <Semiring S>
   static PlanKey For(Construction c = Construction::kGrounded) {
-    return {c, S::kIsIdempotent, S::kIsAbsorptive, 0};
+    return {c, S::kIsIdempotent, S::kIsAbsorptive,
+            c == Construction::kBounded && S::kIsTimesIdempotent, 0};
   }
 
   bool operator==(const PlanKey&) const = default;
@@ -89,7 +86,8 @@ struct PlanKeyHash {
     uint64_t packed = static_cast<uint64_t>(k.max_layers) |
                       (static_cast<uint64_t>(k.construction) << 32) |
                       (static_cast<uint64_t>(k.plus_idempotent) << 40) |
-                      (static_cast<uint64_t>(k.absorptive) << 41);
+                      (static_cast<uint64_t>(k.absorptive) << 41) |
+                      (static_cast<uint64_t>(k.times_idempotent) << 42);
     return static_cast<size_t>(SplitMix64(packed));
   }
 };
@@ -188,8 +186,23 @@ class Session {
   /// the program is not basic chain.
   Result<Construction> RouteChainConstruction(bool plus_idempotent);
 
+  /// Everything the cost-based planner knows about this (program, EDB) —
+  /// chain shape, Sigma+ detection, the Section 4 boundedness verdict, and
+  /// the instance statistics the cost model scores with. Computed lazily
+  /// once (it subsumes chain_route() and grounding) and shared by every
+  /// per-semiring PlanConstruction call. Requires a loaded EDB.
+  const PlannerContext& planner_context();
+
+  /// The cost-based routing decision for one request semiring: scores every
+  /// construction over planner_context() and returns the full plan tree
+  /// (src/pipeline/planner.h). decision.construction is what
+  /// `--construction auto` compiles. Requires a loaded EDB.
+  RouteDecision PlanConstruction(const SemiringTraits& traits,
+                                 const PlannerOptions& options = {});
+
   /// Compiles (or returns the cached) plan for `key`. Fails when the key is
-  /// inconsistent (UVG without absorptive flags). Requires a loaded EDB.
+  /// inconsistent (UVG without absorptive flags, bounded without a
+  /// boundedness verdict, ...). Requires a loaded EDB.
   Result<std::shared_ptr<const CompiledPlan>> Compile(const PlanKey& key);
 
   /// Adopts an externally obtained plan (a deserialized snapshot,
@@ -363,6 +376,7 @@ class Session {
   std::vector<uint32_t> edge_vars_;
   std::optional<GroundedProgram> grounded_;
   std::optional<Result<ChainRoute>> chain_route_;
+  std::optional<PlannerContext> planner_context_;
   std::unordered_map<PlanKey, std::shared_ptr<const CompiledPlan>, PlanKeyHash>
       plan_cache_;
   std::unique_ptr<eval::Evaluator> evaluator_;

@@ -86,6 +86,10 @@ struct ServeResponse {
   /// update); 0 for stateless inline evaluations and pings.
   uint64_t epoch = 0;
   std::vector<std::string> values;  ///< one per requested fact, in order
+  /// Name of the construction the request's channel serves plans through
+  /// (per-request construction reporting, rendered by `dlcirc serve
+  /// --explain`); empty for pings and requests rejected before routing.
+  std::string construction;
 };
 
 struct ServerOptions {
@@ -178,6 +182,8 @@ class Server {
     /// Channel request-latency histogram, attached once the request is
     /// routed; overall latency always goes to the unlabeled histogram.
     obs::Histogram* channel_latency = nullptr;
+    /// Construction name of the routed channel (copied into the response).
+    std::string_view construction;
   };
 
   /// One named lane: a materialized EvalState guarded by a shared_mutex.
@@ -237,6 +243,7 @@ class Server {
       obs_latency_->Record(d);
       if (p->channel_latency != nullptr) p->channel_latency->Record(d);
     }
+    response.construction = p->construction;
     p->promise.set_value(std::move(response));
   }
   void RespondError(Pending* p, std::string error) {
@@ -351,6 +358,10 @@ void Server::ServeChannelGroup(const std::string& channel_key,
                                std::vector<Pending*>* group,
                                eval::Evaluator& evaluator) {
   const pipeline::Construction construction = (*group)[0]->request.construction;
+  // Report the channel's construction on every response of the group
+  // (including errors past this point — the request was already routed).
+  // ConstructionName returns a static string_view, safe to hold by view.
+  for (Pending* p : *group) p->construction = pipeline::ConstructionName(construction);
   auto compiled =
       plans_.GetOrCompile(session_, pipeline::PlanKey::For<S>(construction));
   if (!compiled.ok()) {

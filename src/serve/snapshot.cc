@@ -182,6 +182,7 @@ Result<bool> SavePlan(const pipeline::CompiledPlan& plan,
   w.U8(static_cast<uint8_t>(plan.key.construction));
   w.U8(plan.key.plus_idempotent ? 1 : 0);
   w.U8(plan.key.absorptive ? 1 : 0);
+  w.U8(plan.key.times_idempotent ? 1 : 0);
   w.U32(plan.key.max_layers);
   w.U32(plan.layers_used);
   w.U8(plan.reached_fixpoint ? 1 : 0);
@@ -286,6 +287,7 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> LoadPlan(
   plan->key.construction = static_cast<pipeline::Construction>(r.U8());
   plan->key.plus_idempotent = r.U8() != 0;
   plan->key.absorptive = r.U8() != 0;
+  plan->key.times_idempotent = r.U8() != 0;
   plan->key.max_layers = r.U32();
   plan->layers_used = r.U32();
   plan->reached_fixpoint = r.U8() != 0;

@@ -36,7 +36,9 @@ namespace dlcirc {
 namespace serve {
 
 /// Bumped whenever the payload layout changes; loaders reject other versions.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// v2: PlanKey gained times_idempotent (one byte after absorptive) — v1
+/// snapshots fall back to a cold compile via the version check.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Canonical snapshot file name for one (program, EDB, key) triple:
 /// "plan-<program digest>-<edb digest>-<key hash>.dlcp" (hex).

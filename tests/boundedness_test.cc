@@ -4,11 +4,17 @@
 // iteration counts of Definition 4.1.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+
 #include "src/boundedness/boundedness.h"
 #include "src/boundedness/cq.h"
 #include "src/boundedness/expansions.h"
+#include "src/constructions/grounded_circuit.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph_db.h"
+#include "src/pipeline/session.h"
+#include "src/semiring/instances.h"
 #include "tests/test_programs.h"
 
 namespace dlcirc {
@@ -205,6 +211,112 @@ Q(X) :- P(X), A(X).
 )");
   BoundednessReport r = CheckBoundednessChom(p);
   EXPECT_EQ(r.verdict, BoundednessReport::Verdict::kBounded);
+}
+
+// ------------------------------------------- combined (planner-facing) entry
+
+TEST(CombinedBoundednessTest, MutuallyRecursiveUnitCycleChain) {
+  // T and S feed each other through unit rules — a cycle of unit
+  // productions that a naive word-length induction would spin on. The
+  // language is just {a}, so the exact chain decision applies: bounded,
+  // chain_exact, bound = longest word = 1.
+  Program p = MustParse(R"(
+@target T.
+T(X,Y) :- S(X,Y).
+S(X,Y) :- T(X,Y).
+S(X,Y) :- A(X,Y).
+)");
+  BoundednessReport r = CheckBoundedness(p);
+  EXPECT_EQ(r.verdict, BoundednessReport::Verdict::kBounded);
+  EXPECT_TRUE(r.chain_exact);
+  EXPECT_EQ(r.bound, 1u);
+}
+
+TEST(CombinedBoundednessTest, BoundedButNotChainFallsBackToChom) {
+  // Example 4.2 has a unary guard, so it is not chain-shaped; the combined
+  // entry must fall back to the Theorem 4.5/4.6 semi-decision and say so
+  // via chain_exact=false (the bound is then only Chom-sound — the
+  // planner's kBounded gate keys on exactly this flag).
+  BoundednessReport r = CheckBoundedness(MustParse(kBoundedText));
+  EXPECT_EQ(r.verdict, BoundednessReport::Verdict::kBounded);
+  EXPECT_FALSE(r.chain_exact);
+  EXPECT_LE(r.bound, 2u);
+}
+
+TEST(CombinedBoundednessTest, ChainProgramsGetTheExactDecision) {
+  // TC is chain-shaped with an infinite language: the combined entry must
+  // use the exact Proposition 5.5 decision (no horizon hedging), unlike
+  // the Chom semi-decision which can only say "no bound found".
+  BoundednessReport r = CheckBoundedness(MustParse(kTcText));
+  EXPECT_EQ(r.verdict, BoundednessReport::Verdict::kNoBoundFound);
+  EXPECT_TRUE(r.chain_exact);
+  EXPECT_FALSE(r.horizon_limited);
+
+  BoundednessReport reach = CheckBoundedness(MustParse(kReachText));
+  EXPECT_EQ(reach.verdict, BoundednessReport::Verdict::kNoBoundFound);
+  EXPECT_FALSE(reach.chain_exact);
+}
+
+// --------------------------------------------- Theorem 4.3 depth separation
+
+std::string ChainInstanceFacts(uint32_t n) {
+  std::ostringstream out;
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    out << "E(c" << i << ",c" << i + 1 << "). ";
+  }
+  out << "A(c0). ";
+  return out.str();
+}
+
+TEST(BoundedDepthTest, Theorem43PlansAreLogDepthVsLinearGrounded) {
+  // Theorem 4.3: once a bound is known, the ICO can stop after a constant
+  // number of layers and each layer is a UCQ circuit of depth O(log n) in
+  // the instance — total depth O(log n). The uncapped grounded baseline on
+  // Example 4.2 never reaches a structural fixpoint (the recursive rule
+  // keeps nesting Sigma_z T(z,y) another level), so forcing it to run the
+  // absorptive-safe num_idb_facts+1 layers yields depth Theta(n).
+  Program p = MustParse(kBoundedText);
+  std::vector<uint32_t> grounded_depth, bounded_depth, sizes = {4, 8, 16};
+  for (uint32_t n : sizes) {
+    // Theta(n) baseline: raw construction, no layer cap, no early stop.
+    Result<pipeline::Session> s = pipeline::Session::FromDatalog(kBoundedText);
+    ASSERT_TRUE(s.ok()) << s.error();
+    pipeline::Session session = std::move(s).value();
+    Result<bool> loaded = session.LoadFactsText(ChainInstanceFacts(n));
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+
+    GroundedCircuitOptions opts;
+    opts.stop_at_structural_fixpoint = false;  // max_layers=0: n_idb+1 layers
+    GroundedCircuitResult base =
+        GroundedProgramCircuit(session.grounded(), opts);
+    grounded_depth.push_back(base.circuit.Depth());
+
+    // Theorem 4.3 route: the planner's capped construction (Chom bound 2),
+    // measured pre-optimizer so the comparison is construction-vs-
+    // construction, not optimizer-vs-optimizer.
+    auto compiled = session.Compile(
+        pipeline::PlanKey::For<FuzzySemiring>(pipeline::Construction::kBounded));
+    ASSERT_TRUE(compiled.ok()) << compiled.error();
+    bounded_depth.push_back(compiled.value()->unoptimized.depth);
+  }
+
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    SCOPED_TRACE("n=" + std::to_string(sizes[i]) +
+                 " grounded depth " + std::to_string(grounded_depth[i]) +
+                 " bounded depth " + std::to_string(bounded_depth[i]));
+    // O(log n): generous constants, but sublinear by a wide margin.
+    double logn = std::log2(static_cast<double>(sizes[i]));
+    EXPECT_LE(bounded_depth[i], 6.0 * logn + 12.0);
+    // Theta(n): at least one gate level per extra layer.
+    EXPECT_GE(grounded_depth[i], sizes[i]);
+  }
+  // Linear growth for the baseline, near-flat growth for the capped plan.
+  EXPECT_GE(grounded_depth[2] - grounded_depth[1], 8u);
+  EXPECT_GE(grounded_depth[1] - grounded_depth[0], 4u);
+  EXPECT_LE(bounded_depth[2], bounded_depth[0] + 8u);
+  // The headline separation: at n=16 the Theorem 4.3 plan is at least 4x
+  // shallower than the grounded baseline.
+  EXPECT_GT(grounded_depth[2], 4u * bounded_depth[2]);
 }
 
 }  // namespace

@@ -409,16 +409,18 @@ TEST(PlanKeyHashTest, DenseKeyEnumerationHasNoCollisions) {
   std::unordered_set<uint64_t> full;
   std::unordered_set<uint32_t> low32;
   size_t keys = 0;
-  for (pipeline::Construction c :
-       {Construction::kGrounded, Construction::kUvg}) {
+  for (uint32_t ci = 0; ci < pipeline::kNumConstructions; ++ci) {
     for (int pi = 0; pi < 2; ++pi) {
       for (int ab = 0; ab < 2; ++ab) {
-        for (uint32_t layers = 0; layers < 256; ++layers) {
-          pipeline::PlanKey key{c, pi != 0, ab != 0, layers};
-          uint64_t h = hash(key);
-          full.insert(h);
-          low32.insert(static_cast<uint32_t>(h));
-          ++keys;
+        for (int ti = 0; ti < 2; ++ti) {
+          for (uint32_t layers = 0; layers < 256; ++layers) {
+            pipeline::PlanKey key{static_cast<Construction>(ci), pi != 0,
+                                  ab != 0, ti != 0, layers};
+            uint64_t h = hash(key);
+            full.insert(h);
+            low32.insert(static_cast<uint32_t>(h));
+            ++keys;
+          }
         }
       }
     }
@@ -434,14 +436,17 @@ TEST(PlanKeyHashTest, DenseKeyEnumerationHasNoCollisions) {
 TEST(PlanKeyHashTest, FlagBitsSurvive32BitTruncation) {
   pipeline::PlanKeyHash hash;
   for (uint32_t layers : {0u, 1u, 7u, 4096u}) {
-    pipeline::PlanKey a{Construction::kGrounded, false, false, layers};
-    pipeline::PlanKey b{Construction::kGrounded, true, false, layers};
-    pipeline::PlanKey c{Construction::kGrounded, true, true, layers};
-    pipeline::PlanKey d{Construction::kUvg, true, true, layers};
+    pipeline::PlanKey a{Construction::kGrounded, false, false, false, layers};
+    pipeline::PlanKey b{Construction::kGrounded, true, false, false, layers};
+    pipeline::PlanKey c{Construction::kGrounded, true, true, false, layers};
+    pipeline::PlanKey d{Construction::kUvg, true, true, false, layers};
+    pipeline::PlanKey e{Construction::kBounded, true, true, true, layers};
+    pipeline::PlanKey f{Construction::kBounded, true, true, false, layers};
     EXPECT_NE(static_cast<uint32_t>(hash(a)), static_cast<uint32_t>(hash(b)));
     EXPECT_NE(static_cast<uint32_t>(hash(b)), static_cast<uint32_t>(hash(c)));
     EXPECT_NE(static_cast<uint32_t>(hash(c)), static_cast<uint32_t>(hash(d)));
     EXPECT_NE(static_cast<uint32_t>(hash(a)), static_cast<uint32_t>(hash(d)));
+    EXPECT_NE(static_cast<uint32_t>(hash(e)), static_cast<uint32_t>(hash(f)));
   }
 }
 

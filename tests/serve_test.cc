@@ -65,15 +65,13 @@ std::vector<typename S::Value> RandomTagging(Rng& rng, uint32_t num_vars) {
 // ---------------------------------------------------------------- snapshot
 
 template <Semiring S>
-void RoundTripOneSemiring() {
-  SCOPED_TRACE(S::Name());
-  Session session = MakeFig1Session();
-  PlanKey key = PlanKey::For<S>();
+void RoundTripPlan(Session& session, PlanKey key, const std::string& tag) {
+  SCOPED_TRACE(tag);
   auto compiled = session.Compile(key);
   ASSERT_TRUE(compiled.ok()) << compiled.error();
   const pipeline::CompiledPlan& fresh = *compiled.value();
 
-  std::string dir = MakeTempDir("snap_" + S::Name());
+  std::string dir = MakeTempDir(tag);
   std::string path = dir + "/" + serve::SnapshotFileName(
                                      session.ProgramDigest(),
                                      session.EdbDigest(), key);
@@ -132,11 +130,107 @@ void RoundTripOneSemiring() {
   std::filesystem::remove_all(dir);
 }
 
+template <Semiring S>
+void RoundTripOneSemiring() {
+  Session session = MakeFig1Session();
+  RoundTripPlan<S>(session, PlanKey::For<S>(), "snap_" + S::Name());
+}
+
 TEST(SnapshotTest, RoundTripIsBitExactAcrossSemirings) {
   RoundTripOneSemiring<TropicalSemiring>();
   RoundTripOneSemiring<BooleanSemiring>();
   RoundTripOneSemiring<CountingSemiring>();
   RoundTripOneSemiring<ViterbiSemiring>();
+}
+
+TEST(SnapshotTest, RoundTripCoversEveryConstruction) {
+  using pipeline::Construction;
+  // Every planner route must survive a snapshot round trip bit-exactly —
+  // the plan cache / PlanStore / serve channels treat them uniformly, so a
+  // construction the snapshot codec mishandles would warm-start wrong.
+  {
+    // Theorem 5.6 / 5.7 routes on the (acyclic) Figure 1 instance.
+    Session session = MakeFig1Session();
+    RoundTripPlan<TropicalSemiring>(
+        session, PlanKey::For<TropicalSemiring>(Construction::kBellmanFord),
+        "snap_bf");
+    RoundTripPlan<TropicalSemiring>(
+        session,
+        PlanKey::For<TropicalSemiring>(Construction::kRepeatedSquaring),
+        "snap_rs");
+  }
+  {
+    // Theorem 4.3 route on the Example 4.2 program over a Chom semiring.
+    Result<Session> s = Session::FromDatalog(testing::kBoundedText);
+    ASSERT_TRUE(s.ok()) << s.error();
+    Session session = std::move(s).value();
+    ASSERT_TRUE(
+        session
+            .LoadFactsText("E(a,b). E(b,c). E(c,d). E(d,e). A(a). A(c).")
+            .ok());
+    RoundTripPlan<FuzzySemiring>(
+        session, PlanKey::For<FuzzySemiring>(Construction::kBounded),
+        "snap_bounded");
+  }
+  {
+    // Theorem 6.2 route on the monadic reachability program.
+    Result<Session> s = Session::FromDatalog(testing::kReachText);
+    ASSERT_TRUE(s.ok()) << s.error();
+    Session session = std::move(s).value();
+    ASSERT_TRUE(
+        session.LoadFactsText("A(a). E(b,a). E(c,b). E(d,c). E(e,d).").ok());
+    RoundTripPlan<BooleanSemiring>(
+        session, PlanKey::For<BooleanSemiring>(Construction::kUvg),
+        "snap_uvg");
+  }
+  {
+    // Theorem 5.8 route on the finite chain language {a, ab}.
+    Result<Session> s = Session::FromDatalog(testing::kFiniteChainText);
+    ASSERT_TRUE(s.ok()) << s.error();
+    Session session = std::move(s).value();
+    ASSERT_TRUE(
+        session.LoadFactsText("A(a,b). A(b,c). B(b,d). B(c,a).").ok());
+    RoundTripPlan<BooleanSemiring>(
+        session, PlanKey::For<BooleanSemiring>(Construction::kFiniteRpq),
+        "snap_frpq");
+  }
+}
+
+TEST(SnapshotTest, RejectsForgedTimesIdempotentKeyBit) {
+  // The times_idempotent bit decides whether a kBounded plan's Chom layer
+  // cap was sound for the requesting semiring; a snapshot saved under the
+  // x-idempotent key must not load for the non-x-idempotent one.
+  Result<Session> s = Session::FromDatalog(testing::kBoundedText);
+  ASSERT_TRUE(s.ok()) << s.error();
+  Session session = std::move(s).value();
+  ASSERT_TRUE(
+      session.LoadFactsText("E(a,b). E(b,c). E(c,d). A(a).").ok());
+  PlanKey key =
+      PlanKey::For<FuzzySemiring>(pipeline::Construction::kBounded);
+  ASSERT_TRUE(key.times_idempotent);
+  auto compiled = session.Compile(key);
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  std::string dir = MakeTempDir("snap_forged_ti");
+  std::string path = dir + "/plan.dlcp";
+  ASSERT_TRUE(serve::SavePlan(*compiled.value(), session.ProgramDigest(),
+                              session.EdbDigest(), path)
+                  .ok());
+  EXPECT_TRUE(serve::LoadPlan(path, session.ProgramDigest(),
+                              session.EdbDigest(), key)
+                  .ok());
+  PlanKey forged = key;
+  forged.times_idempotent = false;
+  auto r = serve::LoadPlan(path, session.ProgramDigest(),
+                           session.EdbDigest(), forged);
+  EXPECT_FALSE(r.ok());
+  // And a construction mismatch on otherwise-identical flags.
+  PlanKey wrong_construction = key;
+  wrong_construction.construction = pipeline::Construction::kGrounded;
+  wrong_construction.times_idempotent = false;  // For<S> normalization
+  EXPECT_FALSE(serve::LoadPlan(path, session.ProgramDigest(),
+                               session.EdbDigest(), wrong_construction)
+                   .ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SnapshotTest, RejectsCorruptionTruncationAndMismatch) {
@@ -311,6 +405,62 @@ TEST(ServerTest, InlineEvalsMatchSessionTagBatch) {
     EXPECT_EQ(rb.values[i], pipeline::FormatSemiringValue<BooleanSemiring>(
                                 expected_b.value()[0][i]));
   }
+}
+
+TEST(ServerTest, RoutesChannelsPerConstructionAndReportsThem) {
+  // Regression for the route-cache pre-warm fix: the server must serve
+  // arbitrary planner routes (not just kFiniteRpq) through per-
+  // (semiring, construction) channels, with interleaved requests landing
+  // on the right plan and each response reporting its channel's
+  // construction.
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::Server server(session, store);
+  std::vector<uint32_t> facts = session.TargetFacts();
+  std::vector<std::string> tags = {"1", "2", "3", "4", "5", "6", "7"};
+
+  // Interleave three constructions in one burst so the coalescer must
+  // split the batch by channel.
+  std::vector<pipeline::Construction> routes = {
+      pipeline::Construction::kBellmanFord,
+      pipeline::Construction::kGrounded,
+      pipeline::Construction::kBellmanFord,
+      pipeline::Construction::kRepeatedSquaring,
+      pipeline::Construction::kGrounded,
+  };
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (pipeline::Construction c : routes) {
+    serve::ServeRequest req = EvalRequest("tropical", tags, facts);
+    req.construction = c;
+    futures.push_back(server.Submit(req));
+  }
+
+  std::vector<std::vector<uint64_t>> lane = {{1, 2, 3, 4, 5, 6, 7}};
+  for (size_t i = 0; i < routes.size(); ++i) {
+    serve::ServeResponse r = futures[i].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.construction, pipeline::ConstructionName(routes[i]));
+    auto expected = session.TagBatch<TropicalSemiring>(
+        PlanKey::For<TropicalSemiring>(routes[i]), lane, facts);
+    ASSERT_TRUE(expected.ok()) << expected.error();
+    ASSERT_EQ(r.values.size(), facts.size());
+    for (size_t j = 0; j < facts.size(); ++j) {
+      EXPECT_EQ(r.values[j],
+                pipeline::FormatSemiringValue<TropicalSemiring>(
+                    expected.value()[0][j]))
+          << "request " << i << " fact " << j;
+    }
+  }
+
+  // An inapplicable forced route fails the request, not the server.
+  serve::ServeRequest bad = EvalRequest("counting", tags, facts);
+  bad.construction = pipeline::Construction::kBellmanFord;
+  serve::ServeResponse rbad = server.Submit(bad).get();
+  EXPECT_FALSE(rbad.ok);
+  // ...and the server still serves afterwards.
+  serve::ServeRequest ok = EvalRequest("tropical", tags, facts);
+  ok.construction = pipeline::Construction::kBellmanFord;
+  EXPECT_TRUE(server.Submit(ok).get().ok);
 }
 
 TEST(ServerTest, LanesMaterializeUpdateAndDrop) {

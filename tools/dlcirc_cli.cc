@@ -30,6 +30,7 @@
 #include <iomanip>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -71,6 +72,7 @@ struct Args {
   bool show_facts = false;
   bool quiet = false;
   bool profile = false;    ///< --profile: compile/eval phase table on stderr
+  bool explain = false;    ///< --explain: the planner's scored plan tree
   std::string trace_out;   ///< --trace-out: Chrome trace JSON dump path
 };
 
@@ -117,10 +119,16 @@ run flags:
                        variables, `x3` or `3`) and reports the refreshed
                        queried facts through the incremental evaluator
   --semiring NAME      semiring to tag over (default boolean; see `semirings`)
-  --construction NAME  grounded (Thm 3.1, any program), uvg (Thm 6.2,
-                       absorptive semirings; depth O(log^2 m)), or
-                       finite-rpq (Thm 5.8, finite chain languages over
-                       plus-idempotent semirings; depth O(log n)) [grounded]
+  --construction NAME  grounded (Thm 3.1, any program), uvg (Thm 6.2),
+                       finite-rpq (Thm 5.8), bounded (Thm 4.3),
+                       bellman-ford (Thm 5.6), repeated-squaring (Thm 5.7),
+                       or auto — score every applicable construction with
+                       the cost-based planner and pick the cheapest
+                       [grounded]
+  --explain            print the planner's scored plan tree: every
+                       candidate construction with its size/depth estimate
+                       or the reason it is inapplicable (text/csv formats:
+                       stdout/stderr; json: an "explain" object)
   --query "T(s,t)"     IDB fact to report; repeatable (default: all facts of
                        the target predicate)
   --format NAME        text, csv, or json [text]
@@ -136,8 +144,9 @@ run flags:
   --quiet              suppress the pipeline narration; results only
 
 serve flags: --program/--cfg/--grammar, --facts/--graph, --semiring,
-  --construction, --threads, --snapshot-dir, --trace-out and --quiet as
-  above, plus:
+  --construction, --explain (dumps the default semiring's plan tree to
+  stderr at startup and adds "construction" to responses), --threads,
+  --snapshot-dir, --trace-out and --quiet as above, plus:
   --requests FILE      read NDJSON requests from FILE instead of stdin
   --dispatchers N      broker threads draining the request queue [1]
   --max-batch N        max requests coalesced into one batched sweep [64]
@@ -151,8 +160,9 @@ serve protocol (one JSON object per line; `id` is echoed back):
   {"op":"ping"}                 {"op":"stats"}                {"op":"metrics"}
   optional per-request: "semiring", "construction", "query", "id"
   ("construction": "chain" resolves through the dichotomy planner per the
-   request's semiring, like --grammar; "metrics" returns the Prometheus
-   text exposition of the obs registry as one JSON string)
+   request's semiring, like --grammar; "construction": "auto" through the
+   cost-based planner; "metrics" returns the Prometheus text exposition of
+   the obs registry as one JSON string)
 )usage";
   return code;
 }
@@ -332,10 +342,19 @@ int RunTyped(const Args& args, Session& session) {
   // Compile explicitly so the narration can show plan provenance; the
   // TagBatch right after hits the plan cache. With --grammar the
   // construction comes from the dichotomy planner (finite language + plus-
-  // idempotent semiring -> finite-rpq, else grounded), not the flag.
+  // idempotent semiring -> finite-rpq, else grounded), not the flag; with
+  // --construction auto it comes from the cost-based planner. --explain
+  // renders the planner's plan tree even when the construction is forced,
+  // so a forced run still documents what the planner would have picked.
+  std::optional<pipeline::RouteDecision> decision;
+  if (args.explain || (!args.route_chain && args.construction == "auto")) {
+    decision = session.PlanConstruction(pipeline::SemiringTraits::For<S>());
+  }
   Result<pipeline::Construction> construction =
       args.route_chain ? session.RouteChainConstruction(S::kIsIdempotent)
-                       : pipeline::ParseConstruction(args.construction);
+      : args.construction == "auto"
+          ? Result<pipeline::Construction>(decision->construction)
+          : pipeline::ParseConstruction(args.construction);
   if (!construction.ok()) return Fail(construction.error());
   pipeline::PlanKey key = pipeline::PlanKey::For<S>(construction.value());
   // With a snapshot directory the compile goes through a PlanStore, which
@@ -409,6 +428,11 @@ int RunTyped(const Args& args, Session& session) {
       }
       std::cout << "\n";
     }
+    if (args.explain && decision.has_value()) {
+      std::cout << pipeline::RenderExplainText(
+                       *decision, pipeline::SemiringTraits::For<S>())
+                << "\n";
+    }
     for (size_t i = 0; i < facts.size(); ++i) {
       std::cout << fact_names[i] << " =";
       for (size_t b = 0; b < lanes; ++b) {
@@ -432,6 +456,11 @@ int RunTyped(const Args& args, Session& session) {
                 << " full re-evaluation fallback(s)\n";
     }
   } else if (args.format == "csv") {
+    // The plan tree goes to stderr so csv stdout stays machine-clean.
+    if (args.explain && decision.has_value()) {
+      std::cerr << pipeline::RenderExplainText(
+          *decision, pipeline::SemiringTraits::For<S>());
+    }
     std::cout << "fact";
     for (size_t b = 0; b < lanes; ++b) std::cout << ",lane_" << b;
     std::cout << "\n";
@@ -455,6 +484,12 @@ int RunTyped(const Args& args, Session& session) {
     std::cout << "{\n  \"semiring\": \"" << S::Name() << "\",\n"
               << "  \"construction\": \""
               << pipeline::ConstructionName(key.construction) << "\",\n";
+    if (args.explain && decision.has_value()) {
+      std::cout << "  \"explain\": "
+                << pipeline::RenderExplainJson(
+                       *decision, pipeline::SemiringTraits::For<S>())
+                << ",\n";
+    }
     if (args.route_chain) {
       std::cout << "  \"route\": \""
                 << JsonEscape(pipeline::RouteReason(
@@ -675,11 +710,18 @@ std::string RenderMetrics(const std::string& id_json) {
 }
 
 std::string RenderResponse(const OutItem& item,
-                           const serve::ServeResponse& response) {
+                           const serve::ServeResponse& response,
+                           bool explain) {
   if (!response.ok) return ServeError(item.id_json, response.error);
   std::string out = "{";
   if (!item.id_json.empty()) out += "\"id\": " + item.id_json + ", ";
   out += "\"ok\": true";
+  // Opt-in so the default NDJSON stays byte-stable for existing consumers;
+  // empty for pings and requests rejected before routing.
+  if (explain && !response.construction.empty()) {
+    out += ", \"construction\": \"" + serve::JsonEscape(response.construction) +
+           "\"";
+  }
   if (response.epoch > 0) {
     out += ", \"epoch\": " + std::to_string(response.epoch);
   }
@@ -728,21 +770,47 @@ int Serve(const Args& args) {
       })) {
     return Fail("unknown --semiring `" + args.semiring + "`");
   }
-  // Warm the dichotomy analysis cache on the foreground thread, BEFORE any
-  // dispatcher exists: per-request "construction": "chain" resolution reads
-  // it from this thread while dispatchers compile through it, and only a
-  // pre-populated cache makes those reads race-free. Non-chain programs
-  // cache the planner's error the same way.
-  session.chain_route();
-  Result<pipeline::Construction> default_construction =
-      args.route_chain ? session.RouteChainConstruction(default_idempotent)
-                       : pipeline::ParseConstruction(args.construction);
+  // Warm the planner context (which forces the dichotomy analysis too) on
+  // the foreground thread, BEFORE any dispatcher exists: per-request
+  // "construction": "chain"/"auto" resolution reads it from this thread
+  // while dispatchers compile through it, and only a pre-populated cache
+  // makes those reads race-free. Non-chain programs cache the dichotomy
+  // planner's error the same way.
+  session.planner_context();
+  // Cost-based resolution for one semiring name (per-request "auto" and the
+  // --construction auto default). Pure reads over the warmed context.
+  auto plan_auto = [&](const std::string& semiring,
+                       pipeline::Construction* out) {
+    return pipeline::DispatchSemiring(semiring, [&]<Semiring S>() {
+      *out = session.PlanConstruction(pipeline::SemiringTraits::For<S>())
+                 .construction;
+    });
+  };
+  Result<pipeline::Construction> default_construction = [&] {
+    if (args.route_chain) {
+      return session.RouteChainConstruction(default_idempotent);
+    }
+    if (args.construction == "auto") {
+      pipeline::Construction c = pipeline::Construction::kGrounded;
+      plan_auto(args.semiring, &c);  // semiring validated above
+      return Result<pipeline::Construction>(c);
+    }
+    return pipeline::ParseConstruction(args.construction);
+  }();
   if (!default_construction.ok()) return Fail(default_construction.error());
   if (args.route_chain && !args.quiet) {
     std::cerr << "dlcirc serve: route: "
               << pipeline::RouteReason(session.chain_route().value(),
                                        default_idempotent)
               << "\n";
+  }
+  if (args.explain) {
+    pipeline::DispatchSemiring(args.semiring, [&]<Semiring S>() {
+      const pipeline::SemiringTraits traits = pipeline::SemiringTraits::For<S>();
+      std::cerr << "dlcirc serve: "
+                << pipeline::RenderExplainText(session.PlanConstruction(traits),
+                                               traits);
+    });
   }
 
   serve::PlanStore store(args.snapshot_dir);
@@ -822,10 +890,10 @@ int Serve(const Args& args) {
       std::string line;
       if (item.has_future) {
         serve::ServeResponse response = item.future.get();
-        line = !response.ok ? RenderResponse(item, response)
+        line = !response.ok ? RenderResponse(item, response, args.explain)
                : item.is_stats ? RenderStats(item.id_json, server, store)
                : item.is_metrics ? RenderMetrics(item.id_json)
-                                 : RenderResponse(item, response);
+                                 : RenderResponse(item, response, args.explain);
       } else {
         line = std::move(item.ready);
       }
@@ -912,6 +980,16 @@ int Serve(const Args& args) {
       *out = routed.value();
       return true;
     };
+    // Cost-based resolution for this request's semiring, mirroring
+    // resolve_chain: planner_context() was warmed above, so this is a
+    // read-only resolution. Returns false after emitting the error line.
+    auto resolve_auto = [&](pipeline::Construction* out) {
+      if (!plan_auto(request.semiring, out)) {
+        fail_line("unknown semiring `" + request.semiring + "`");
+        return false;
+      }
+      return true;
+    };
     const serve::JsonValue* c = json.Find("construction");
     if (c != nullptr) {
       if (!c->IsString()) {
@@ -920,6 +998,8 @@ int Serve(const Args& args) {
       }
       if (c->text == "chain") {
         if (!resolve_chain(&request.construction)) continue;
+      } else if (c->text == "auto") {
+        if (!resolve_auto(&request.construction)) continue;
       } else {
         Result<pipeline::Construction> parsed_c =
             pipeline::ParseConstruction(c->text);
@@ -929,13 +1009,17 @@ int Serve(const Args& args) {
         }
         request.construction = parsed_c.value();
       }
-    } else if (args.route_chain &&
-               request.semiring != args.semiring) {
-      // --grammar + a per-request semiring override: the startup default
-      // was routed for --semiring's idempotence; re-route for this one so
-      // e.g. counting lands on grounded instead of failing the finite-RPQ
-      // idempotence gate.
-      if (!resolve_chain(&request.construction)) continue;
+    } else if (request.semiring != args.semiring &&
+               (args.route_chain || args.construction == "auto")) {
+      // Routed default + a per-request semiring override: the startup
+      // default was routed for --semiring's traits; re-route for this one
+      // so e.g. counting lands on grounded instead of failing the
+      // finite-RPQ idempotence gate.
+      if (args.route_chain) {
+        if (!resolve_chain(&request.construction)) continue;
+      } else {
+        if (!resolve_auto(&request.construction)) continue;
+      }
     }
     if (const serve::JsonValue* lane = json.Find("lane")) {
       if (!lane->IsString()) {
@@ -1166,6 +1250,8 @@ int Main(int argc, char** argv) {
       }
     } else if (flag == "--show-facts") {
       args.show_facts = true;
+    } else if (flag == "--explain") {
+      args.explain = true;
     } else if (flag == "--profile") {
       args.profile = true;
     } else if (flag == "--trace-out") {
