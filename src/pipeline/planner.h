@@ -123,6 +123,13 @@ struct PlannerContext {
   uint32_t num_vertices = 0;    ///< EDB graph: |domain|
   uint32_t num_edges = 0;       ///< EDB graph: binary facts
   uint32_t max_indegree = 0;
+  /// Directed diameter of the EDB graph (longest finite shortest-path
+  /// distance, all-source BFS), or 0 when unknown — non-graph EDB, no
+  /// edges, or more vertices than the probe budget. Caps the grounded
+  /// candidate's ICO-layer depth estimate: on shallow instances the
+  /// grounded construction reaches its structural fixpoint in ~diameter
+  /// layers, far below the static num_idb_facts+1 worst case (the E17 gap).
+  uint32_t edb_diameter_bound = 0;
 };
 
 /// Builds the context. `chain_route` is the Session's cached PR 5 analysis

@@ -1,21 +1,37 @@
-// Thread-safe registry of compiled plans, with optional disk snapshots.
+// Thread-safe registry of compiled plans, sharded, with optional disk
+// snapshots and LRU eviction (the multi-tenant serving store of ROADMAP
+// item 1).
 //
 // The serving layer's unit of sharing: many concurrent clients (and many
-// Server channels) resolve their (program, EDB, PlanKey) to one immutable
-// shared CompiledPlan. A miss compiles through the owning Session exactly
-// once — concurrent requesters for the same plan (or any plan of the same
-// session, since Session itself is single-threaded) wait on the one compile
-// instead of duplicating it. With a snapshot directory configured, misses
-// first try to load a snapshot (src/serve/snapshot.h) and fresh compiles are
-// persisted back, so a restarted server warm-starts off disk.
+// Server channels) resolve their (program digest, EDB digest, PlanKey) to
+// one immutable shared CompiledPlan. The registry is split into
+// `num_shards` independently-locked shards keyed by the store-key hash, so
+// hot-path hits from many connections never contend on one mutex. A miss
+// compiles through the owning Session exactly once — concurrent requesters
+// for the same plan (or any plan of the same session, since Session itself
+// is single-threaded) wait on the one compile instead of duplicating it.
+//
+// With a snapshot directory configured:
+//   * misses first try to load a snapshot (src/serve/snapshot.h — mmap'd,
+//     12-17x cheaper than a compile) and fresh compiles are persisted
+//     back, so a restarted server warm-starts off disk;
+//   * with `max_resident_plans` set, the store LRU-evicts cold plans once
+//     the resident count exceeds the cap — an evicted plan's snapshot
+//     stays on disk, so re-touching it is a near-free mmap load, not a
+//     recompile. (Lanes and in-flight requests holding the shared_ptr keep
+//     their plan alive; eviction only drops the registry's reference.)
+//   * construction sweeps stray `*.tmp` files out of the directory —
+//     leftovers of a save interrupted between temp write and rename.
 #ifndef DLCIRC_SERVE_PLAN_STORE_H_
 #define DLCIRC_SERVE_PLAN_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/pipeline/session.h"
@@ -46,13 +62,28 @@ struct PlanStoreStats {
   uint64_t compiles = 0;        ///< cold compiles through a Session
   uint64_t snapshot_loads = 0;  ///< warm starts off a snapshot file
   uint64_t snapshot_saves = 0;  ///< fresh compiles persisted to disk
+  uint64_t evictions = 0;       ///< cold plans dropped to the snapshot dir
+  uint64_t resident = 0;        ///< plans currently held in memory
+};
+
+struct PlanStoreOptions {
+  /// Empty = in-memory only. The directory must already exist; unloadable
+  /// snapshots are ignored (cold compile) and save failures are non-fatal
+  /// (the plan still serves from memory).
+  std::string snapshot_dir;
+  /// Number of independently-locked shards; clamped to >= 1.
+  uint32_t num_shards = 16;
+  /// 0 = never evict. Otherwise, once more than this many plans are
+  /// resident, the least-recently-used ones are evicted — only if their
+  /// snapshot is safely on disk (requires snapshot_dir; a plan whose save
+  /// fails is never dropped).
+  uint32_t max_resident_plans = 0;
 };
 
 class PlanStore {
  public:
-  /// `snapshot_dir` empty = in-memory only. The directory must already
-  /// exist; unloadable snapshots are ignored (cold compile) and save
-  /// failures are non-fatal (the plan still serves from memory).
+  explicit PlanStore(PlanStoreOptions options);
+  /// Legacy convenience: default options with just a snapshot dir.
   explicit PlanStore(std::string snapshot_dir = "");
 
   PlanStore(const PlanStore&) = delete;
@@ -65,14 +96,34 @@ class PlanStore {
   Result<std::shared_ptr<const pipeline::CompiledPlan>> GetOrCompile(
       pipeline::Session& session, const pipeline::PlanKey& key);
 
-  PlanStoreStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+  PlanStoreStats stats() const;
+  const std::string& snapshot_dir() const { return options_.snapshot_dir; }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
   }
-  const std::string& snapshot_dir() const { return snapshot_dir_; }
 
  private:
-  std::string snapshot_dir_;
+  struct Entry {
+    std::shared_ptr<const pipeline::CompiledPlan> plan;
+    PlanStoreKey key;        ///< for snapshot naming during eviction
+    uint64_t last_used = 0;  ///< global tick at last hit/insert
+    bool on_disk = false;    ///< a valid snapshot exists for this plan
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PlanStoreKey, Entry, PlanStoreKeyHash> plans;
+  };
+
+  Shard& ShardFor(const PlanStoreKey& key) {
+    return shards_[PlanStoreKeyHash{}(key) % shards_.size()];
+  }
+  std::string PathFor(const PlanStoreKey& key) const;
+  /// Drops LRU entries until resident <= max_resident_plans. Runs under
+  /// compile_mu_ (eviction is miss-path-only work); takes one shard lock
+  /// at a time.
+  void EvictIfNeeded();
+
+  PlanStoreOptions options_;
   // Obs series (default registry, resolved at construction): the counters
   // mirror PlanStoreStats for the Prometheus exposition; the histograms add
   // the cost distribution of the rare events (compiles, snapshot loads).
@@ -81,21 +132,28 @@ class PlanStore {
   obs::Counter* obs_compiles_ = nullptr;    ///< dlcirc_plan_store_compiles_total
   obs::Counter* obs_loads_ = nullptr;       ///< ..._snapshot_loads_total
   obs::Counter* obs_saves_ = nullptr;       ///< ..._snapshot_saves_total
+  obs::Counter* obs_evictions_ = nullptr;   ///< ..._evictions_total
   obs::Histogram* obs_compile_ns_ = nullptr;  ///< dlcirc_plan_compile_ns
   obs::Histogram* obs_load_ns_ = nullptr;     ///< dlcirc_plan_snapshot_load_ns
-  mutable std::mutex mu_;  ///< guards plans_, digests_, and stats_
+
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> tick_{0};      ///< LRU clock
+  std::atomic<uint64_t> resident_{0};  ///< plans across all shards
+
   std::mutex compile_mu_;  ///< serializes compiles (and all Session access)
+  mutable std::mutex digests_mu_;
   /// Digests per session, filled on first use so the hot hit path reads
-  /// them under mu_ alone — computing them lazily through the Session
-  /// would require compile_mu_, and a cache hit must never wait behind an
-  /// unrelated cold compile.
+  /// them under digests_mu_ alone — computing them lazily through the
+  /// Session would require compile_mu_, and a cache hit must never wait
+  /// behind an unrelated cold compile.
   std::unordered_map<const pipeline::Session*, std::pair<uint64_t, uint64_t>>
       digests_;
-  std::unordered_map<PlanStoreKey,
-                     std::shared_ptr<const pipeline::CompiledPlan>,
-                     PlanStoreKeyHash>
-      plans_;
-  PlanStoreStats stats_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> compiles_{0};
+  std::atomic<uint64_t> snapshot_loads_{0};
+  std::atomic<uint64_t> snapshot_saves_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace serve

@@ -6,6 +6,14 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define DLCIRC_SNAPSHOT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "src/util/hash.h"
 
 namespace dlcirc {
@@ -163,6 +171,91 @@ uint64_t Checksum(std::string_view payload) {
   return h;
 }
 
+/// Removes the temp file on every exit path unless Disarm()ed after the
+/// rename succeeds. SavePlan has three failure exits (open, short write,
+/// rename) and each used to decide cleanup on its own — the open and
+/// short-write paths forgot, leaving stray *.tmp files for the sharded
+/// store's startup sweep to find. std::remove on a never-created file is a
+/// harmless ENOENT.
+class TmpFileGuard {
+ public:
+  explicit TmpFileGuard(std::string path) : path_(std::move(path)) {}
+  ~TmpFileGuard() {
+    if (armed_) std::remove(path_.c_str());
+  }
+  void Disarm() { armed_ = false; }
+  TmpFileGuard(const TmpFileGuard&) = delete;
+  TmpFileGuard& operator=(const TmpFileGuard&) = delete;
+
+ private:
+  std::string path_;
+  bool armed_ = true;
+};
+
+/// Read-only view of a snapshot file: mmap where available (the decode pass
+/// then streams straight out of the page cache with no up-front whole-file
+/// copy), an ifstream slurp elsewhere. The decoded plan copies everything it
+/// keeps, so the mapping's lifetime ends with LoadPlan.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+#ifdef DLCIRC_SNAPSHOT_HAS_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return;
+    }
+    len_ = static_cast<size_t>(st.st_size);
+    ok_ = true;  // empty file: valid view, nothing to map
+    if (len_ > 0) {
+      void* m = ::mmap(nullptr, len_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (m == MAP_FAILED) {
+        ok_ = false;
+        len_ = 0;
+      } else {
+        map_ = m;
+      }
+    }
+    ::close(fd);
+#else
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    fallback_ = ss.str();
+    ok_ = true;
+#endif
+  }
+  ~MappedFile() {
+#ifdef DLCIRC_SNAPSHOT_HAS_MMAP
+    if (map_ != nullptr) ::munmap(map_, len_);
+#endif
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  bool ok() const { return ok_; }
+  std::string_view view() const {
+#ifdef DLCIRC_SNAPSHOT_HAS_MMAP
+    if (map_ == nullptr) return {};
+    return {static_cast<const char*>(map_), len_};
+#else
+    return fallback_;
+#endif
+  }
+
+ private:
+#ifdef DLCIRC_SNAPSHOT_HAS_MMAP
+  void* map_ = nullptr;
+  size_t len_ = 0;
+#else
+  std::string fallback_;
+#endif
+  bool ok_ = false;
+};
+
 }  // namespace
 
 std::string SnapshotFileName(uint64_t program_digest, uint64_t edb_digest,
@@ -221,8 +314,12 @@ Result<bool> SavePlan(const pipeline::CompiledPlan& plan,
   const std::string& payload = w.buffer();
 
   // Temp-file + rename: a concurrent LoadPlan either sees the complete old
-  // file, the complete new one, or ENOENT — never a prefix.
+  // file, the complete new one, or ENOENT — never a prefix. The guard owns
+  // cleanup for every failure exit; only a completed rename disarms it.
+  // (A crash between write and rename still strands the temp file — the
+  // sharded PlanStore sweeps stray *.tmp from its snapshot dir at startup.)
   const std::string tmp = path + ".tmp";
+  TmpFileGuard guard(tmp);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Result<bool>::Error("cannot write " + tmp);
@@ -233,12 +330,13 @@ Result<bool> SavePlan(const pipeline::CompiledPlan& plan,
     footer.U64(Checksum(payload));
     out.write(footer.buffer().data(),
               static_cast<std::streamsize>(footer.buffer().size()));
+    out.flush();
     if (!out) return Result<bool>::Error("short write to " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
     return Result<bool>::Error("cannot rename " + tmp + " to " + path);
   }
+  guard.Disarm();
   return true;
 }
 
@@ -250,18 +348,13 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> LoadPlan(
     return Out::Error("snapshot " + path + ": " + what);
   };
 
-  std::string data;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return fail("cannot open");
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    data = ss.str();
-  }
+  MappedFile file(path);
+  if (!file.ok()) return fail("cannot open");
+  const std::string_view data = file.view();
   // Header (8) + payload + checksum (8).
   if (data.size() < 16) return fail("truncated");
   {
-    ByteReader header(std::string_view(data).substr(0, 8));
+    ByteReader header(data.substr(0, 8));
     if (header.U32() != kMagic) return fail("bad magic (not a plan snapshot)");
     uint32_t version = header.U32();
     if (version != kSnapshotVersion) {
@@ -269,10 +362,9 @@ Result<std::shared_ptr<const pipeline::CompiledPlan>> LoadPlan(
                   std::to_string(kSnapshotVersion) + ")");
     }
   }
-  std::string_view payload =
-      std::string_view(data).substr(8, data.size() - 16);
+  std::string_view payload = data.substr(8, data.size() - 16);
   {
-    ByteReader footer(std::string_view(data).substr(data.size() - 8));
+    ByteReader footer(data.substr(data.size() - 8));
     if (footer.U64() != Checksum(payload)) return fail("checksum mismatch");
   }
 

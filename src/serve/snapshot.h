@@ -19,9 +19,14 @@
 // the tens-of-megabytes arrays on the warm-start latency path.
 //
 // Saves write to `path.tmp` and rename into place, so a concurrent reader
-// never observes a torn file. The format owns no compatibility promise
-// beyond its version byte: a version bump invalidates old snapshots, which
-// simply fall back to a cold compile.
+// never observes a torn file; every in-process failure path removes the
+// temp file (only a crash between write and rename can strand one, and the
+// sharded PlanStore sweeps stray *.tmp at startup). Loads mmap the file
+// read-only where the platform allows (ifstream slurp elsewhere), so the
+// checksum + decode pass streams from the page cache without an up-front
+// whole-file copy. The format owns no compatibility promise beyond its
+// version byte: a version bump invalidates old snapshots, which simply
+// fall back to a cold compile.
 #ifndef DLCIRC_SERVE_SNAPSHOT_H_
 #define DLCIRC_SERVE_SNAPSHOT_H_
 

@@ -194,8 +194,12 @@ class Parser {
           case 'n': out->push_back('\n'); break;
           case 'r': out->push_back('\r'); break;
           case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (!UnicodeEscape(out)) return false;
+            break;
+          }
           default:
-            error_ = "unsupported string escape (\\u is not supported)";
+            error_ = "unsupported string escape";
             return false;
         }
       } else {
@@ -204,6 +208,43 @@ class Parser {
     }
     error_ = "unterminated string";
     return false;
+  }
+
+  // \uXXXX, with the leading "\u" already consumed. The protocol is ASCII,
+  // so only code points <= 0x7F decode (that covers everything JsonEscape
+  // emits); surrogates and non-ASCII code points are errors, not UTF-8.
+  bool UnicodeEscape(std::string* out) {
+    if (text_.size() - pos_ < 4) {
+      error_ = "truncated \\u escape (need 4 hex digits)";
+      return false;
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_ + i];
+      unsigned digit;
+      if (h >= '0' && h <= '9') {
+        digit = h - '0';
+      } else if (h >= 'a' && h <= 'f') {
+        digit = h - 'a' + 10;
+      } else if (h >= 'A' && h <= 'F') {
+        digit = h - 'A' + 10;
+      } else {
+        error_ = "bad hex digit in \\u escape";
+        return false;
+      }
+      code = code * 16 + digit;
+    }
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      error_ = "UTF-16 surrogates are not supported (the protocol is ASCII)";
+      return false;
+    }
+    if (code > 0x7F) {
+      error_ = "\\u escapes above U+007F are not supported (ASCII protocol)";
+      return false;
+    }
+    pos_ += 4;
+    out->push_back(static_cast<char>(code));
+    return true;
   }
 
   size_t Digits() {
@@ -289,6 +330,63 @@ std::string JsonEscape(std::string_view s) {
         }
     }
   }
+  return out;
+}
+
+namespace {
+
+void WriteValue(const JsonValue& v, std::string* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kTrue:
+      *out += "true";
+      return;
+    case JsonValue::Kind::kFalse:
+      *out += "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      *out += v.text;  // preserved source lexeme (see file comment)
+      return;
+    case JsonValue::Kind::kString:
+      out->push_back('"');
+      *out += JsonEscape(v.text);
+      out->push_back('"');
+      return;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items) {
+        if (!first) out->push_back(',');
+        first = false;
+        WriteValue(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        *out += JsonEscape(key);
+        *out += "\":";
+        WriteValue(value, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string WriteJson(const JsonValue& v) {
+  std::string out;
+  WriteValue(v, &out);
   return out;
 }
 

@@ -4,8 +4,12 @@
 // null — nothing that justifies an external dependency. Numbers keep their
 // source lexeme: tag values are re-parsed by the semiring's own
 // ParseSemiringValue, so "0.5" must survive verbatim rather than round-trip
-// through a double. Unicode escapes (\uXXXX) are not supported; the
-// protocol is ASCII (semiring values, fact names, lane ids).
+// through a double. The protocol is ASCII (semiring values, fact names,
+// lane ids): \uXXXX escapes are parsed for code points up to 0x7F — the
+// range JsonEscape itself emits for control characters — so every line the
+// writer produces re-parses with this parser (round-trip closure over bytes
+// 0x00–0x7F). Escapes naming non-ASCII code points or UTF-16 surrogates are
+// rejected with a clear error rather than decoded into multi-byte UTF-8.
 //
 // The parser is hardened against adversarial input, since `dlcirc serve`
 // feeds it raw network-ish bytes:
@@ -62,6 +66,12 @@ Result<JsonValue> ParseJson(std::string_view text);
 
 /// Escapes for embedding in a JSON string literal (quotes not included).
 std::string JsonEscape(std::string_view s);
+
+/// Serializes a JsonValue back to one-line JSON. Inverse of ParseJson over
+/// the protocol's value space: ParseJson(WriteJson(v)) succeeds and is
+/// value-equal to v for any v whose strings are bytes 0x00–0x7F (numbers
+/// are emitted as their preserved source lexeme, so they survive verbatim).
+std::string WriteJson(const JsonValue& v);
 
 }  // namespace serve
 }  // namespace dlcirc

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Golden smoke for `dlcirc serve --listen`: start the server on an
+# ephemeral port, discover the port from the stderr banner, drive a
+# pipelined ping + eval over a real TCP connection (bash /dev/tcp), and
+# shut down with SIGINT. CTest matches the expected response lines via
+# PASS_REGULAR_EXPRESSION; any hang is cut short by the ctest timeout.
+#
+# Usage: cli_smoke_serve_net.sh <dlcirc-binary> <examples-data-dir>
+set -u
+
+BIN=$1
+DATA=$2
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$BIN" serve --program "$DATA/tc.dl" --facts "$DATA/fig1.facts" \
+  --semiring tropical --listen 127.0.0.1:0 --quiet 2>"$TMP/stderr.log" &
+SERVER_PID=$!
+
+# The CLI prints "dlcirc serve: listening on 127.0.0.1:PORT" to stderr
+# (even under --quiet) exactly so scripts like this can find the port.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "$TMP/stderr.log" | head -n 1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: server never announced a port"
+  cat "$TMP/stderr.log"
+  exit 1
+fi
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || { echo "FAIL: connect"; exit 1; }
+printf '%s\n%s\n' \
+  '{"op": "ping", "id": 1}' \
+  '{"op": "eval", "id": 2, "tags": ["1","2","3","4","5","6","7"], "query": ["T(s,t)"]}' >&3
+IFS= read -r ping_line <&3
+IFS= read -r eval_line <&3
+exec 3<&- 3>&-
+
+echo "ping: $ping_line"
+echo "eval: $eval_line"
+
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+rc=$?
+SERVER_PID=""
+echo "server_exit=$rc"
+exit 0

@@ -361,8 +361,13 @@ TEST(PlannerRouteTest, FiniteChainRoutesToFiniteRpq) {
 }
 
 TEST(PlannerRouteTest, ReachabilityRoutesToUvg) {
-  Rng rng(BaseSeed());
-  Session session = MustSession(testing::kReachText, ReachFacts(7, 12, rng));
+  // A deep instance (directed 10-line, diameter 9): uvg's O(log^2 m) depth
+  // beats grounded's ~diameter ICO layers. (Shallow random instances now
+  // correctly route to grounded — see ShallowReachabilityRoutesToGrounded.)
+  Session session = MustSession(
+      testing::kReachText,
+      "A(a). E(b,a). E(c,b). E(d,c). E(e,d). E(f,e). E(g,f). E(h,g). "
+      "E(i,h). E(j,i).");
   RouteDecision d =
       session.PlanConstruction(SemiringTraits::For<BooleanSemiring>());
   EXPECT_EQ(d.construction, Construction::kUvg);
@@ -370,6 +375,43 @@ TEST(PlannerRouteTest, ReachabilityRoutesToUvg) {
   EXPECT_FALSE(CandidateFor(d, Construction::kFiniteRpq).applicable);
   EXPECT_FALSE(CandidateFor(d, Construction::kBellmanFord).applicable);
   EXPECT_FALSE(CandidateFor(d, Construction::kRepeatedSquaring).applicable);
+}
+
+TEST(PlannerRouteTest, ShallowReachabilityRoutesToGrounded) {
+  // The E17 gap, closed: on a star (EDB diameter 1) the grounded
+  // construction reaches its structural fixpoint after ~2 ICO layers, so
+  // its depth estimate must come from the instance's diameter, not the
+  // num_idb_facts+1 static worst case. Before the cap, the worst-case depth
+  // pricing let uvg win here — the mis-pick E17 measured as slower than
+  // forced-grounded.
+  Session session = MustSession(
+      testing::kReachText,
+      "A(hub). E(v1,hub). E(v2,hub). E(v3,hub). E(v4,hub). E(v5,hub). "
+      "E(v6,hub). E(v7,hub). E(v8,hub).");
+  RouteDecision d =
+      session.PlanConstruction(SemiringTraits::For<BooleanSemiring>());
+  EXPECT_EQ(d.construction, Construction::kGrounded);
+  const PlanCandidate& gr = CandidateFor(d, Construction::kGrounded);
+  EXPECT_NE(gr.reason.find("diameter"), std::string::npos) << gr.reason;
+  // uvg stayed applicable — the diameter-capped depth is what beat it.
+  const PlanCandidate& uvg = CandidateFor(d, Construction::kUvg);
+  EXPECT_TRUE(uvg.applicable);
+  EXPECT_LT(gr.score, uvg.score);
+  // Deep instances keep routing to uvg (ReachabilityRoutesToUvg above):
+  // the cap only tightens shallow ones.
+}
+
+TEST(PlannerRouteTest, DiameterCapNeverLoosensTheGroundedEstimate) {
+  // A 6-vertex directed line: diameter 5, so the cap (6 layers) sits just
+  // under the static worst case (7) and the depth estimate must use it.
+  Session session = MustSession(
+      testing::kReachText,
+      "A(a). E(b,a). E(c,b). E(d,c). E(e,d). E(f,e).");
+  RouteDecision d =
+      session.PlanConstruction(SemiringTraits::For<BooleanSemiring>());
+  EXPECT_EQ(d.construction, Construction::kUvg);  // deep: uvg still wins
+  const PlanCandidate& gr = CandidateFor(d, Construction::kGrounded);
+  EXPECT_NE(gr.reason.find("diameter"), std::string::npos) << gr.reason;
 }
 
 TEST(PlannerRouteTest, ExplainRendersEveryCandidate) {

@@ -15,6 +15,11 @@
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <csignal>
+#include <sys/resource.h>
+#endif
+
 #include "src/eval/state_pool.h"
 #include "src/obs/metrics.h"
 #include "src/pipeline/semiring_registry.h"
@@ -291,6 +296,77 @@ TEST(SnapshotTest, RejectsCorruptionTruncationAndMismatch) {
   std::filesystem::remove_all(dir);
 }
 
+/// True iff `dir` holds no "*.tmp" entry (stray temp files are what a
+/// sharded store's startup rescan would trip over).
+bool NoTempFiles(const std::string& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") return false;
+  }
+  return true;
+}
+
+TEST(SnapshotTest, FailedSavesLeaveNoTempFiles) {
+  Session session = MakeFig1Session();
+  PlanKey key = PlanKey::For<TropicalSemiring>();
+  auto compiled = session.Compile(key);
+  ASSERT_TRUE(compiled.ok());
+  const pipeline::CompiledPlan& plan = *compiled.value();
+  const uint64_t pd = session.ProgramDigest();
+  const uint64_t ed = session.EdbDigest();
+
+  // Rename failure: the final path is occupied by a directory, so the
+  // temp write succeeds but the rename cannot. The guard must remove the
+  // temp file before returning the error.
+  {
+    std::string dir = MakeTempDir("snap_fail_rename");
+    std::string path = dir + "/plan.dlcp";
+    std::filesystem::create_directories(path);  // occupy the target
+    std::filesystem::create_directories(path + "/full");  // non-empty
+    auto r = serve::SavePlan(plan, pd, ed, path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("rename"), std::string::npos) << r.error();
+    EXPECT_TRUE(NoTempFiles(dir));
+    std::filesystem::remove_all(dir);
+  }
+
+#ifdef __linux__
+  // Short-write failure, injected for real: cap the process file-size
+  // limit below the payload so the temp write hits EFBIG mid-stream. This
+  // is the error path that used to leak the temp file.
+  {
+    std::string dir = MakeTempDir("snap_fail_write");
+    std::string path = dir + "/plan.dlcp";
+    struct rlimit old_limit;
+    ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+    // Writes past the limit raise SIGXFSZ (fatal by default); ignore it so
+    // the write returns EFBIG and the ofstream just goes bad.
+    auto old_handler = std::signal(SIGXFSZ, SIG_IGN);
+    struct rlimit small = old_limit;
+    small.rlim_cur = 64;  // the header alone is 8 bytes; any plan is bigger
+    ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &small), 0);
+    auto r = serve::SavePlan(plan, pd, ed, path);
+    ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+    std::signal(SIGXFSZ, old_handler);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("short write"), std::string::npos) << r.error();
+    EXPECT_TRUE(NoTempFiles(dir));
+    EXPECT_FALSE(std::filesystem::exists(path));
+    std::filesystem::remove_all(dir);
+  }
+#endif
+
+  // Open failure: the snapshot dir itself is missing. No file to clean up,
+  // but the error must still be graceful.
+  {
+    std::string dir = MakeTempDir("snap_fail_open");
+    auto r = serve::SavePlan(plan, pd, ed, dir + "/no/such/dir/plan.dlcp");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("cannot write"), std::string::npos) << r.error();
+    EXPECT_TRUE(NoTempFiles(dir));
+    std::filesystem::remove_all(dir);
+  }
+}
+
 // --------------------------------------------------------------- PlanStore
 
 TEST(PlanStoreTest, SharesOnePlanAndCountsHits) {
@@ -339,6 +415,75 @@ TEST(PlanStoreTest, WarmStartsFromSnapshotDirWithIdenticalOutputs) {
   ASSERT_TRUE(warm_out.ok());
   EXPECT_EQ(cold_out.value(), warm_out.value());
   EXPECT_EQ(warm.stats().plan_cache_hits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlanStoreTest, EvictsColdPlansToSnapshotDirAndReloadsThem) {
+  std::string dir = MakeTempDir("store_evict");
+  Session session = MakeFig1Session();
+  serve::PlanStoreOptions options;
+  options.snapshot_dir = dir;
+  options.num_shards = 4;
+  options.max_resident_plans = 1;
+  serve::PlanStore store(options);
+
+  PlanKey tropical = PlanKey::For<TropicalSemiring>();
+  PlanKey counting = PlanKey::For<CountingSemiring>();
+
+  // First plan compiles, saves, and stays resident (1 <= cap).
+  ASSERT_TRUE(store.GetOrCompile(session, tropical).ok());
+  EXPECT_EQ(store.stats().resident, 1u);
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  // Second plan pushes resident over the cap; the LRU (tropical) is
+  // evicted — its snapshot was already written at compile time, so the
+  // plan is dropped, not re-saved.
+  ASSERT_TRUE(store.GetOrCompile(session, counting).ok());
+  serve::PlanStoreStats after_evict = store.stats();
+  EXPECT_EQ(after_evict.resident, 1u);
+  EXPECT_EQ(after_evict.evictions, 1u);
+  EXPECT_EQ(after_evict.compiles, 2u);
+  EXPECT_EQ(after_evict.snapshot_saves, 2u);
+
+  // Touching the evicted plan again is a snapshot load, not a recompile.
+  auto reloaded = store.GetOrCompile(session, tropical);
+  ASSERT_TRUE(reloaded.ok());
+  serve::PlanStoreStats after_reload = store.stats();
+  EXPECT_EQ(after_reload.compiles, 2u);
+  EXPECT_EQ(after_reload.snapshot_loads, 1u);
+  EXPECT_EQ(after_reload.evictions, 2u);  // counting was the LRU this time
+  EXPECT_EQ(after_reload.resident, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlanStoreTest, NeverEvictsWithoutASnapshotDir) {
+  // With nowhere to save, eviction would drop the only copy of a plan and
+  // turn the cap into a recompile storm; the store keeps everything
+  // resident instead.
+  Session session = MakeFig1Session();
+  serve::PlanStoreOptions options;
+  options.max_resident_plans = 1;
+  serve::PlanStore store(options);
+  ASSERT_TRUE(
+      store.GetOrCompile(session, PlanKey::For<TropicalSemiring>()).ok());
+  ASSERT_TRUE(
+      store.GetOrCompile(session, PlanKey::For<CountingSemiring>()).ok());
+  EXPECT_EQ(store.stats().resident, 2u);
+  EXPECT_EQ(store.stats().evictions, 0u);
+}
+
+TEST(PlanStoreTest, SweepsStrayTempFilesAtStartup) {
+  // A crash between SavePlan's temp write and its rename strands a *.tmp
+  // file; the next store over the same directory cleans it up without
+  // touching real snapshots.
+  std::string dir = MakeTempDir("store_sweep");
+  std::string stray = dir + "/plan-dead-beef.dlcp.tmp";
+  std::string real = dir + "/plan-cafe-f00d.dlcp";
+  std::ofstream(stray) << "partial";
+  std::ofstream(real) << "not actually a snapshot, but not ours to delete";
+  serve::PlanStore store(dir);
+  EXPECT_FALSE(std::filesystem::exists(stray));
+  EXPECT_TRUE(std::filesystem::exists(real));
   std::filesystem::remove_all(dir);
 }
 
@@ -692,11 +837,15 @@ TEST(WireJsonTest, ParsesRequestsAndKeepsNumberLexemes) {
   EXPECT_FALSE(serve::ParseJson("{\"a\":}").ok());
   EXPECT_FALSE(serve::ParseJson("{'a': 1}").ok());
   EXPECT_FALSE(serve::ParseJson("{} trailing").ok());
-  EXPECT_FALSE(serve::ParseJson("{\"a\": \"\\u0041\"}").ok());  // unsupported
   EXPECT_TRUE(serve::ParseJson("  [1, -2.5e3]  ").ok());
 
   EXPECT_EQ(serve::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(serve::JsonEscape(std::string("a\bc")), "a\\u0008c");
+  // The parser decodes the writer's own \u00XX output (round-trip closure;
+  // the property sweep lives in wire_test.cc).
+  auto esc = serve::ParseJson("{\"a\": \"\\u0041\\u0008\"}");
+  ASSERT_TRUE(esc.ok()) << esc.error();
+  EXPECT_EQ(esc.value().Find("a")->text, "A\b");
 }
 
 }  // namespace

@@ -14,18 +14,26 @@
 //              --semiring viterbi --format json
 //   dlcirc serve --program tc.dl --facts fig1.facts --semiring tropical \
 //                --snapshot-dir /var/cache/dlcirc    # NDJSON on stdin/stdout
+//   dlcirc serve --program tc.dl --facts fig1.facts --semiring tropical \
+//                --listen 127.0.0.1:8125             # NDJSON over TCP
 //   dlcirc semirings
 //
 // `dlcirc serve` speaks newline-delimited JSON (one request per line, one
-// response per line, in request order) over stdin/stdout through the
-// src/serve request broker; see src/serve/README.md for the protocol.
+// response per line, in request order) through the src/serve request
+// broker — over stdin/stdout by default, or over persistent, pipelined TCP
+// connections with `--listen HOST:PORT` (src/serve/net.h; port 0 picks an
+// ephemeral port, announced on stderr). See src/serve/README.md for the
+// protocol and the admission-control behavior.
 //
 // See README.md ("One-command pipeline") and EXPERIMENTS.md for the
 // per-bench invocations.
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <iomanip>
 #include <iostream>
@@ -41,6 +49,7 @@
 #include "src/pipeline/io.h"
 #include "src/pipeline/semiring_registry.h"
 #include "src/pipeline/session.h"
+#include "src/serve/net.h"
 #include "src/serve/plan_store.h"
 #include "src/serve/server.h"
 #include "src/serve/wire.h"
@@ -64,6 +73,8 @@ struct Args {
   std::string format = "text";
   std::string snapshot_dir;
   std::string requests_file;
+  std::string listen;        ///< serve: HOST:PORT TCP front door ("" = stdin)
+  int max_connections = 256; ///< serve --listen: admission cap on connections
   std::vector<std::string> queries;
   int threads = 0;  // 0 = unset; resolved via DLCIRC_THREADS, then 1
   int dispatchers = 1;
@@ -148,9 +159,19 @@ serve flags: --program/--cfg/--grammar, --facts/--graph, --semiring,
   stderr at startup and adds "construction" to responses), --threads,
   --snapshot-dir, --trace-out and --quiet as above, plus:
   --requests FILE      read NDJSON requests from FILE instead of stdin
+  --listen HOST:PORT   serve the same NDJSON protocol over TCP instead of
+                       stdin: persistent connections, pipelined requests,
+                       per-connection response ordering (port 0 picks an
+                       ephemeral port, reported on stderr); runs until
+                       SIGINT/SIGTERM
+  --max-conns N        --listen: connections beyond N are refused with a
+                       structured "busy" error line [256]
   --dispatchers N      broker threads draining the request queue [1]
   --max-batch N        max requests coalesced into one batched sweep [64]
-  --queue N            bounded request-queue capacity [1024]
+  --queue N            bounded request-queue capacity [1024]; with --listen
+                       also the admission threshold: requests arriving at
+                       full queue depth get a "busy" error instead of
+                       blocking the socket loop
 
 serve protocol (one JSON object per line; `id` is echoed back):
   {"op":"eval","tags":["1","2",...],"query":["T(s,t)"]}
@@ -681,6 +702,8 @@ std::string RenderStats(const std::string& id_json, const serve::Server& server,
       << ", \"plan_hits\": " << p.hits << ", \"plan_compiles\": " << p.compiles
       << ", \"snapshot_loads\": " << p.snapshot_loads
       << ", \"snapshot_saves\": " << p.snapshot_saves
+      << ", \"plan_evictions\": " << p.evictions
+      << ", \"plans_resident\": " << p.resident
       << ", \"uptime_s\": " << std::fixed << std::setprecision(3)
       << server.uptime_seconds() << std::defaultfloat
       << ", \"queue_depth\": " << server.queue_depth() << ", \"channels\": [";
@@ -739,6 +762,31 @@ std::string RenderResponse(const OutItem& item,
   return out;
 }
 
+/// Shared request-translation state for the stdin and socket front ends:
+/// everything needed to turn one NDJSON request line into a broker request.
+/// Built once in Serve() after the session/planner caches are warm; all
+/// reads through it are race-free afterwards.
+struct ServeContext {
+  const Args* args = nullptr;
+  Session* session = nullptr;
+  uint32_t num_facts = 0;
+  pipeline::Construction default_construction =
+      pipeline::Construction::kGrounded;
+  std::vector<uint32_t> default_facts;
+  std::shared_ptr<const std::vector<std::string>> default_fact_names;
+  /// Cost-based "auto" resolution for one semiring name; false = unknown.
+  std::function<bool(const std::string&, pipeline::Construction*)> plan_auto;
+};
+
+/// One translated request line. `submit` means `request` goes to the broker
+/// and the caller attaches the future; otherwise `item.ready` already holds
+/// the complete response line (parse/translation error).
+struct Translated {
+  OutItem item;
+  serve::ServeRequest request;
+  bool submit = false;
+};
+
 /// "x3" / "3" / JSON number 3 -> EDB provenance variable.
 bool ParseVarToken(const serve::JsonValue& v, uint32_t num_facts,
                    uint32_t* out) {
@@ -756,6 +804,381 @@ bool ParseVarToken(const serve::JsonValue& v, uint32_t num_facts,
   } catch (...) {
     return false;
   }
+}
+
+Translated TranslateServeLine(const ServeContext& ctx, const std::string& line,
+                              uint64_t line_number) {
+  const Args& args = *ctx.args;
+  Session& session = *ctx.session;
+  Translated t;
+  OutItem& item = t.item;
+  auto set_fail = [&](const std::string& what) {
+    item.ready = ServeError(
+        item.id_json, "line " + std::to_string(line_number) + ": " + what);
+    item.has_future = false;
+    t.submit = false;
+  };
+
+  Result<serve::JsonValue> parsed = serve::ParseJson(line);
+  if (!parsed.ok()) {
+    set_fail(parsed.error());
+    return t;
+  }
+  const serve::JsonValue& json = parsed.value();
+  if (!json.IsObject()) {
+    set_fail("request must be a JSON object");
+    return t;
+  }
+  if (const serve::JsonValue* id = json.Find("id")) {
+    if (id->IsNumber()) {
+      item.id_json = id->text;
+    } else if (id->IsString()) {
+      item.id_json = "\"" + serve::JsonEscape(id->text) + "\"";
+    }
+  }
+
+  const serve::JsonValue* op = json.Find("op");
+  if (op == nullptr || !op->IsString()) {
+    set_fail("missing \"op\"");
+    return t;
+  }
+
+  serve::ServeRequest& request = t.request;
+  request.semiring = args.semiring;
+  request.construction = ctx.default_construction;
+  if (const serve::JsonValue* s = json.Find("semiring")) {
+    if (!s->IsString()) {
+      set_fail("\"semiring\" must be a string");
+      return t;
+    }
+    request.semiring = s->text;
+  }
+  bool bad = false;
+  // Dichotomy resolution for this request's semiring (the finite branch
+  // needs idempotent plus). chain_route() was warmed at startup, so this is
+  // a read-only resolution. Returns false after setting the error line.
+  auto resolve_chain = [&](pipeline::Construction* out) {
+    bool idempotent = false;
+    if (!pipeline::DispatchSemiring(request.semiring, [&]<Semiring S>() {
+          idempotent = S::kIsIdempotent;
+        })) {
+      set_fail("unknown semiring `" + request.semiring + "`");
+      return false;
+    }
+    Result<pipeline::Construction> routed =
+        session.RouteChainConstruction(idempotent);
+    if (!routed.ok()) {
+      set_fail(routed.error());
+      return false;
+    }
+    *out = routed.value();
+    return true;
+  };
+  // Cost-based resolution for this request's semiring, mirroring
+  // resolve_chain: planner_context() was warmed at startup, so this is a
+  // read-only resolution. Returns false after setting the error line.
+  auto resolve_auto = [&](pipeline::Construction* out) {
+    if (!ctx.plan_auto(request.semiring, out)) {
+      set_fail("unknown semiring `" + request.semiring + "`");
+      return false;
+    }
+    return true;
+  };
+  const serve::JsonValue* c = json.Find("construction");
+  if (c != nullptr) {
+    if (!c->IsString()) {
+      set_fail("\"construction\" must be a string");
+      return t;
+    }
+    if (c->text == "chain") {
+      if (!resolve_chain(&request.construction)) return t;
+    } else if (c->text == "auto") {
+      if (!resolve_auto(&request.construction)) return t;
+    } else {
+      Result<pipeline::Construction> parsed_c =
+          pipeline::ParseConstruction(c->text);
+      if (!parsed_c.ok()) {
+        set_fail(parsed_c.error());
+        return t;
+      }
+      request.construction = parsed_c.value();
+    }
+  } else if (request.semiring != args.semiring &&
+             (args.route_chain || args.construction == "auto")) {
+    // Routed default + a per-request semiring override: the startup
+    // default was routed for --semiring's traits; re-route for this one
+    // so e.g. counting lands on grounded instead of failing the
+    // finite-RPQ idempotence gate.
+    if (args.route_chain) {
+      if (!resolve_chain(&request.construction)) return t;
+    } else {
+      if (!resolve_auto(&request.construction)) return t;
+    }
+  }
+  if (const serve::JsonValue* lane = json.Find("lane")) {
+    if (!lane->IsString()) {
+      set_fail("\"lane\" must be a string");
+      return t;
+    }
+    request.lane = lane->text;
+  }
+  if (const serve::JsonValue* tags = json.Find("tags")) {
+    if (!tags->IsArray()) {
+      set_fail("\"tags\" must be an array");
+      return t;
+    }
+    request.tags.reserve(tags->items.size());
+    for (const serve::JsonValue& tag : tags->items) {
+      if (!tag.IsString() && !tag.IsNumber()) {
+        set_fail("\"tags\" entries must be strings or numbers");
+        bad = true;
+        break;
+      }
+      request.tags.push_back(tag.text);
+    }
+    if (bad) return t;
+  }
+  if (const serve::JsonValue* set = json.Find("set")) {
+    if (!set->IsArray()) {
+      set_fail("\"set\" must be an array of [var, value] pairs");
+      return t;
+    }
+    for (const serve::JsonValue& pair : set->items) {
+      uint32_t var = 0;
+      if (!pair.IsArray() || pair.items.size() != 2 ||
+          !ParseVarToken(pair.items[0], ctx.num_facts, &var) ||
+          (!pair.items[1].IsString() && !pair.items[1].IsNumber())) {
+        set_fail("bad \"set\" entry (expected [var, value]; EDB has " +
+                 std::to_string(ctx.num_facts) + " facts)");
+        bad = true;
+        break;
+      }
+      request.delta.emplace_back(var, pair.items[1].text);
+    }
+    if (bad) return t;
+  }
+
+  const std::string& op_name = op->text;
+  if (op_name == "eval") {
+    request.kind = serve::ServeRequest::Kind::kEval;
+  } else if (op_name == "lane") {
+    request.kind = serve::ServeRequest::Kind::kMakeLane;
+  } else if (op_name == "update") {
+    request.kind = serve::ServeRequest::Kind::kUpdate;
+  } else if (op_name == "drop") {
+    request.kind = serve::ServeRequest::Kind::kDropLane;
+  } else if (op_name == "ping" || op_name == "stats" ||
+             op_name == "metrics") {
+    // stats and metrics ride the ping fence: the snapshot they render
+    // reflects everything submitted before them.
+    request.kind = serve::ServeRequest::Kind::kPing;
+    item.is_stats = op_name == "stats";
+    item.is_metrics = op_name == "metrics";
+  } else {
+    set_fail("unknown op `" + op_name + "`");
+    return t;
+  }
+
+  // Facts to report: explicit queries or the target predicate's facts.
+  // Resolution happens on the translating thread (read-only after the
+  // warm-up), so the broker deals only in fact ids.
+  bool wants_values = request.kind == serve::ServeRequest::Kind::kEval ||
+                      request.kind == serve::ServeRequest::Kind::kMakeLane ||
+                      request.kind == serve::ServeRequest::Kind::kUpdate;
+  if (wants_values) {
+    if (const serve::JsonValue* query = json.Find("query")) {
+      if (!query->IsArray()) {
+        set_fail("\"query\" must be an array of fact strings");
+        return t;
+      }
+      std::vector<std::string> query_names;
+      for (const serve::JsonValue& q : query->items) {
+        std::string pred;
+        std::vector<std::string> constants;
+        if (!q.IsString() || !ParseQuery(q.text, &pred, &constants)) {
+          set_fail("bad query (expected \"Pred(c1,...,ck)\")");
+          bad = true;
+          break;
+        }
+        Result<uint32_t> fact = session.FindFact(pred, constants);
+        if (!fact.ok()) {
+          set_fail("query `" + q.text + "`: " + fact.error());
+          bad = true;
+          break;
+        }
+        request.facts.push_back(fact.value());
+        query_names.push_back(q.text);
+      }
+      if (bad) return t;
+      item.fact_names = std::make_shared<const std::vector<std::string>>(
+          std::move(query_names));
+    } else {
+      request.facts = ctx.default_facts;
+      item.fact_names = ctx.default_fact_names;
+    }
+  }
+
+  item.has_future = true;  // the caller attaches the future on submit
+  t.submit = true;
+  return t;
+}
+
+// --listen shutdown: signals flip a flag the accept loop's owner polls.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void OnServeSignal(int) { g_serve_stop = 1; }
+
+/// The socket front door: SocketServer owns framing and response ordering,
+/// TranslateServeLine (shared with stdin mode) owns the protocol, and a
+/// pump thread waits on broker futures in submit order and hands each
+/// rendered line back to the owning connection's ordered slot. Admission
+/// control happens here, before Submit: once the broker queue is at
+/// capacity (or too many responses are in flight), the request gets a
+/// structured "busy" error instead of blocking the event loop on the
+/// bounded MPMC queue.
+int ServeListen(const Args& args, const ServeContext& ctx,
+                serve::Server& server, serve::PlanStore& store) {
+  serve::NetOptions net;
+  {
+    const size_t colon = args.listen.rfind(':');
+    if (colon == std::string::npos) {
+      return Fail("--listen expects HOST:PORT, got `" + args.listen + "`");
+    }
+    std::string host = args.listen.substr(0, colon);
+    const std::string port_text = args.listen.substr(colon + 1);
+    if (host.size() >= 2 && host.front() == '[' && host.back() == ']') {
+      host = host.substr(1, host.size() - 2);  // [::1]:8080
+    }
+    int port = -1;
+    try {
+      size_t used = 0;
+      port = std::stoi(port_text, &used);
+      if (used != port_text.size()) port = -1;
+    } catch (...) {
+    }
+    if (port < 0 || port > 65535) {
+      return Fail("--listen: bad port `" + port_text + "`");
+    }
+    net.host = host;
+    net.port = static_cast<uint16_t>(port);
+  }
+  net.max_connections = static_cast<uint32_t>(args.max_connections);
+
+  // Responses in flight: the pump waits on each future in submit order
+  // (completion order per connection is restored by the SocketServer's
+  // slots either way). Bounded so a flood of accepted requests cannot
+  // buffer unboundedly — overflowing it is a "busy" rejection.
+  struct NetPending {
+    OutItem item;
+    serve::SocketServer::Responder responder;
+  };
+  std::mutex pending_mu;
+  std::condition_variable pending_nonempty;
+  std::deque<NetPending> pending;
+  bool pending_done = false;
+  const size_t kMaxPendingResponses = 4096;
+
+  std::thread pump([&] {
+    while (true) {
+      NetPending p;
+      {
+        std::unique_lock<std::mutex> lock(pending_mu);
+        pending_nonempty.wait(
+            lock, [&] { return pending_done || !pending.empty(); });
+        if (pending.empty()) return;
+        p = std::move(pending.front());
+        pending.pop_front();
+      }
+      serve::ServeResponse response = p.item.future.get();
+      std::string line =
+          !response.ok ? RenderResponse(p.item, response, args.explain)
+          : p.item.is_stats ? RenderStats(p.item.id_json, server, store)
+          : p.item.is_metrics
+              ? RenderMetrics(p.item.id_json)
+              : RenderResponse(p.item, response, args.explain);
+      p.responder.Send(std::move(line));
+    }
+  });
+
+  const size_t admission_depth = static_cast<size_t>(args.queue_capacity);
+  uint64_t line_number = 0;  // event-loop thread only
+  auto handler = [&](std::string&& line,
+                     serve::SocketServer::Responder responder) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      // Unlike stdin mode, every received line owes exactly one response
+      // line (the connection's slot ordering depends on it).
+      responder.Send(ServeError("", "empty request line"));
+      return;
+    }
+    Translated t = TranslateServeLine(ctx, line, line_number);
+    if (!t.submit) {
+      responder.Send(std::move(t.item.ready));
+      return;
+    }
+    if (server.queue_depth() >= admission_depth) {
+      responder.Send(ServeError(
+          t.item.id_json, "busy: request queue full, retry later"));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(pending_mu);
+      if (pending.size() >= kMaxPendingResponses) {
+        responder.Send(ServeError(
+            t.item.id_json, "busy: too many responses in flight, retry later"));
+        return;
+      }
+      t.item.future = server.Submit(std::move(t.request));
+      pending.push_back({std::move(t.item), std::move(responder)});
+    }
+    pending_nonempty.notify_one();
+  };
+
+  serve::SocketServer sock;
+  Result<bool> started = sock.Start(net, handler);
+  if (!started.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mu);
+      pending_done = true;
+    }
+    pending_nonempty.notify_all();
+    pump.join();
+    return Fail(started.error());
+  }
+  // Always announced (even under --quiet): with port 0 this line is the
+  // only way to learn where the server actually bound.
+  std::cerr << "dlcirc serve: listening on " << net.host << ":" << sock.port()
+            << "\n";
+
+  g_serve_stop = 0;
+  auto old_int = std::signal(SIGINT, OnServeSignal);
+  auto old_term = std::signal(SIGTERM, OnServeSignal);
+  while (!g_serve_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, old_int);
+  std::signal(SIGTERM, old_term);
+
+  // Drain order: stop accepting/reading first, then let the pump finish
+  // every future already submitted, then stop the broker.
+  sock.Stop();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu);
+    pending_done = true;
+  }
+  pending_nonempty.notify_all();
+  pump.join();
+  server.Stop();
+
+  if (!args.quiet) {
+    serve::NetStats ns = sock.stats();
+    serve::ServerStats s = server.stats();
+    std::cerr << "dlcirc serve: " << ns.accepted << " connection(s), "
+              << ns.rejected << " rejected at the cap, " << ns.lines
+              << " request line(s); " << s.requests << " broker request(s), "
+              << s.evals << " batched eval(s) in " << s.batches
+              << " sweep(s), " << s.errors << " error(s)\n";
+  }
+  return 0;
 }
 
 int Serve(const Args& args) {
@@ -860,6 +1283,17 @@ int Serve(const Args& args) {
   server_options.eval.num_threads = ResolveThreads(args);
   serve::Server server(session, store, server_options);
 
+  ServeContext ctx;
+  ctx.args = &args;
+  ctx.session = &session;
+  ctx.num_facts = num_facts;
+  ctx.default_construction = default_construction.value();
+  ctx.default_facts = default_facts;
+  ctx.default_fact_names = default_fact_names;
+  ctx.plan_auto = plan_auto;
+
+  if (!args.listen.empty()) return ServeListen(args, ctx, server, store);
+
   std::ifstream requests_file;
   if (!args.requests_file.empty()) {
     requests_file.open(args.requests_file);
@@ -916,217 +1350,9 @@ int Serve(const Args& args) {
   while (std::getline(in, line)) {
     ++line_number;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-
-    OutItem item;
-    auto fail_line = [&](const std::string& what) {
-      item.ready = ServeError(item.id_json,
-                              "line " + std::to_string(line_number) + ": " + what);
-      item.has_future = false;
-      emit(std::move(item));
-    };
-
-    Result<serve::JsonValue> parsed = serve::ParseJson(line);
-    if (!parsed.ok()) {
-      fail_line(parsed.error());
-      continue;
-    }
-    const serve::JsonValue& json = parsed.value();
-    if (!json.IsObject()) {
-      fail_line("request must be a JSON object");
-      continue;
-    }
-    if (const serve::JsonValue* id = json.Find("id")) {
-      if (id->IsNumber()) {
-        item.id_json = id->text;
-      } else if (id->IsString()) {
-        item.id_json = "\"" + serve::JsonEscape(id->text) + "\"";
-      }
-    }
-
-    const serve::JsonValue* op = json.Find("op");
-    if (op == nullptr || !op->IsString()) {
-      fail_line("missing \"op\"");
-      continue;
-    }
-
-    serve::ServeRequest request;
-    request.semiring = args.semiring;
-    request.construction = default_construction.value();
-    if (const serve::JsonValue* s = json.Find("semiring")) {
-      if (!s->IsString()) {
-        fail_line("\"semiring\" must be a string");
-        continue;
-      }
-      request.semiring = s->text;
-    }
-    bool bad = false;
-    // Dichotomy resolution for this request's semiring (the finite branch
-    // needs idempotent plus). chain_route() was warmed above, so this is a
-    // read-only resolution. Returns false after emitting the error line.
-    auto resolve_chain = [&](pipeline::Construction* out) {
-      bool idempotent = false;
-      if (!pipeline::DispatchSemiring(request.semiring, [&]<Semiring S>() {
-            idempotent = S::kIsIdempotent;
-          })) {
-        fail_line("unknown semiring `" + request.semiring + "`");
-        return false;
-      }
-      Result<pipeline::Construction> routed =
-          session.RouteChainConstruction(idempotent);
-      if (!routed.ok()) {
-        fail_line(routed.error());
-        return false;
-      }
-      *out = routed.value();
-      return true;
-    };
-    // Cost-based resolution for this request's semiring, mirroring
-    // resolve_chain: planner_context() was warmed above, so this is a
-    // read-only resolution. Returns false after emitting the error line.
-    auto resolve_auto = [&](pipeline::Construction* out) {
-      if (!plan_auto(request.semiring, out)) {
-        fail_line("unknown semiring `" + request.semiring + "`");
-        return false;
-      }
-      return true;
-    };
-    const serve::JsonValue* c = json.Find("construction");
-    if (c != nullptr) {
-      if (!c->IsString()) {
-        fail_line("\"construction\" must be a string");
-        continue;
-      }
-      if (c->text == "chain") {
-        if (!resolve_chain(&request.construction)) continue;
-      } else if (c->text == "auto") {
-        if (!resolve_auto(&request.construction)) continue;
-      } else {
-        Result<pipeline::Construction> parsed_c =
-            pipeline::ParseConstruction(c->text);
-        if (!parsed_c.ok()) {
-          fail_line(parsed_c.error());
-          continue;
-        }
-        request.construction = parsed_c.value();
-      }
-    } else if (request.semiring != args.semiring &&
-               (args.route_chain || args.construction == "auto")) {
-      // Routed default + a per-request semiring override: the startup
-      // default was routed for --semiring's traits; re-route for this one
-      // so e.g. counting lands on grounded instead of failing the
-      // finite-RPQ idempotence gate.
-      if (args.route_chain) {
-        if (!resolve_chain(&request.construction)) continue;
-      } else {
-        if (!resolve_auto(&request.construction)) continue;
-      }
-    }
-    if (const serve::JsonValue* lane = json.Find("lane")) {
-      if (!lane->IsString()) {
-        fail_line("\"lane\" must be a string");
-        continue;
-      }
-      request.lane = lane->text;
-    }
-    if (const serve::JsonValue* tags = json.Find("tags")) {
-      if (!tags->IsArray()) {
-        fail_line("\"tags\" must be an array");
-        continue;
-      }
-      request.tags.reserve(tags->items.size());
-      for (const serve::JsonValue& t : tags->items) {
-        if (!t.IsString() && !t.IsNumber()) {
-          fail_line("\"tags\" entries must be strings or numbers");
-          bad = true;
-          break;
-        }
-        request.tags.push_back(t.text);
-      }
-      if (bad) continue;
-    }
-    if (const serve::JsonValue* set = json.Find("set")) {
-      if (!set->IsArray()) {
-        fail_line("\"set\" must be an array of [var, value] pairs");
-        continue;
-      }
-      for (const serve::JsonValue& pair : set->items) {
-        uint32_t var = 0;
-        if (!pair.IsArray() || pair.items.size() != 2 ||
-            !ParseVarToken(pair.items[0], num_facts, &var) ||
-            (!pair.items[1].IsString() && !pair.items[1].IsNumber())) {
-          fail_line("bad \"set\" entry (expected [var, value]; EDB has " +
-                    std::to_string(num_facts) + " facts)");
-          bad = true;
-          break;
-        }
-        request.delta.emplace_back(var, pair.items[1].text);
-      }
-      if (bad) continue;
-    }
-
-    const std::string& op_name = op->text;
-    if (op_name == "eval") {
-      request.kind = serve::ServeRequest::Kind::kEval;
-    } else if (op_name == "lane") {
-      request.kind = serve::ServeRequest::Kind::kMakeLane;
-    } else if (op_name == "update") {
-      request.kind = serve::ServeRequest::Kind::kUpdate;
-    } else if (op_name == "drop") {
-      request.kind = serve::ServeRequest::Kind::kDropLane;
-    } else if (op_name == "ping" || op_name == "stats" ||
-               op_name == "metrics") {
-      // stats and metrics ride the ping fence: the snapshot they render
-      // reflects everything submitted before them.
-      request.kind = serve::ServeRequest::Kind::kPing;
-      item.is_stats = op_name == "stats";
-      item.is_metrics = op_name == "metrics";
-    } else {
-      fail_line("unknown op `" + op_name + "`");
-      continue;
-    }
-
-    // Facts to report: explicit queries or the target predicate's facts.
-    // Resolution happens here (single reader thread; read-only after the
-    // constructor's warm-up), so the broker deals only in fact ids.
-    bool wants_values = request.kind == serve::ServeRequest::Kind::kEval ||
-                        request.kind == serve::ServeRequest::Kind::kMakeLane ||
-                        request.kind == serve::ServeRequest::Kind::kUpdate;
-    if (wants_values) {
-      if (const serve::JsonValue* query = json.Find("query")) {
-        if (!query->IsArray()) {
-          fail_line("\"query\" must be an array of fact strings");
-          continue;
-        }
-        std::vector<std::string> query_names;
-        for (const serve::JsonValue& q : query->items) {
-          std::string pred;
-          std::vector<std::string> constants;
-          if (!q.IsString() || !ParseQuery(q.text, &pred, &constants)) {
-            fail_line("bad query (expected \"Pred(c1,...,ck)\")");
-            bad = true;
-            break;
-          }
-          Result<uint32_t> fact = session.FindFact(pred, constants);
-          if (!fact.ok()) {
-            fail_line("query `" + q.text + "`: " + fact.error());
-            bad = true;
-            break;
-          }
-          request.facts.push_back(fact.value());
-          query_names.push_back(q.text);
-        }
-        if (bad) continue;
-        item.fact_names = std::make_shared<const std::vector<std::string>>(
-            std::move(query_names));
-      } else {
-        request.facts = default_facts;
-        item.fact_names = default_fact_names;
-      }
-    }
-
-    item.has_future = true;
-    item.future = server.Submit(std::move(request));
-    emit(std::move(item));
+    Translated t = TranslateServeLine(ctx, line, line_number);
+    if (t.submit) t.item.future = server.Submit(std::move(t.request));
+    emit(std::move(t.item));
   }
 
   {
@@ -1230,6 +1456,15 @@ int Main(int argc, char** argv) {
     } else if (flag == "--requests") {
       if (!(v = value(i, "--requests")).ok()) return Fail(v.error());
       args.requests_file = v.value();
+    } else if (flag == "--listen") {
+      if (!(v = value(i, "--listen")).ok()) return Fail(v.error());
+      args.listen = v.value();
+    } else if (flag == "--max-conns") {
+      if (!(v = value(i, "--max-conns")).ok()) return Fail(v.error());
+      if (!positive_int(v.value(), &args.max_connections)) {
+        return Fail("--max-conns expects a positive integer, got `" +
+                    v.value() + "`");
+      }
     } else if (flag == "--dispatchers") {
       if (!(v = value(i, "--dispatchers")).ok()) return Fail(v.error());
       if (!positive_int(v.value(), &args.dispatchers)) {
