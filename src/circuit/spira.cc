@@ -1,5 +1,6 @@
 #include "src/circuit/spira.h"
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -102,6 +103,17 @@ SpiraResult BalanceFormulaAbsorptive(const Formula& f) {
   SpiraResult r{Balance(f), f.Size(), f.Depth(), 0, 0};
   r.balanced_size = r.formula.Size();
   r.balanced_depth = r.formula.Depth();
+#ifndef NDEBUG
+  // The Theorem 3.2 guarantee, checked on every debug-build call so a
+  // regression in the split heuristic cannot ship depths the serving layer
+  // advertises as logarithmic (spira_test covers release builds).
+  DLCIRC_CHECK_LE(
+      static_cast<double>(r.balanced_depth),
+      kSpiraDepthSlope * std::log2(static_cast<double>(r.original_size) + 1) +
+          kSpiraDepthOffset)
+      << "Spira depth bound violated: balanced depth " << r.balanced_depth
+      << " for original size " << r.original_size;
+#endif
   return r;
 }
 

@@ -33,6 +33,11 @@ Server::Server(pipeline::Session& session, PlanStore& plans,
   obs_lane_wait_ = &reg.GetHistogram(
       "dlcirc_serve_lane_wait_ns", "",
       "Lane lock acquisition wait (epoch serialization), nanoseconds");
+  obs_explains_ = &reg.GetCounter("dlcirc_serve_explains_total", "",
+                                  "Explain requests served");
+  obs_explain_ns_ = &reg.GetHistogram(
+      "dlcirc_serve_explain_ns", "",
+      "Explanation extraction latency (proofs/why/formula), nanoseconds");
   // Warm every lazily-computed Session cache while still single-threaded;
   // afterwards dispatchers touch the Session only under the PlanStore's
   // compile lock, and foreground naming (FindFact/FactName) is read-only.
@@ -45,6 +50,12 @@ Server::Server(pipeline::Session& session, PlanStore& plans,
   session.planner_context();
   session.ProgramDigest();
   session.EdbDigest();
+  // Proof-tree leaves are named by EDB variable; snapshot the names here so
+  // explain requests never touch the Session from dispatcher threads.
+  edb_names_.reserve(num_facts_);
+  for (uint32_t v = 0; v < num_facts_; ++v) {
+    edb_names_.push_back(session.EdbFactName(v));
+  }
   evaluators_.reserve(options_.num_dispatchers);
   dispatchers_.reserve(options_.num_dispatchers);
   for (int i = 0; i < options_.num_dispatchers; ++i) {
@@ -113,6 +124,7 @@ ServerStats Server::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_lanes = batched_lanes_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.explains = explains_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   return s;
 }

@@ -49,6 +49,7 @@
 #include "src/eval/delta.h"
 #include "src/eval/evaluator.h"
 #include "src/eval/state_pool.h"
+#include "src/explain/explain.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/pipeline/semiring_registry.h"
@@ -69,6 +70,7 @@ struct ServeRequest {
     kUpdate,    ///< apply sparse `delta` to `lane`, return refreshed `facts`
     kDropLane,  ///< forget lane `lane`
     kPing,      ///< fence: completes after everything before it in the queue
+    kExplain,   ///< provenance of one fact (tags inline or lane-consistent)
   };
   Kind kind = Kind::kEval;
   std::string semiring = "boolean";
@@ -77,6 +79,15 @@ struct ServeRequest {
   std::vector<std::string> tags;   ///< full tagging, one value per EDB fact
   std::vector<std::pair<uint32_t, std::string>> delta;  ///< var -> new tag
   std::vector<uint32_t> facts;     ///< IDB fact ids to report
+
+  // kExplain only. `facts` must name exactly one fact; the explanation is
+  // extracted against the lane's current epoch (under its shared lock, so
+  // proof weights match the values that epoch serves) or against inline
+  // `tags`.
+  std::string explain_mode = "proofs";  ///< proofs | why | sorp | formula
+  uint32_t explain_k = 1;               ///< proof trees (proofs mode)
+  uint64_t explain_max_trees = 512;     ///< extraction budget (see explain.h)
+  std::string explain_fact_name;        ///< rendered fact label (optional)
 };
 
 struct ServeResponse {
@@ -86,6 +97,9 @@ struct ServeResponse {
   /// update); 0 for stateless inline evaluations and pings.
   uint64_t epoch = 0;
   std::vector<std::string> values;  ///< one per requested fact, in order
+  /// Rendered explanation object (explain.h renderers) for kExplain
+  /// responses; empty otherwise. Spliced verbatim into the wire response.
+  std::string explain_json;
   /// Name of the construction the request's channel serves plans through
   /// (per-request construction reporting, rendered by `dlcirc serve
   /// --explain`); empty for pings and requests rejected before routing.
@@ -119,6 +133,7 @@ struct ServerStats {
   uint64_t batches = 0;           ///< coalesced batch sweeps executed
   uint64_t batched_lanes = 0;     ///< inline evals covered by those sweeps
   uint64_t max_batch = 0;         ///< widest single coalesced sweep
+  uint64_t explains = 0;          ///< explain requests served
   uint64_t errors = 0;            ///< requests answered with an error
 };
 
@@ -300,6 +315,59 @@ class Server {
     return out;
   }
 
+  /// Renders the explanation object for one kExplain request against an
+  /// evaluated slot vector (a lane's, under its shared lock, or inline
+  /// scratch). The caller owns epoch reporting; this only extracts.
+  template <Semiring S>
+  Result<std::string> ExplainJson(const pipeline::CompiledPlan& plan,
+                                  const std::vector<eval::SlotValue<S>>& slots,
+                                  const std::vector<typename S::Value>& assignment,
+                                  const ServeRequest& req) {
+    using Out = Result<std::string>;
+    explain::ExplainLimits limits;
+    limits.k = std::max<uint32_t>(1, req.explain_k);
+    limits.max_trees = std::max<uint64_t>(1, req.explain_max_trees);
+    const uint32_t fact = req.facts[0];
+    const std::string name = req.explain_fact_name.empty()
+                                 ? "#" + std::to_string(fact)
+                                 : req.explain_fact_name;
+    const std::string& mode = req.explain_mode;
+    if (fact == pipeline::Session::kNotFound) {
+      // Unknown facts have the zero polynomial: no proofs, no monomials.
+      return Out("{\"mode\":\"" + explain::internal::JsonEscape(mode) +
+                 "\",\"fact\":\"" + explain::internal::JsonEscape(name) +
+                 "\",\"value\":\"" +
+                 explain::internal::JsonEscape(
+                     pipeline::FormatSemiringValue<S>(S::Zero())) +
+                 "\",\"truncated\":false,\"proofs\":[],\"monomials\":[]}");
+    }
+    if (mode.empty() || mode == "proofs") {
+      auto r = explain::TopKProofs<S>(plan.plan, fact, slots, limits);
+      if (!r.ok()) return Out::Error(r.error());
+      return Out(explain::RenderTopKJson<S>(r.value(), limits, name,
+                                            edb_names_, assignment));
+    }
+    if (mode == "why" || mode == "sorp") {
+      const bool times_idem = mode == "why";
+      auto r = explain::WhyProvenance(plan.plan, fact, times_idem,
+                                      limits.max_trees);
+      if (!r.ok()) return Out::Error(r.error());
+      const std::string value = pipeline::FormatSemiringValue<S>(
+          static_cast<typename S::Value>(slots[plan.plan.output_slots()[fact]]));
+      return Out(explain::RenderWhyJson(r.value(), times_idem,
+                                        limits.max_trees, name, value,
+                                        edb_names_));
+    }
+    if (mode == "formula") {
+      auto r = explain::ExplainFormula<S>(plan.circuit, fact, assignment,
+                                          limits);
+      if (!r.ok()) return Out::Error(r.error());
+      return Out(explain::RenderFormulaJson<S>(r.value(), name));
+    }
+    return Out::Error("unknown explain mode `" + mode +
+                      "` (want proofs, why, sorp, or formula)");
+  }
+
   bool ValidFacts(const std::vector<uint32_t>& facts, size_t num_outputs,
                   std::string* error) const {
     for (uint32_t f : facts) {
@@ -332,7 +400,11 @@ class Server {
 
   std::atomic<uint64_t> requests_{0}, evals_{0}, lane_reads_{0},
       lane_makes_{0}, updates_{0}, update_fallbacks_{0}, batches_{0},
-      batched_lanes_{0}, max_batch_{0}, errors_{0};
+      batched_lanes_{0}, max_batch_{0}, explains_{0}, errors_{0};
+
+  /// EDB fact names by variable id, precomputed at construction (naming the
+  /// leaves of proof trees must not touch the Session from dispatchers).
+  std::vector<std::string> edb_names_;
 
   // Obs series (default registry; resolved once in the constructor). The
   // ServerStats atomics above stay authoritative for the cheap `stats` op;
@@ -344,6 +416,8 @@ class Server {
   obs::Histogram* obs_queue_wait_ = nullptr;  ///< dlcirc_serve_queue_wait_ns
   obs::Histogram* obs_latency_ = nullptr;     ///< dlcirc_serve_request_ns
   obs::Histogram* obs_lane_wait_ = nullptr;   ///< dlcirc_serve_lane_wait_ns
+  obs::Counter* obs_explains_ = nullptr;      ///< dlcirc_serve_explains_total
+  obs::Histogram* obs_explain_ns_ = nullptr;  ///< dlcirc_serve_explain_ns
 };
 
 // ---------------------------------------------------------------------------
@@ -527,6 +601,54 @@ void Server::ServeChannelGroup(const std::string& channel_key,
       case ServeRequest::Kind::kPing:
         Respond(p, {true, "", 0, {}});
         break;
+      case ServeRequest::Kind::kExplain: {
+        if (req.facts.size() != 1) {
+          RespondError(p, "explain takes exactly one fact (got " +
+                              std::to_string(req.facts.size()) + ")");
+          break;
+        }
+        const uint64_t t0 = obs_explain_ns_->StartTimeNs();
+        auto finish = [&](uint64_t epoch,
+                          const std::vector<eval::SlotValue<S>>& slots,
+                          const std::vector<typename S::Value>& assignment) {
+          Result<std::string> ejson =
+              ExplainJson<S>(plan, slots, assignment, req);
+          if (!ejson.ok()) {
+            RespondError(p, ejson.error());
+            return;
+          }
+          explains_.fetch_add(1, std::memory_order_relaxed);
+          obs_explains_->Inc();
+          obs_explain_ns_->RecordSince(t0);
+          Respond(p, {true, "", epoch,
+                      FactValues<S>(eplan, slots, req.facts),
+                      std::move(ejson).value()});
+        };
+        if (req.lane.empty()) {
+          auto tags = ParseTags<S>(req.tags);
+          if (!tags.ok()) {
+            RespondError(p, tags.error());
+            break;
+          }
+          auto scratch = chan.pool.states.Acquire();
+          evaluator.EvaluateInto<S>(eplan, tags.value(), &scratch->slots);
+          finish(0, scratch->slots, tags.value());
+          break;
+        }
+        std::shared_ptr<Lane<S>> lane = find_lane(req.lane);
+        if (lane == nullptr) {
+          RespondError(p, "unknown lane `" + req.lane + "`");
+          break;
+        }
+        const uint64_t wait_start = obs_lane_wait_->StartTimeNs();
+        std::shared_lock<std::shared_mutex> read(lane->mu);
+        obs_lane_wait_->RecordSince(wait_start);
+        // Extraction runs under the shared lock: the proof weights read
+        // from the lane's slots and the reported epoch name one consistent
+        // tagging — an update cannot slide in between value and proof.
+        finish(lane->epoch, lane->state->slots, lane->state->assignment);
+        break;
+      }
     }
   }
 

@@ -1,0 +1,440 @@
+// Tests for src/explain: online provenance extraction over compiled plans.
+//
+// The load-bearing invariants:
+//   * top-1 proof weight == the Evaluator's value for the same slot vector
+//     (bit-copied, so ValueString renders them identically) — the hard gate
+//     the serve layer and E19 advertise,
+//   * k-best proofs come out best-first and every proof's weight re-derives
+//     from its own leaves,
+//   * WhyProvenance in Sorp mode reproduces EnumerateTightProvenance's
+//     canonical polynomial on grounded plans (Proposition 2.4), and the Why
+//     mode is its exponent-dropping projection,
+//   * budgets truncate explicitly (truncated flag), never silently,
+//   * formula mode's balanced depth honors the Theorem 3.2 bound, and
+//   * a serve-level explain response is epoch-consistent under concurrent
+//     lane updates: value and proof weight always describe one tagging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/eval/evaluator.h"
+#include "src/explain/explain.h"
+#include "src/graph/generators.h"
+#include "src/pipeline/session.h"
+#include "src/provenance/proof_tree.h"
+#include "src/semiring/instances.h"
+#include "src/semiring/provenance_poly.h"
+#include "src/serve/plan_store.h"
+#include "src/serve/server.h"
+#include "src/util/rng.h"
+#include "tests/test_programs.h"
+
+namespace dlcirc {
+namespace {
+
+using pipeline::PlanKey;
+using pipeline::Session;
+
+constexpr const char* kFig1Facts = R"(
+E(s,u1). E(s,u2). E(u1,v1). E(u1,v2). E(u2,v2). E(v1,t). E(v2,t).
+)";
+
+Session MakeFig1Session() {
+  Result<Session> s = Session::FromDatalog(testing::kTcText);
+  EXPECT_TRUE(s.ok()) << s.error();
+  Session session = std::move(s).value();
+  Result<bool> loaded = session.LoadFactsText(kFig1Facts);
+  EXPECT_TRUE(loaded.ok()) << loaded.error();
+  return session;
+}
+
+/// A TC session over a random connected digraph (edge order fixes the
+/// provenance variables, exactly like LoadGraphCsv in the CLI).
+Session MakeRandomTcSession(Rng& rng, uint32_t n, uint32_t m) {
+  StGraph sg = RandomConnectedGraph(n, m, 1, rng);
+  std::ostringstream csv;
+  for (const LabeledEdge& e : sg.graph.edges()) {
+    csv << "v" << e.src << ",v" << e.dst << "\n";
+  }
+  Result<Session> s = Session::FromDatalog(testing::kTcText);
+  EXPECT_TRUE(s.ok()) << s.error();
+  Session session = std::move(s).value();
+  Result<bool> loaded = session.LoadGraphCsv(csv.str());
+  EXPECT_TRUE(loaded.ok()) << loaded.error();
+  return session;
+}
+
+template <Semiring S>
+const pipeline::CompiledPlan& MustCompile(Session& session) {
+  auto compiled =
+      session.Compile(PlanKey::For<S>(pipeline::Construction::kGrounded));
+  EXPECT_TRUE(compiled.ok()) << compiled.error();
+  static thread_local std::shared_ptr<const pipeline::CompiledPlan> keep;
+  keep = compiled.value();
+  return *keep;
+}
+
+template <Semiring S>
+std::vector<eval::SlotValue<S>> EvaluateSlots(
+    const pipeline::CompiledPlan& plan,
+    const std::vector<typename S::Value>& assignment) {
+  eval::Evaluator ev(eval::EvalOptions{.num_threads = 1});
+  std::vector<eval::SlotValue<S>> slots;
+  ev.EvaluateInto<S>(plan.plan, assignment, &slots);
+  return slots;
+}
+
+/// Re-derives a proof's weight from its own leaves: the product (with
+/// multiplicity) of the leaf tags.
+template <Semiring S>
+typename S::Value LeafProduct(const explain::Proof<S>& p,
+                              const std::vector<typename S::Value>& tags) {
+  typename S::Value acc = S::One();
+  for (const explain::ProofLeaf& l : p.leaves) {
+    for (uint32_t c = 0; c < l.count; ++c) acc = S::Times(acc, tags[l.var]);
+  }
+  return acc;
+}
+
+/// First occurrence of `"key":"..."` in a rendered explanation object.
+std::string JsonStringField(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + needle.size();
+  return json.substr(start, json.find('"', start) - start);
+}
+
+// ---------------------------------------------------------------- fig1
+
+TEST(ExplainTest, Fig1TropicalTopThreeProofs) {
+  Session session = MakeFig1Session();
+  const auto& plan = MustCompile<TropicalSemiring>(session);
+  // The quickstart weights: edge i weighs i+1; min s-t path = 10.
+  std::vector<uint64_t> tags = {1, 2, 3, 4, 5, 6, 7};
+  auto slots = EvaluateSlots<TropicalSemiring>(plan, tags);
+  Result<uint32_t> fact = session.FindFact("T", {"s", "t"});
+  ASSERT_TRUE(fact.ok()) << fact.error();
+
+  explain::ExplainLimits limits;
+  limits.k = 5;
+  auto r = explain::TopKProofs<TropicalSemiring>(plan.plan, fact.value(),
+                                                 slots, limits);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const auto& res = r.value();
+  EXPECT_EQ(res.value, 10u);
+  EXPECT_FALSE(res.truncated);
+  // Exactly the three s-t paths of Figure 1a, best first.
+  ASSERT_EQ(res.proofs.size(), 3u);
+  EXPECT_EQ(res.proofs[0].weight, 10u);
+  EXPECT_EQ(res.proofs[1].weight, 12u);
+  EXPECT_EQ(res.proofs[2].weight, 14u);
+  // Top proof: s -> u1 -> v1 -> t, i.e. x0, x2, x5, each once.
+  ASSERT_EQ(res.proofs[0].leaves.size(), 3u);
+  EXPECT_EQ(res.proofs[0].leaves[0].var, 0u);
+  EXPECT_EQ(res.proofs[0].leaves[1].var, 2u);
+  EXPECT_EQ(res.proofs[0].leaves[2].var, 5u);
+  for (const auto& p : res.proofs) {
+    EXPECT_EQ(p.weight, LeafProduct<TropicalSemiring>(p, tags));
+  }
+}
+
+TEST(ExplainTest, Fig1TopKBudgetTruncates) {
+  Session session = MakeFig1Session();
+  const auto& plan = MustCompile<TropicalSemiring>(session);
+  std::vector<uint64_t> tags = {1, 2, 3, 4, 5, 6, 7};
+  auto slots = EvaluateSlots<TropicalSemiring>(plan, tags);
+  Result<uint32_t> fact = session.FindFact("T", {"s", "t"});
+  ASSERT_TRUE(fact.ok());
+
+  explain::ExplainLimits limits;
+  limits.k = 5;
+  limits.max_trees = 1;  // one candidate expansion: cannot reach all 3 proofs
+  auto r = explain::TopKProofs<TropicalSemiring>(plan.plan, fact.value(),
+                                                 slots, limits);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.value().truncated);
+  ASSERT_GE(r.value().proofs.size(), 1u);
+  EXPECT_LT(r.value().proofs.size(), 3u);
+  EXPECT_EQ(r.value().proofs[0].weight, 10u);  // the best one is never lost
+}
+
+TEST(ExplainTest, Fig1WhyAndSorpMatchTightProvenanceOracle) {
+  Session session = MakeFig1Session();
+  const auto& plan = MustCompile<BooleanSemiring>(session);
+  Result<uint32_t> fact = session.FindFact("T", {"s", "t"});
+  ASSERT_TRUE(fact.ok());
+
+  TightProvenanceResult oracle =
+      EnumerateTightProvenance(session.grounded(), fact.value());
+  ASSERT_FALSE(oracle.truncated);
+
+  auto sorp = explain::WhyProvenance(plan.plan, fact.value(),
+                                     /*times_idempotent=*/false, 100000);
+  ASSERT_TRUE(sorp.ok()) << sorp.error();
+  EXPECT_FALSE(sorp.value().truncated);
+  EXPECT_EQ(sorp.value().poly.ToString(), oracle.poly.ToString());
+
+  auto why = explain::WhyProvenance(plan.plan, fact.value(),
+                                    /*times_idempotent=*/true, 100000);
+  ASSERT_TRUE(why.ok()) << why.error();
+  EXPECT_EQ(why.value().poly.ToString(), ProjectToWhy(oracle.poly).ToString());
+}
+
+TEST(ExplainTest, WhyBudgetTruncatesDeterministically) {
+  Session session = MakeFig1Session();
+  const auto& plan = MustCompile<BooleanSemiring>(session);
+  Result<uint32_t> fact = session.FindFact("T", {"s", "t"});
+  ASSERT_TRUE(fact.ok());
+
+  auto r = explain::WhyProvenance(plan.plan, fact.value(),
+                                  /*times_idempotent=*/true, 2);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.value().truncated);
+  EXPECT_LE(r.value().poly.NumMonomials(), 2u);
+  // Deterministic: the canonical prefix both times.
+  auto again = explain::WhyProvenance(plan.plan, fact.value(), true, 2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(r.value().poly.ToString(), again.value().poly.ToString());
+}
+
+TEST(ExplainTest, NonIdempotentSemiringIsRejected) {
+  Session session = MakeFig1Session();
+  const auto& plan = MustCompile<CountingSemiring>(session);
+  std::vector<uint64_t> tags(7, 1);
+  auto slots = EvaluateSlots<CountingSemiring>(plan, tags);
+  Result<uint32_t> fact = session.FindFact("T", {"s", "t"});
+  ASSERT_TRUE(fact.ok());
+  auto r = explain::TopKProofs<CountingSemiring>(plan.plan, fact.value(),
+                                                 slots, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("idempotent"), std::string::npos) << r.error();
+}
+
+TEST(ExplainTest, FormulaModeHonorsSpiraDepthBound) {
+  Session session = MakeFig1Session();
+  const auto& plan = MustCompile<TropicalSemiring>(session);
+  std::vector<uint64_t> tags = {1, 2, 3, 4, 5, 6, 7};
+  auto slots = EvaluateSlots<TropicalSemiring>(plan, tags);
+  Result<uint32_t> fact = session.FindFact("T", {"s", "t"});
+  ASSERT_TRUE(fact.ok());
+
+  auto r = explain::ExplainFormula<TropicalSemiring>(plan.circuit,
+                                                     fact.value(), tags, {});
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.value().bound_ok);
+  EXPECT_LE(static_cast<double>(r.value().balanced_depth),
+            r.value().depth_bound);
+  // The balanced formula still computes the served value.
+  EXPECT_EQ(r.value().value,
+            static_cast<uint64_t>(slots[plan.plan.output_slots()[fact.value()]]));
+}
+
+// ----------------------------------------------------- randomized sweeps
+
+/// Random TC instances: the top-1 proof weight must be the Evaluator's own
+/// value (ValueString-identical — it is bit-copied from the slot vector),
+/// proofs come out best-first, and every proof's weight re-derives from its
+/// leaves. `num_cases` graphs per semiring.
+template <Semiring S>
+void RunTopKDifferential(uint64_t seed, int num_cases) {
+  Rng rng(seed);
+  for (int c = 0; c < num_cases; ++c) {
+    SCOPED_TRACE(S::Name() + " case " + std::to_string(c) + " seed " +
+                 std::to_string(seed));
+    const uint32_t n = 4 + static_cast<uint32_t>(rng.NextBounded(5));
+    const uint32_t m = n + static_cast<uint32_t>(rng.NextBounded(2 * n));
+    Session session = MakeRandomTcSession(rng, n, m);
+    const auto& plan = MustCompile<S>(session);
+    const uint32_t num_facts = session.db().num_facts();
+    std::vector<typename S::Value> tags;
+    for (uint32_t v = 0; v < num_facts; ++v) tags.push_back(S::RandomValue(rng));
+    auto slots = EvaluateSlots<S>(plan, tags);
+
+    explain::ExplainLimits limits;
+    limits.k = 4;
+    limits.max_trees = 10000;
+    for (uint32_t f : session.TargetFacts()) {
+      auto r = explain::TopKProofs<S>(plan.plan, f, slots, limits);
+      ASSERT_TRUE(r.ok()) << r.error();
+      const auto& res = r.value();
+      const typename S::Value value =
+          static_cast<typename S::Value>(slots[plan.plan.output_slots()[f]]);
+      ASSERT_TRUE(S::Eq(res.value, value));
+      if (S::Eq(value, S::Zero())) continue;  // nothing derivable
+      ASSERT_GE(res.proofs.size(), 1u);
+      // The hard gate: identical rendered strings, not just S::Eq.
+      EXPECT_EQ(explain::ValueString<S>(res.proofs[0].weight),
+                explain::ValueString<S>(value));
+      for (size_t i = 0; i < res.proofs.size(); ++i) {
+        EXPECT_TRUE(S::Eq(res.proofs[i].weight,
+                          LeafProduct<S>(res.proofs[i], tags)))
+            << "proof " << i << " weight does not re-derive from its leaves";
+        if (i > 0) {
+          // Best-first: an earlier proof is never worse than a later one.
+          EXPECT_TRUE(S::Eq(
+              S::Plus(res.proofs[i - 1].weight, res.proofs[i].weight),
+              res.proofs[i - 1].weight))
+              << "proofs out of order at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExplainTest, TopKDifferentialTropical) {
+  RunTopKDifferential<TropicalSemiring>(901, 12);
+}
+TEST(ExplainTest, TopKDifferentialViterbi) {
+  RunTopKDifferential<ViterbiSemiring>(902, 12);
+}
+TEST(ExplainTest, TopKDifferentialFuzzy) {
+  RunTopKDifferential<FuzzySemiring>(903, 12);
+}
+TEST(ExplainTest, TopKDifferentialBoolean) {
+  RunTopKDifferential<BooleanSemiring>(904, 12);
+}
+
+TEST(ExplainTest, WhyProvenanceMatchesOracleOnRandomGraphs) {
+  Rng rng(777);
+  for (int c = 0; c < 10; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    const uint32_t n = 4 + static_cast<uint32_t>(rng.NextBounded(4));
+    const uint32_t m = n + static_cast<uint32_t>(rng.NextBounded(n));
+    Session session = MakeRandomTcSession(rng, n, m);
+    const auto& plan = MustCompile<BooleanSemiring>(session);
+    for (uint32_t f : session.TargetFacts()) {
+      TightProvenanceResult oracle =
+          EnumerateTightProvenance(session.grounded(), f);
+      if (oracle.truncated) continue;
+      auto sorp = explain::WhyProvenance(plan.plan, f, false, 1u << 20);
+      ASSERT_TRUE(sorp.ok()) << sorp.error();
+      if (sorp.value().truncated) continue;
+      EXPECT_EQ(sorp.value().poly.ToString(), oracle.poly.ToString())
+          << "Sorp mismatch at fact " << f;
+      auto why = explain::WhyProvenance(plan.plan, f, true, 1u << 20);
+      ASSERT_TRUE(why.ok()) << why.error();
+      if (why.value().truncated) continue;
+      EXPECT_EQ(why.value().poly.ToString(),
+                ProjectToWhy(oracle.poly).ToString())
+          << "Why mismatch at fact " << f;
+    }
+  }
+}
+
+// ----------------------------------------------------------- serve layer
+
+TEST(ExplainTest, ServeExplainInlineAndLane) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::Server server(session, store, {});
+  Result<uint32_t> fact = session.FindFact("T", {"s", "t"});
+  ASSERT_TRUE(fact.ok());
+
+  serve::ServeRequest make;
+  make.kind = serve::ServeRequest::Kind::kMakeLane;
+  make.semiring = "tropical";
+  make.lane = "w";
+  make.tags = {"1", "2", "3", "4", "5", "6", "7"};
+  make.facts = {fact.value()};
+  ASSERT_TRUE(server.Submit(make).get().ok);
+
+  serve::ServeRequest ex;
+  ex.kind = serve::ServeRequest::Kind::kExplain;
+  ex.semiring = "tropical";
+  ex.lane = "w";
+  ex.facts = {fact.value()};
+  ex.explain_k = 3;
+  ex.explain_fact_name = "T(s,t)";
+  serve::ServeResponse r = server.Submit(ex).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.epoch, 1u);
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0], "10");
+  EXPECT_EQ(JsonStringField(r.explain_json, "value"), "10");
+  EXPECT_EQ(JsonStringField(r.explain_json, "weight"), "10");
+  EXPECT_NE(r.explain_json.find("\"mode\":\"proofs\""), std::string::npos);
+  EXPECT_NE(r.explain_json.find("E(s,u1)"), std::string::npos);
+
+  // Inline tags (no lane): same extraction against a scratch evaluation.
+  serve::ServeRequest inl = ex;
+  inl.lane.clear();
+  inl.tags = {"1", "1", "1", "1", "1", "1", "1"};
+  r = server.Submit(inl).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.values[0], "3");
+  EXPECT_EQ(JsonStringField(r.explain_json, "weight"), "3");
+
+  // Unknown mode and multi-fact requests answer with errors, not crashes.
+  serve::ServeRequest bad = ex;
+  bad.explain_mode = "frobnicate";
+  EXPECT_FALSE(server.Submit(bad).get().ok);
+  serve::ServeRequest two = ex;
+  two.facts = {fact.value(), fact.value()};
+  EXPECT_FALSE(server.Submit(two).get().ok);
+
+  EXPECT_GE(server.stats().explains, 2u);
+  EXPECT_GE(server.stats().errors, 2u);
+}
+
+TEST(ExplainTest, ServeExplainIsEpochConsistentUnderConcurrentUpdates) {
+  Session session = MakeFig1Session();
+  serve::PlanStore store;
+  serve::ServerOptions options;
+  options.num_dispatchers = 2;
+  serve::Server server(session, store, options);
+  Result<uint32_t> fact = session.FindFact("T", {"s", "t"});
+  ASSERT_TRUE(fact.ok());
+
+  serve::ServeRequest make;
+  make.kind = serve::ServeRequest::Kind::kMakeLane;
+  make.semiring = "tropical";
+  make.lane = "w";
+  make.tags = {"1", "2", "3", "4", "5", "6", "7"};
+  make.facts = {fact.value()};
+  ASSERT_TRUE(server.Submit(make).get().ok);
+
+  // Updater: toggles x0 between 1 (top path 10 via x0) and 100 (top path 14
+  // via x1) as fast as the broker admits.
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    bool high = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      serve::ServeRequest up;
+      up.kind = serve::ServeRequest::Kind::kUpdate;
+      up.semiring = "tropical";
+      up.lane = "w";
+      up.delta = {{0u, high ? "100" : "1"}};
+      up.facts = {fact.value()};
+      high = !high;
+      server.Submit(up).get();
+    }
+  });
+
+  // Every explain response must be self-consistent: the reported value, the
+  // explanation's value, and the top-1 proof weight all describe the SAME
+  // epoch — an interleaved update must never mix taggings.
+  for (int i = 0; i < 200; ++i) {
+    serve::ServeRequest ex;
+    ex.kind = serve::ServeRequest::Kind::kExplain;
+    ex.semiring = "tropical";
+    ex.lane = "w";
+    ex.facts = {fact.value()};
+    ex.explain_k = 3;
+    serve::ServeResponse r = server.Submit(ex).get();
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.values.size(), 1u);
+    EXPECT_TRUE(r.values[0] == "10" || r.values[0] == "14") << r.values[0];
+    EXPECT_EQ(JsonStringField(r.explain_json, "value"), r.values[0]);
+    EXPECT_EQ(JsonStringField(r.explain_json, "weight"), r.values[0]);
+  }
+  stop.store(true);
+  updater.join();
+}
+
+}  // namespace
+}  // namespace dlcirc

@@ -40,10 +40,13 @@
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/eval/evaluator.h"
+#include "src/explain/explain.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/pipeline/io.h"
@@ -85,6 +88,11 @@ struct Args {
   bool profile = false;    ///< --profile: compile/eval phase table on stderr
   bool explain = false;    ///< --explain: the planner's scored plan tree
   std::string trace_out;   ///< --trace-out: Chrome trace JSON dump path
+  std::string explain_fact;          ///< run: fact to explain after results
+  std::string explain_mode = "proofs";  ///< proofs | why | sorp | formula
+  int topk = 1;                      ///< proofs mode: trees per explanation
+  int max_trees = 512;               ///< extraction budget (src/explain)
+  bool explain_only = false;         ///< `dlcirc explain`: only explanations
 };
 
 /// --threads wins, then DLCIRC_THREADS, then single-threaded.
@@ -108,6 +116,9 @@ int Usage(std::ostream& out, int code) {
 commands:
   run         run the full pipeline: parse, ground, build, optimize, compile, tag
   serve       serve NDJSON tagging requests over stdin/stdout (src/serve)
+  explain     like run, but print only provenance explanations (src/explain):
+              one JSON object per tagging lane for one fact (--query or
+              --explain-fact picks it; see the run flags below)
   semirings   list the registered semirings
   help        show this message
 
@@ -142,6 +153,18 @@ run flags:
                        stdout/stderr; json: an "explain" object)
   --query "T(s,t)"     IDB fact to report; repeatable (default: all facts of
                        the target predicate)
+  --explain-fact "T(s,t)"  also emit a provenance explanation of this fact,
+                       one JSON object per tagging lane (src/explain); text
+                       format prints them after the results, json adds an
+                       "explanations" array (csv refuses the flag)
+  --explain-mode NAME  proofs (top-k best proof trees; idempotent semirings),
+                       why / sorp (monomial enumeration, budget-truncated),
+                       or formula (Spira-balanced formula with its Theorem
+                       3.2 depth bound) [proofs]
+  --topk K             proofs mode: number of proof trees to extract [1]
+  --max-trees N        extraction budget: candidate expansions (proofs) or
+                       monomials kept per gate (why/sorp); exceeding it sets
+                       "truncated": true in the output [512]
   --format NAME        text, csv, or json [text]
   --threads N          evaluator worker threads [$DLCIRC_THREADS, else 1]
   --snapshot-dir DIR   plan snapshot cache: load compiled plans from DIR when
@@ -179,6 +202,11 @@ serve protocol (one JSON object per line; `id` is echoed back):
   {"op":"eval","lane":"alice"}            {"op":"update","lane":"alice",
   {"op":"drop","lane":"alice"}             "set":[["x3","5"],["x0","inf"]]}
   {"op":"ping"}                 {"op":"stats"}                {"op":"metrics"}
+  {"op":"explain","lane":"alice","query":["T(s,t)"],"mode":"proofs","k":3}
+  {"op":"explain","tags":["1",...],"query":["T(s,t)"],"mode":"why",
+   "max_trees":16}        (modes: proofs | why | sorp | formula; exactly one
+   query fact; a lane explains that lane's current epoch-consistent tagging,
+   inline tags evaluate on the spot; budget overruns set "truncated": true)
   optional per-request: "semiring", "construction", "query", "id"
   ("construction": "chain" resolves through the dichotomy planner per the
    request's semiring, like --grammar; "construction": "auto" through the
@@ -308,6 +336,45 @@ Result<std::vector<UpdateStep<S>>> ParseUpdatesCsv(std::string_view text,
   return steps;
 }
 
+/// Renders one provenance explanation (the src/explain JSON object) for
+/// `fact` against an evaluated slot vector — the CLI twin of the serve
+/// broker's ExplainJson, sharing the mode vocabulary and renderers so
+/// `dlcirc explain`, `run --explain-fact`, and the serve `explain` op emit
+/// byte-identical objects for the same state.
+template <Semiring S>
+Result<std::string> ExplainLine(const pipeline::CompiledPlan& plan,
+                                const std::vector<eval::SlotValue<S>>& slots,
+                                const std::vector<typename S::Value>& assignment,
+                                uint32_t fact, const std::string& name,
+                                const std::string& mode,
+                                const explain::ExplainLimits& limits,
+                                const std::vector<std::string>& var_names) {
+  using Out = Result<std::string>;
+  if (mode.empty() || mode == "proofs") {
+    auto r = explain::TopKProofs<S>(plan.plan, fact, slots, limits);
+    if (!r.ok()) return Out::Error(r.error());
+    return Out(explain::RenderTopKJson<S>(r.value(), limits, name, var_names,
+                                          assignment));
+  }
+  if (mode == "why" || mode == "sorp") {
+    const bool times_idem = mode == "why";
+    auto r = explain::WhyProvenance(plan.plan, fact, times_idem,
+                                    limits.max_trees);
+    if (!r.ok()) return Out::Error(r.error());
+    const std::string value = pipeline::FormatSemiringValue<S>(
+        static_cast<typename S::Value>(slots[plan.plan.output_slots()[fact]]));
+    return Out(explain::RenderWhyJson(r.value(), times_idem, limits.max_trees,
+                                      name, value, var_names));
+  }
+  if (mode == "formula") {
+    auto r = explain::ExplainFormula<S>(plan.circuit, fact, assignment, limits);
+    if (!r.ok()) return Out::Error(r.error());
+    return Out(explain::RenderFormulaJson<S>(r.value(), name));
+  }
+  return Out::Error("unknown explain mode `" + mode +
+                    "` (want proofs, why, sorp, or formula)");
+}
+
 template <Semiring S>
 int RunTyped(const Args& args, Session& session) {
   const uint32_t num_facts = session.db().num_facts();
@@ -352,7 +419,7 @@ int RunTyped(const Args& args, Session& session) {
     }
   } else {
     facts = session.TargetFacts();
-    if (facts.empty()) {
+    if (facts.empty() && !args.explain_only) {
       return Fail("no derivable facts of the target predicate `" +
                   session.program().preds.Name(session.program().target_pred) +
                   "`; pass --query to report a specific fact");
@@ -389,6 +456,72 @@ int RunTyped(const Args& args, Session& session) {
   }();
   if (!compiled.ok()) return Fail(compiled.error());
   const pipeline::CompiledPlan& plan = *compiled.value();
+
+  // Provenance explanations (src/explain): `dlcirc explain` prints only
+  // these, `run --explain-fact` appends them to the normal output. Each lane
+  // gets its own evaluated slot vector (the proof weights are read bitwise
+  // from it, so the top-1 weight always equals the reported value) and one
+  // rendered JSON object — the same renderers the serve `explain` op uses.
+  const std::string explain_query =
+      !args.explain_fact.empty()
+          ? args.explain_fact
+          : (args.explain_only && args.queries.size() == 1 ? args.queries[0]
+                                                           : "");
+  if (args.explain_only && explain_query.empty()) {
+    return Fail(
+        "dlcirc explain needs --explain-fact \"Pred(c1,...,ck)\" "
+        "(or exactly one --query)");
+  }
+  std::vector<std::string> explanations;  // one JSON object per lane
+  if (!explain_query.empty()) {
+    std::string pred;
+    std::vector<std::string> constants;
+    if (!ParseQuery(explain_query, &pred, &constants)) {
+      return Fail("bad --explain-fact `" + explain_query +
+                  "` (expected Pred(c1,...,ck))");
+    }
+    Result<uint32_t> fact = session.FindFact(pred, constants);
+    if (!fact.ok()) {
+      return Fail("--explain-fact `" + explain_query + "`: " + fact.error());
+    }
+    if (fact.value() == pipeline::Session::kNotFound) {
+      // Not derivable: the zero polynomial — no proofs, no monomials
+      // (byte-identical to the serve broker's answer).
+      explanations.assign(
+          taggings.size(),
+          "{\"mode\":\"" + explain::internal::JsonEscape(args.explain_mode) +
+              "\",\"fact\":\"" + explain::internal::JsonEscape(explain_query) +
+              "\",\"value\":\"" +
+              explain::internal::JsonEscape(
+                  pipeline::FormatSemiringValue<S>(S::Zero())) +
+              "\",\"truncated\":false,\"proofs\":[],\"monomials\":[]}");
+    } else {
+      explain::ExplainLimits limits;
+      limits.k = static_cast<uint32_t>(std::max(1, args.topk));
+      limits.max_trees = static_cast<uint64_t>(std::max(1, args.max_trees));
+      std::vector<std::string> edb_names;
+      edb_names.reserve(num_facts);
+      for (uint32_t v = 0; v < num_facts; ++v) {
+        edb_names.push_back(session.EdbFactName(v));
+      }
+      eval::EvalOptions eopts;
+      eopts.num_threads = ResolveThreads(args);
+      eval::Evaluator ev(eopts);
+      std::vector<eval::SlotValue<S>> slots;
+      for (size_t b = 0; b < taggings.size(); ++b) {
+        ev.EvaluateInto<S>(plan.plan, taggings[b], &slots);
+        Result<std::string> line = ExplainLine<S>(
+            plan, slots, taggings[b], fact.value(), explain_query,
+            args.explain_mode, limits, edb_names);
+        if (!line.ok()) return Fail(line.error());
+        explanations.push_back(std::move(line).value());
+      }
+    }
+  }
+  if (args.explain_only) {
+    for (const std::string& e : explanations) std::cout << e << "\n";
+    return 0;
+  }
 
   // With a delta stream the batch is served (lanes stay materialized for
   // incremental updates); otherwise it is a one-shot batched evaluation.
@@ -460,6 +593,9 @@ int RunTyped(const Args& args, Session& session) {
         std::cout << " " << pipeline::FormatSemiringValue<S>(results[b][i]);
       }
       std::cout << "\n";
+    }
+    for (size_t b = 0; b < explanations.size(); ++b) {
+      std::cout << "explain lane " << b << ": " << explanations[b] << "\n";
     }
     int code = replay([&](size_t step, const UpdateStep<S>& u,
                           const std::vector<typename S::Value>& values) {
@@ -537,6 +673,14 @@ int RunTyped(const Args& args, Session& session) {
       std::cout << "]}" << (i + 1 < facts.size() ? "," : "") << "\n";
     }
     std::cout << "  ]";
+    if (!explanations.empty()) {
+      std::cout << ",\n  \"explanations\": [\n";
+      for (size_t b = 0; b < explanations.size(); ++b) {
+        std::cout << "    " << explanations[b]
+                  << (b + 1 < explanations.size() ? "," : "") << "\n";
+      }
+      std::cout << "  ]";
+    }
     if (!updates.empty()) {
       std::cout << ",\n  \"updates\": [\n";
       size_t total = updates.size();
@@ -638,6 +782,12 @@ int Run(const Args& args) {
     return Fail("unknown --format `" + args.format +
                 "` (expected text, csv, or json)");
   }
+  if (args.format == "csv" && !args.explain_fact.empty() &&
+      !args.explain_only) {
+    return Fail(
+        "--explain-fact emits JSON objects; use --format text or json "
+        "(or the `dlcirc explain` command)");
+  }
   Result<Session> session_r = BuildSession(args);
   if (!session_r.ok()) return Fail(session_r.error());
   Session session = std::move(session_r).value();
@@ -698,7 +848,8 @@ std::string RenderStats(const std::string& id_json, const serve::Server& server,
       << ", \"update_fallbacks\": " << s.update_fallbacks
       << ", \"batches\": " << s.batches
       << ", \"batched_lanes\": " << s.batched_lanes
-      << ", \"max_batch\": " << s.max_batch << ", \"errors\": " << s.errors
+      << ", \"max_batch\": " << s.max_batch << ", \"explains\": " << s.explains
+      << ", \"errors\": " << s.errors
       << ", \"plan_hits\": " << p.hits << ", \"plan_compiles\": " << p.compiles
       << ", \"snapshot_loads\": " << p.snapshot_loads
       << ", \"snapshot_saves\": " << p.snapshot_saves
@@ -757,6 +908,11 @@ std::string RenderResponse(const OutItem& item,
              "\"}";
     }
     out += "]";
+  }
+  // The explanation object is pre-rendered JSON (src/explain renderers) —
+  // spliced verbatim, never re-escaped.
+  if (!response.explain_json.empty()) {
+    out += ", \"explain\": " + response.explain_json;
   }
   out += "}";
   return out;
@@ -967,6 +1123,41 @@ Translated TranslateServeLine(const ServeContext& ctx, const std::string& line,
     request.kind = serve::ServeRequest::Kind::kUpdate;
   } else if (op_name == "drop") {
     request.kind = serve::ServeRequest::Kind::kDropLane;
+  } else if (op_name == "explain") {
+    request.kind = serve::ServeRequest::Kind::kExplain;
+    if (const serve::JsonValue* mode = json.Find("mode")) {
+      if (!mode->IsString()) {
+        set_fail("\"mode\" must be a string");
+        return t;
+      }
+      request.explain_mode = mode->text;
+    }
+    // Budgets parse as plain positive integers; the broker clamps to >= 1,
+    // so a 0 here is a protocol error rather than a silent promotion.
+    auto parse_count = [&](const char* field, uint64_t limit, uint64_t* out) {
+      const serve::JsonValue* v = json.Find(field);
+      if (v == nullptr) return true;
+      try {
+        size_t used = 0;
+        unsigned long long parsed = std::stoull(v->text, &used);
+        if (!v->IsNumber() || used != v->text.size() || parsed < 1 ||
+            parsed > limit) {
+          throw std::invalid_argument(field);
+        }
+        *out = parsed;
+        return true;
+      } catch (...) {
+        set_fail(std::string("\"") + field + "\" must be an integer in [1, " +
+                 std::to_string(limit) + "]");
+        return false;
+      }
+    };
+    uint64_t k = request.explain_k;
+    if (!parse_count("k", 1u << 20, &k)) return t;
+    request.explain_k = static_cast<uint32_t>(k);
+    if (!parse_count("max_trees", 1ull << 32, &request.explain_max_trees)) {
+      return t;
+    }
   } else if (op_name == "ping" || op_name == "stats" ||
              op_name == "metrics") {
     // stats and metrics ride the ping fence: the snapshot they render
@@ -984,7 +1175,8 @@ Translated TranslateServeLine(const ServeContext& ctx, const std::string& line,
   // warm-up), so the broker deals only in fact ids.
   bool wants_values = request.kind == serve::ServeRequest::Kind::kEval ||
                       request.kind == serve::ServeRequest::Kind::kMakeLane ||
-                      request.kind == serve::ServeRequest::Kind::kUpdate;
+                      request.kind == serve::ServeRequest::Kind::kUpdate ||
+                      request.kind == serve::ServeRequest::Kind::kExplain;
   if (wants_values) {
     if (const serve::JsonValue* query = json.Find("query")) {
       if (!query->IsArray()) {
@@ -1015,6 +1207,16 @@ Translated TranslateServeLine(const ServeContext& ctx, const std::string& line,
     } else {
       request.facts = ctx.default_facts;
       item.fact_names = ctx.default_fact_names;
+    }
+    if (request.kind == serve::ServeRequest::Kind::kExplain) {
+      // A proof tree names one root; "explain the whole target predicate"
+      // is ambiguous unless it has exactly one fact.
+      if (request.facts.size() != 1) {
+        set_fail("explain takes exactly one \"query\" fact (got " +
+                 std::to_string(request.facts.size()) + ")");
+        return t;
+      }
+      request.explain_fact_name = (*item.fact_names)[0];
     }
   }
 
@@ -1383,11 +1585,12 @@ int Main(int argc, char** argv) {
     for (const std::string& n : pipeline::SemiringNames()) std::cout << n << "\n";
     return 0;
   }
-  if (command != "run" && command != "serve") {
+  if (command != "run" && command != "serve" && command != "explain") {
     return Fail("unknown command `" + command + "` (try `dlcirc help`)");
   }
 
   Args args;
+  args.explain_only = command == "explain";
   auto positive_int = [](const std::string& text, int* out) {
     try {
       size_t used = 0;
@@ -1483,6 +1686,24 @@ int Main(int argc, char** argv) {
         return Fail("--queue expects a positive integer, got `" + v.value() +
                     "`");
       }
+    } else if (flag == "--explain-fact") {
+      if (!(v = value(i, "--explain-fact")).ok()) return Fail(v.error());
+      args.explain_fact = v.value();
+    } else if (flag == "--explain-mode") {
+      if (!(v = value(i, "--explain-mode")).ok()) return Fail(v.error());
+      args.explain_mode = v.value();
+    } else if (flag == "--topk") {
+      if (!(v = value(i, "--topk")).ok()) return Fail(v.error());
+      if (!positive_int(v.value(), &args.topk)) {
+        return Fail("--topk expects a positive integer, got `" + v.value() +
+                    "`");
+      }
+    } else if (flag == "--max-trees") {
+      if (!(v = value(i, "--max-trees")).ok()) return Fail(v.error());
+      if (!positive_int(v.value(), &args.max_trees)) {
+        return Fail("--max-trees expects a positive integer, got `" +
+                    v.value() + "`");
+      }
     } else if (flag == "--show-facts") {
       args.show_facts = true;
     } else if (flag == "--explain") {
@@ -1509,7 +1730,7 @@ int Main(int argc, char** argv) {
   if (!args.trace_out.empty()) {
     obs::TraceRecorder::Default().set_enabled(true);
   }
-  const int code = command == "serve" ? Serve(args) : Run(args);
+  const int code = command == "serve" ? Serve(args) : Run(args);  // explain = Run
   if (!args.trace_out.empty()) {
     obs::TraceRecorder& rec = obs::TraceRecorder::Default();
     std::ofstream trace(args.trace_out);
