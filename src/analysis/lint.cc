@@ -1,0 +1,243 @@
+#include "src/analysis/lint.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/datalog/analysis.h"
+#include "src/pipeline/chain_planner.h"
+
+namespace dlcirc {
+namespace analysis {
+
+namespace {
+
+Span RuleSpan(const Rule& rule) { return {rule.line, rule.col}; }
+
+/// Atom rendered with variables renamed to first-occurrence indices, so two
+/// rules that differ only in variable names canonicalize identically. `next`
+/// and `canon` persist across one rule's atoms (head first).
+std::string CanonicalAtom(const Atom& atom,
+                          std::unordered_map<uint32_t, uint32_t>& canon,
+                          uint32_t& next) {
+  std::string out = "p" + std::to_string(atom.pred) + "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& t = atom.args[i];
+    if (i > 0) out += ",";
+    if (t.IsVar()) {
+      auto [it, inserted] = canon.emplace(t.id, next);
+      if (inserted) ++next;
+      out += "v" + std::to_string(it->second);
+    } else {
+      out += "c" + std::to_string(t.id);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+struct CanonicalRule {
+  std::string head;
+  std::vector<std::string> body;       ///< in rule order (duplicate check)
+  std::set<std::string> body_set;      ///< as a set (subsumption check)
+  std::string whole;                   ///< head + ordered body, one string
+};
+
+CanonicalRule Canonicalize(const Rule& rule) {
+  CanonicalRule c;
+  std::unordered_map<uint32_t, uint32_t> canon;
+  uint32_t next = 0;
+  c.head = CanonicalAtom(rule.head, canon, next);
+  c.whole = c.head + ":-";
+  for (const Atom& a : rule.body) {
+    c.body.push_back(CanonicalAtom(a, canon, next));
+    c.body_set.insert(c.body.back());
+    c.whole += c.body.back() + ";";
+  }
+  return c;
+}
+
+/// Predicates that can derive at least one fact: EDB predicates trivially,
+/// IDB predicates via the least fixpoint of "some rule's body is fully
+/// derivable" (the standard emptiness test, values ignored).
+std::vector<bool> DerivablePredicates(const Program& program,
+                                      const std::vector<bool>& idb_mask) {
+  std::vector<bool> derivable(program.num_preds(), false);
+  for (size_t p = 0; p < program.num_preds(); ++p) {
+    if (!idb_mask[p]) derivable[p] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules) {
+      if (derivable[rule.head.pred]) continue;
+      bool all = true;
+      for (const Atom& a : rule.body) {
+        if (!derivable[a.pred]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        derivable[rule.head.pred] = true;
+        changed = true;
+      }
+    }
+  }
+  return derivable;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintProgram(const Program& program) {
+  std::vector<Diagnostic> out;
+  const ProgramAnalysis pa = Analyze(program);
+
+  // Per-predicate bookkeeping: body occurrences and the first defining rule
+  // (for spans on predicate-level findings).
+  std::vector<bool> used_in_body(program.num_preds(), false);
+  std::vector<int> first_head_rule(program.num_preds(), -1);
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    if (first_head_rule[rule.head.pred] < 0) {
+      first_head_rule[rule.head.pred] = static_cast<int>(r);
+    }
+    for (const Atom& a : rule.body) used_in_body[a.pred] = true;
+  }
+
+  for (size_t p = 0; p < program.num_preds(); ++p) {
+    if (!pa.idb_mask[p] || p == program.target_pred || used_in_body[p]) {
+      continue;
+    }
+    const Rule& def = program.rules[first_head_rule[p]];
+    out.push_back({"lint.unused-predicate", Severity::kWarning, RuleSpan(def),
+                   "predicate " + program.preds.Name(static_cast<uint32_t>(p)) +
+                       " is derived but feeds neither the target nor any "
+                       "rule body",
+                   "its rules and gates are dead weight in every plan"});
+  }
+
+  const std::vector<bool> derivable = DerivablePredicates(program, pa.idb_mask);
+  for (size_t p = 0; p < program.num_preds(); ++p) {
+    if (!pa.idb_mask[p] || derivable[p]) continue;
+    Span span;
+    if (first_head_rule[p] >= 0) {
+      span = RuleSpan(program.rules[first_head_rule[p]]);
+    }
+    out.push_back({"lint.underivable-predicate", Severity::kWarning, span,
+                   "no rule chain can ever derive a fact for predicate " +
+                       program.preds.Name(static_cast<uint32_t>(p)),
+                   "every rule for it depends (transitively) on itself with "
+                   "no base case"});
+  }
+
+  // Duplicate and subsumed rules, both modulo variable renaming.
+  std::vector<CanonicalRule> canon;
+  canon.reserve(program.rules.size());
+  for (const Rule& rule : program.rules) canon.push_back(Canonicalize(rule));
+  std::unordered_map<std::string, size_t> first_seen;
+  std::vector<bool> is_duplicate(program.rules.size(), false);
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    auto [it, inserted] = first_seen.emplace(canon[r].whole, r);
+    if (inserted) continue;
+    is_duplicate[r] = true;
+    const Rule& original = program.rules[it->second];
+    out.push_back({"lint.duplicate-rule", Severity::kWarning,
+                   RuleSpan(program.rules[r]),
+                   "rule " + program.RuleToString(program.rules[r]) +
+                       " duplicates an earlier rule (up to variable renaming)",
+                   "first occurrence" +
+                       (original.line > 0
+                            ? " at line " + std::to_string(original.line)
+                            : std::string()) +
+                       ": " + program.RuleToString(original)});
+  }
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    if (is_duplicate[r]) continue;
+    for (size_t s = 0; s < program.rules.size(); ++s) {
+      if (s == r || canon[s].head != canon[r].head) continue;
+      if (canon[s].body_set.size() >= canon[r].body_set.size()) continue;
+      bool subset = true;
+      for (const std::string& a : canon[s].body_set) {
+        if (!canon[r].body_set.count(a)) {
+          subset = false;
+          break;
+        }
+      }
+      if (!subset) continue;
+      out.push_back(
+          {"lint.subsumed-rule", Severity::kWarning,
+           RuleSpan(program.rules[r]),
+           "rule " + program.RuleToString(program.rules[r]) +
+               " is subsumed by the more general rule " +
+               program.RuleToString(program.rules[s]),
+           "dropping it preserves the derived facts, and provenance too "
+           "over plus-idempotent semirings (duplicate monomials collapse); "
+           "over other semirings it changes coefficients"});
+      break;
+    }
+  }
+
+  // A single rule can disqualify every sub-grounded construction: two IDB
+  // body atoms defeat linearity (UVG, Theorem 6.2) and a recursive non-chain
+  // shape defeats the Section 5 family (Theorems 5.6-5.8) plus the
+  // chain-exact bounds of Proposition 5.5 in one stroke.
+  for (const Rule& rule : program.rules) {
+    if (!pa.recursive_pred[rule.head.pred]) continue;
+    if (CountIdbBodyAtoms(program, rule) < 2) continue;
+    if (IsChainRule(program, rule)) continue;
+    out.push_back(
+        {"lint.grounded-forcing", Severity::kWarning, RuleSpan(rule),
+         "rule " + program.RuleToString(rule) +
+             " forces the grounded construction (Theorem 3.1)",
+         "two IDB body atoms break linearity (UVG, Theorem 6.2) and the "
+         "non-chain shape breaks the Section 5 constructions "
+         "(Theorems 5.6-5.8); only the grounded route remains"});
+  }
+
+  // Section 5 dichotomy advisory for basic chain programs.
+  if (pa.is_basic_chain && pa.is_recursive) {
+    Result<pipeline::ChainRoute> route_r = pipeline::PlanChainRoute(program);
+    if (route_r.ok()) {
+      const pipeline::ChainRoute& route = route_r.value();
+      out.push_back({"lint.chain-language", Severity::kNote, {},
+                     route.finite
+                         ? "basic chain program with a finite language: a "
+                           "circuit of size O(m), depth O(log n) exists "
+                           "(Theorem 5.8)"
+                         : "basic chain program with an infinite language: "
+                           "transitive-closure-hard (Theorem 5.9), expect "
+                           "the layered constructions",
+                     route.reason});
+    }
+  }
+
+  return out;
+}
+
+std::vector<Diagnostic> LintRouting(const pipeline::PlannerContext& context,
+                                    const pipeline::SemiringTraits& traits) {
+  std::vector<Diagnostic> out;
+  const pipeline::RouteDecision decision = pipeline::PlanRoute(context, traits);
+  out.push_back({"lint.route", Severity::kNote, {},
+                 "planner routes semiring " + traits.name + " to " +
+                     std::string(pipeline::ConstructionName(
+                         decision.construction)),
+                 decision.reason});
+  for (const pipeline::PlanCandidate& c : decision.candidates) {
+    if (c.construction == decision.construction) continue;
+    out.push_back({c.applicable ? "lint.route-candidate"
+                                : "lint.route-rejected",
+                   Severity::kNote, {},
+                   std::string(pipeline::ConstructionName(c.construction)) +
+                       (c.applicable ? ": applicable but outscored"
+                                     : ": not applicable"),
+                   c.reason});
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace dlcirc

@@ -1,0 +1,49 @@
+// Program linter: findings a parse cannot reject but a user should hear
+// about before paying for a compile.
+//
+//   lint.unused-predicate      derived but feeds nothing (warning)
+//   lint.underivable-predicate no rule chain can ever produce a fact (warning)
+//   lint.duplicate-rule        structural duplicate up to variable renaming
+//                              (warning; first occurrence named)
+//   lint.subsumed-rule         theta-subsumed by a more general rule
+//                              (warning; dropping it is provenance-neutral
+//                              only over plus-idempotent semirings — noted)
+//   lint.grounded-forcing      a single rule whose shape defeats every
+//                              sub-grounded construction at once (warning,
+//                              theorem-named)
+//   lint.chain-language        Section 5 dichotomy advisory for basic chain
+//                              programs: finite language (Theorem 5.8
+//                              circuit exists) vs TC-hard (note)
+//   lint.route / lint.route-rejected
+//                              the cost-based planner's decision and its
+//                              rejected candidates, as notes (needs an EDB;
+//                              LintRouting only)
+//
+// LintProgram needs only the parsed program; LintRouting additionally takes
+// the planner context of a concrete (program, EDB) pair and a semiring, and
+// narrates PlanRoute's decision. `dlcirc check` runs the first always and
+// the second when given facts.
+#ifndef DLCIRC_ANALYSIS_LINT_H_
+#define DLCIRC_ANALYSIS_LINT_H_
+
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/datalog/ast.h"
+#include "src/pipeline/planner.h"
+
+namespace dlcirc {
+namespace analysis {
+
+/// Instance-independent lints over the program alone. Deterministic: one
+/// pass per lint in rule order, so repeated runs render byte-identically.
+std::vector<Diagnostic> LintProgram(const Program& program);
+
+/// Planner-routing notes for one (program, EDB, semiring) triple.
+std::vector<Diagnostic> LintRouting(const pipeline::PlannerContext& context,
+                                    const pipeline::SemiringTraits& traits);
+
+}  // namespace analysis
+}  // namespace dlcirc
+
+#endif  // DLCIRC_ANALYSIS_LINT_H_

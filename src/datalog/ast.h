@@ -38,6 +38,11 @@ struct Atom {
 struct Rule {
   Atom head;
   std::vector<Atom> body;
+  /// Source position of the rule's head token (1-based; 0 = not from text,
+  /// e.g. rules synthesized from a CFG). Carried so post-parse validation
+  /// and the linter (src/analysis) can point at the offending rule.
+  int line = 0;
+  int col = 0;
 };
 
 /// A parsed Datalog program. Names are interned per kind; `arities` is

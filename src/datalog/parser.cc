@@ -2,22 +2,40 @@
 
 #include <cctype>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace dlcirc {
 
 namespace {
 
+using analysis::Diagnostic;
+using analysis::Severity;
+using analysis::Span;
+
 struct Token {
   enum class Kind { kIdent, kLParen, kRParen, kComma, kArrow, kDot, kAt, kEnd };
   Kind kind;
   std::string text;
   int line;
+  int col;
 };
+
+/// Fills `*sink` (when non-null) and returns the legacy "line N, col M: msg"
+/// rendering for the Result error channel.
+std::string Emit(Diagnostic* sink, std::string code, Span span,
+                 std::string message, std::string note = {}) {
+  Diagnostic d{std::move(code), Severity::kError, span, std::move(message),
+               std::move(note)};
+  std::string legacy = analysis::RenderLegacy(d);
+  if (sink != nullptr) *sink = std::move(d);
+  return legacy;
+}
 
 class Lexer {
  public:
-  explicit Lexer(std::string_view text) : text_(text) {}
+  explicit Lexer(std::string_view text, Diagnostic* diagnostic)
+      : text_(text), diagnostic_(diagnostic) {}
 
   Result<std::vector<Token>> Tokenize() {
     std::vector<Token> out;
@@ -26,55 +44,63 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '%') {
         while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
       } else if (c == '(') {
-        out.push_back({Token::Kind::kLParen, "(", line_});
-        ++pos_;
+        Push(out, Token::Kind::kLParen, "(");
       } else if (c == ')') {
-        out.push_back({Token::Kind::kRParen, ")", line_});
-        ++pos_;
+        Push(out, Token::Kind::kRParen, ")");
       } else if (c == ',') {
-        out.push_back({Token::Kind::kComma, ",", line_});
-        ++pos_;
+        Push(out, Token::Kind::kComma, ",");
       } else if (c == '.') {
-        out.push_back({Token::Kind::kDot, ".", line_});
-        ++pos_;
+        Push(out, Token::Kind::kDot, ".");
       } else if (c == '@') {
-        out.push_back({Token::Kind::kAt, "@", line_});
-        ++pos_;
+        Push(out, Token::Kind::kAt, "@");
       } else if (c == ':') {
         if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '-') {
           return Err("expected ':-'");
         }
-        out.push_back({Token::Kind::kArrow, ":-", line_});
+        out.push_back({Token::Kind::kArrow, ":-", line_, Col()});
         pos_ += 2;
       } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
         size_t start = pos_;
+        int col = Col();
         while (pos_ < text_.size() &&
                (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
                 text_[pos_] == '_')) {
           ++pos_;
         }
-        out.push_back(
-            {Token::Kind::kIdent, std::string(text_.substr(start, pos_ - start)), line_});
+        out.push_back({Token::Kind::kIdent,
+                       std::string(text_.substr(start, pos_ - start)), line_,
+                       col});
       } else {
         return Err(std::string("unexpected character '") + c + "'");
       }
     }
-    out.push_back({Token::Kind::kEnd, "", line_});
+    out.push_back({Token::Kind::kEnd, "", line_, Col()});
     return out;
   }
 
  private:
-  Result<std::vector<Token>> Err(const std::string& msg) {
-    return Result<std::vector<Token>>::Error("line " + std::to_string(line_) + ": " +
-                                             msg);
+  int Col() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
+  void Push(std::vector<Token>& out, Token::Kind kind, const char* text) {
+    out.push_back({kind, text, line_, Col()});
+    ++pos_;
   }
+
+  Result<std::vector<Token>> Err(const std::string& msg) {
+    return Result<std::vector<Token>>::Error(
+        Emit(diagnostic_, "parse.lexical", {line_, Col()}, msg));
+  }
+
   std::string_view text_;
+  Diagnostic* diagnostic_;
   size_t pos_ = 0;
+  size_t line_start_ = 0;
   int line_ = 1;
 };
 
@@ -84,32 +110,50 @@ bool IsVariableName(const std::string& name) {
 
 class ProgramParser {
  public:
-  explicit ProgramParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  ProgramParser(std::vector<Token> tokens, Diagnostic* diagnostic)
+      : tokens_(std::move(tokens)), diagnostic_(diagnostic) {}
 
   Result<Program> Parse() {
     std::optional<std::string> target_name;
+    Span target_span;
     while (Peek().kind != Token::Kind::kEnd) {
       if (Peek().kind == Token::Kind::kAt) {
+        target_span = SpanOf(Peek());
         Next();
         if (Peek().kind != Token::Kind::kIdent || Peek().text != "target") {
-          return Err("expected 'target' after '@'");
+          return Err("parse.syntax", "expected 'target' after '@'");
         }
         Next();
-        if (Peek().kind != Token::Kind::kIdent) return Err("expected predicate name");
+        if (Peek().kind != Token::Kind::kIdent) {
+          return Err("parse.syntax", "expected predicate name");
+        }
         target_name = Next().text;
-        if (!Expect(Token::Kind::kDot)) return Err("expected '.' after @target");
+        if (!Expect(Token::Kind::kDot)) {
+          return Err("parse.syntax", "expected '.' after @target");
+        }
         continue;
       }
       Result<Rule> rule = ParseRule();
       if (!rule.ok()) return Result<Program>::Error(rule.error());
       program_.rules.push_back(std::move(rule).value());
     }
-    if (program_.rules.empty()) return Err("program has no rules");
+    if (program_.rules.empty()) {
+      return Err("parse.empty-program", "program has no rules");
+    }
     // Safety: every head variable occurs in the body (ground facts exempt).
+    // Each violation points at the offending rule's own span — the parse
+    // cursor sits on the END token here, so Peek().line would blame the
+    // last line of the file for a rule anywhere above it.
     for (const Rule& r : program_.rules) {
+      const Span rule_span{r.line, r.col};
       if (r.body.empty()) {
         for (const Term& t : r.head.args) {
-          if (t.IsVar()) return Err("fact with variables: " + program_.RuleToString(r));
+          if (t.IsVar()) {
+            return ErrAt("parse.fact-with-variables", rule_span,
+                         "fact with variables: " + program_.RuleToString(r),
+                         "a rule with an empty body is a ground fact; every "
+                         "argument must be a constant");
+          }
         }
         continue;
       }
@@ -122,25 +166,39 @@ class ProgramParser {
           }
         }
         if (!found) {
-          return Err("unsafe rule (head variable not in body): " +
-                     program_.RuleToString(r));
+          return ErrAt("parse.unsafe-rule", rule_span,
+                       "unsafe rule (head variable " +
+                           program_.vars.Name(t.id) + " not in body): " +
+                           program_.RuleToString(r),
+                       "safety (Section 2.1): every head variable must occur "
+                       "in some body atom");
         }
       }
     }
     if (target_name.has_value()) {
       uint32_t id = program_.preds.Find(*target_name);
-      if (id == Interner::kNotFound) return Err("unknown @target " + *target_name);
+      if (id == Interner::kNotFound) {
+        return ErrAt("parse.unknown-target", target_span,
+                     "unknown @target " + *target_name);
+      }
       program_.target_pred = id;
     } else {
       program_.target_pred = program_.rules[0].head.pred;
     }
     // Target must be an IDB.
     std::vector<bool> idb = program_.IdbMask();
-    if (!idb[program_.target_pred]) return Err("@target must be an IDB predicate");
+    if (!idb[program_.target_pred]) {
+      return ErrAt("parse.edb-target", target_span,
+                   "@target must be an IDB predicate",
+                   "EDB predicates never occur in a rule head; the target "
+                   "designates the derived output relation");
+    }
     return std::move(program_);
   }
 
  private:
+  static Span SpanOf(const Token& t) { return {t.line, t.col}; }
+
   const Token& Peek() const { return tokens_[pos_]; }
   Token Next() { return tokens_[pos_++]; }
   bool Expect(Token::Kind k) {
@@ -148,22 +206,32 @@ class ProgramParser {
     Next();
     return true;
   }
-  Result<Program> Err(const std::string& msg) {
-    return Result<Program>::Error("line " + std::to_string(Peek().line) + ": " + msg);
+  Result<Program> Err(const char* code, const std::string& msg) {
+    return ErrAt(code, SpanOf(Peek()), msg);
+  }
+  Result<Program> ErrAt(const char* code, Span span, const std::string& msg,
+                        std::string note = {}) {
+    return Result<Program>::Error(
+        Emit(diagnostic_, code, span, msg, std::move(note)));
   }
 
   Result<Atom> ParseAtom() {
-    auto err = [&](const std::string& m) {
-      return Result<Atom>::Error("line " + std::to_string(Peek().line) + ": " + m);
+    auto err = [&](const char* code, const std::string& m) {
+      return Result<Atom>::Error(
+          Emit(diagnostic_, code, SpanOf(Peek()), m));
     };
-    if (Peek().kind != Token::Kind::kIdent) return err("expected predicate name");
+    if (Peek().kind != Token::Kind::kIdent) {
+      return err("parse.syntax", "expected predicate name");
+    }
     std::string pred_name = Next().text;
-    if (!Expect(Token::Kind::kLParen)) return err("expected '('");
+    if (!Expect(Token::Kind::kLParen)) return err("parse.syntax", "expected '('");
     Atom atom;
     atom.pred = program_.preds.Intern(pred_name);
     if (Peek().kind != Token::Kind::kRParen) {
       while (true) {
-        if (Peek().kind != Token::Kind::kIdent) return err("expected term");
+        if (Peek().kind != Token::Kind::kIdent) {
+          return err("parse.syntax", "expected term");
+        }
         std::string t = Next().text;
         atom.args.push_back(IsVariableName(t) ? Term::Var(program_.vars.Intern(t))
                                               : Term::Const(program_.consts.Intern(t)));
@@ -174,22 +242,26 @@ class ProgramParser {
         break;
       }
     }
-    if (!Expect(Token::Kind::kRParen)) return err("expected ')'");
+    if (!Expect(Token::Kind::kRParen)) return err("parse.syntax", "expected ')'");
     // Arity bookkeeping / checking.
     if (atom.pred >= program_.arities.size()) {
       program_.arities.resize(atom.pred + 1, 0);
       program_.arities[atom.pred] = static_cast<uint32_t>(atom.args.size());
     } else if (program_.arities[atom.pred] != atom.args.size()) {
-      return err("arity mismatch for predicate " + pred_name);
+      return err("parse.arity-mismatch",
+                 "arity mismatch for predicate " + pred_name);
     }
     return atom;
   }
 
   Result<Rule> ParseRule() {
+    const Span rule_span = SpanOf(Peek());
     Result<Atom> head = ParseAtom();
     if (!head.ok()) return Result<Rule>::Error(head.error());
     Rule rule;
     rule.head = std::move(head).value();
+    rule.line = rule_span.line;
+    rule.col = rule_span.col;
     if (Peek().kind == Token::Kind::kArrow) {
       Next();
       while (true) {
@@ -204,55 +276,79 @@ class ProgramParser {
       }
     }
     if (!Expect(Token::Kind::kDot)) {
-      return Result<Rule>::Error("line " + std::to_string(Peek().line) +
-                                 ": expected '.' after rule");
+      return Result<Rule>::Error(Emit(diagnostic_, "parse.syntax",
+                                      SpanOf(Peek()),
+                                      "expected '.' after rule"));
     }
     return rule;
   }
 
   std::vector<Token> tokens_;
+  Diagnostic* diagnostic_;
   size_t pos_ = 0;
   Program program_;
 };
 
 }  // namespace
 
-Result<Program> ParseProgram(std::string_view text) {
-  Result<std::vector<Token>> tokens = Lexer(text).Tokenize();
+Result<Program> ParseProgram(std::string_view text,
+                             analysis::Diagnostic* diagnostic) {
+  Result<std::vector<Token>> tokens = Lexer(text, diagnostic).Tokenize();
   if (!tokens.ok()) return Result<Program>::Error(tokens.error());
-  return ProgramParser(std::move(tokens).value()).Parse();
+  return ProgramParser(std::move(tokens).value(), diagnostic).Parse();
 }
 
-Result<Database> ParseFacts(const Program& program, std::string_view text) {
-  Result<std::vector<Token>> tokens_r = Lexer(text).Tokenize();
+Result<Database> ParseFacts(const Program& program, std::string_view text,
+                            analysis::Diagnostic* diagnostic) {
+  Result<std::vector<Token>> tokens_r = Lexer(text, diagnostic).Tokenize();
   if (!tokens_r.ok()) return Result<Database>::Error(tokens_r.error());
   std::vector<Token> tokens = std::move(tokens_r).value();
   Database db(program);
   size_t pos = 0;
-  auto err = [&](const std::string& m) {
-    return Result<Database>::Error("line " + std::to_string(tokens[pos].line) + ": " + m);
+  auto err = [&](const char* code, const std::string& m) {
+    return Result<Database>::Error(Emit(
+        diagnostic, code, {tokens[pos].line, tokens[pos].col}, m));
   };
   while (tokens[pos].kind != Token::Kind::kEnd) {
-    if (tokens[pos].kind != Token::Kind::kIdent) return err("expected predicate name");
+    if (tokens[pos].kind != Token::Kind::kIdent) {
+      return err("parse.syntax", "expected predicate name");
+    }
+    // The fact's own span (its predicate token), so arity errors detected at
+    // the closing '.' still point at the start of the offending fact.
+    const Span fact_span{tokens[pos].line, tokens[pos].col};
     std::string pred_name = tokens[pos++].text;
     uint32_t pred = program.preds.Find(pred_name);
-    if (pred == Interner::kNotFound) return err("unknown predicate " + pred_name);
-    if (tokens[pos].kind != Token::Kind::kLParen) return err("expected '('");
+    if (pred == Interner::kNotFound) {
+      --pos;  // report at the predicate token
+      return err("parse.unknown-predicate", "unknown predicate " + pred_name);
+    }
+    if (tokens[pos].kind != Token::Kind::kLParen) {
+      return err("parse.syntax", "expected '('");
+    }
     ++pos;
     Tuple tuple;
     while (tokens[pos].kind == Token::Kind::kIdent) {
       const std::string& t = tokens[pos].text;
-      if (IsVariableName(t)) return err("facts must be ground, got variable " + t);
+      if (IsVariableName(t)) {
+        return err("parse.non-ground-fact",
+                   "facts must be ground, got variable " + t);
+      }
       tuple.push_back(db.InternConst(t));
       ++pos;
       if (tokens[pos].kind == Token::Kind::kComma) ++pos;
     }
-    if (tokens[pos].kind != Token::Kind::kRParen) return err("expected ')'");
+    if (tokens[pos].kind != Token::Kind::kRParen) {
+      return err("parse.syntax", "expected ')'");
+    }
     ++pos;
-    if (tokens[pos].kind != Token::Kind::kDot) return err("expected '.'");
+    if (tokens[pos].kind != Token::Kind::kDot) {
+      return err("parse.syntax", "expected '.'");
+    }
     ++pos;
     if (tuple.size() != program.arities[pred]) {
-      return err("arity mismatch for fact of " + pred_name);
+      return Result<Database>::Error(
+          Emit(diagnostic, "parse.arity-mismatch", fact_span,
+               "arity mismatch for fact of " + pred_name));
     }
     db.AddFact(pred, tuple);
   }

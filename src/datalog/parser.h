@@ -19,18 +19,26 @@
 #include <string>
 #include <string_view>
 
+#include "src/analysis/diagnostics.h"
 #include "src/datalog/ast.h"
 #include "src/datalog/database.h"
 #include "src/util/result.h"
 
 namespace dlcirc {
 
-/// Parses a Datalog program. Errors mention the offending line.
-Result<Program> ParseProgram(std::string_view text);
+/// Parses a Datalog program. The error string carries "line N, col M"; when
+/// `diagnostic` is non-null, a failed parse additionally fills it with the
+/// structured, span-carrying form (codes parse.*) — the same data `dlcirc
+/// check` and other diagnostics consumers render. Parsed rules carry their
+/// head token's line/col (Rule::line/col).
+Result<Program> ParseProgram(std::string_view text,
+                             analysis::Diagnostic* diagnostic = nullptr);
 
 /// Parses ground facts into a fresh Database for `program`. Unknown
-/// predicates are an error; non-ground atoms are an error.
-Result<Database> ParseFacts(const Program& program, std::string_view text);
+/// predicates are an error; non-ground atoms are an error. `diagnostic` as
+/// in ParseProgram.
+Result<Database> ParseFacts(const Program& program, std::string_view text,
+                            analysis::Diagnostic* diagnostic = nullptr);
 
 }  // namespace dlcirc
 

@@ -94,7 +94,8 @@ Circuit AbsorbPrune(const Circuit& circuit, const PassOptions& options) {
 }
 
 PipelineResult OptimizeForEval(const Circuit& circuit,
-                               const PassOptions& options) {
+                               const PassOptions& options,
+                               const PassObserver& observer) {
   using Pass = Circuit (*)(const Circuit&, const PassOptions&);
   struct Step {
     const char* name;
@@ -120,6 +121,7 @@ PipelineResult OptimizeForEval(const Circuit& circuit,
     stats.gates_after = result.circuit.Size();
     stats.arena_after = result.circuit.gates().size();
     result.stats.push_back(std::move(stats));
+    if (observer) observer(step.name, result.circuit);
   }
   return result;
 }

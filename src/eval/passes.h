@@ -24,7 +24,9 @@
 #define DLCIRC_EVAL_PASSES_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/circuit/builder.h"
@@ -66,10 +68,19 @@ struct PipelineResult {
   std::vector<PassStats> stats;
 };
 
+/// Called after each executed pass with the pass name and its output.
+/// Debug builds hang the structural verifier here (src/analysis/verify.h)
+/// so a pass that emits an ill-formed circuit is caught — and named — at
+/// the pass boundary instead of surfacing as a CHECK deep in EvalPlan.
+using PassObserver =
+    std::function<void(std::string_view pass_name, const Circuit& after)>;
+
 /// Runs CompactCone -> FoldConstants -> GlobalCse -> AbsorbPrune (the last
-/// only when options enable it) and records per-pass shrinkage.
+/// only when options enable it) and records per-pass shrinkage. `observer`
+/// (optional) fires after every executed pass.
 PipelineResult OptimizeForEval(const Circuit& circuit,
-                               const PassOptions& options);
+                               const PassOptions& options,
+                               const PassObserver& observer = {});
 
 }  // namespace eval
 }  // namespace dlcirc

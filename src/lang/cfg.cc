@@ -558,15 +558,33 @@ std::string Cfg::ToString() const {
   return ss.str();
 }
 
-Result<Cfg> ParseCfgText(std::string_view text) {
+Result<Cfg> ParseCfgText(std::string_view text,
+                         analysis::Diagnostic* diagnostic) {
   struct Line {
     int number;
     std::string lhs;
     std::vector<std::vector<std::string>> alternatives;
   };
-  auto error = [](int line, const std::string& message) {
+  // `raw` is the current line being tokenized; the offending token's column
+  // is recovered from it so the structured diagnostic carries a position the
+  // whitespace tokenizer never tracked.
+  std::string raw;
+  auto error = [&raw, diagnostic](int line, const std::string& message,
+                                  const std::string& token = {}) {
+    int col = 0;
+    if (!token.empty()) {
+      if (size_t at = raw.find(token); at != std::string::npos) {
+        col = static_cast<int>(at) + 1;
+      }
+    }
+    if (diagnostic != nullptr) {
+      *diagnostic = {"parse.grammar", analysis::Severity::kError,
+                     {line, col}, message, {}};
+    }
     std::ostringstream ss;
-    ss << "grammar line " << line << ": " << message;
+    ss << "grammar line " << line;
+    if (col > 0) ss << ", col " << col;
+    ss << ": " << message;
     return Result<Cfg>::Error(ss.str());
   };
   auto is_ident = [](const std::string& s) {
@@ -581,7 +599,6 @@ Result<Cfg> ParseCfgText(std::string_view text) {
   std::vector<Line> lines;
   std::set<std::string> lhs_names;
   std::istringstream in{std::string(text)};
-  std::string raw;
   for (int number = 1; std::getline(in, raw); ++number) {
     if (size_t pct = raw.find('%'); pct != std::string::npos) raw.resize(pct);
     std::istringstream tokens(raw);
@@ -591,7 +608,9 @@ Result<Cfg> ParseCfgText(std::string_view text) {
     if (toks.size() < 2 || toks[1] != "->") {
       return error(number, "expected `Lhs -> symbol...`");
     }
-    if (!is_ident(toks[0])) return error(number, "bad symbol `" + toks[0] + "`");
+    if (!is_ident(toks[0])) {
+      return error(number, "bad symbol `" + toks[0] + "`", toks[0]);
+    }
     Line line{number, toks[0], {{}}};
     for (size_t i = 2; i < toks.size(); ++i) {
       if (toks[i] == "|") {
@@ -599,7 +618,7 @@ Result<Cfg> ParseCfgText(std::string_view text) {
       } else if (is_ident(toks[i])) {
         line.alternatives.back().push_back(toks[i]);
       } else {
-        return error(number, "bad symbol `" + toks[i] + "`");
+        return error(number, "bad symbol `" + toks[i] + "`", toks[i]);
       }
     }
     for (const auto& alt : line.alternatives) {
@@ -610,7 +629,13 @@ Result<Cfg> ParseCfgText(std::string_view text) {
     lhs_names.insert(line.lhs);
     lines.push_back(std::move(line));
   }
-  if (lines.empty()) return Result<Cfg>::Error("grammar has no productions");
+  if (lines.empty()) {
+    if (diagnostic != nullptr) {
+      *diagnostic = {"parse.grammar", analysis::Severity::kError, {},
+                     "grammar has no productions", {}};
+    }
+    return Result<Cfg>::Error("grammar has no productions");
+  }
 
   // Pass 2: build. Nonterminal iff the symbol occurs as some LHS.
   Cfg cfg;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/util/interner.h"
 #include "src/util/result.h"
 
@@ -128,8 +129,12 @@ Cfg MakeDyck1Cfg();
 /// Symbols are identifiers ([A-Za-z0-9_]); a symbol is a nonterminal iff it
 /// appears on some left-hand side, otherwise a terminal. The first LHS is
 /// the start symbol. Empty right-hand sides are an error (grammars here are
-/// epsilon-free). Errors mention the offending line.
-Result<Cfg> ParseCfgText(std::string_view text);
+/// epsilon-free). Errors mention the offending line (and column when the
+/// offending token is recoverable); when `diagnostic` is non-null a failed
+/// parse additionally fills it with the structured span-carrying form
+/// (code parse.grammar), as in ParseProgram.
+Result<Cfg> ParseCfgText(std::string_view text,
+                         analysis::Diagnostic* diagnostic = nullptr);
 
 }  // namespace dlcirc
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/analysis/verify.h"
 #include "src/constructions/grounded_circuit.h"
 #include "src/constructions/path_circuits.h"
 #include "src/constructions/uvg_circuit.h"
@@ -282,7 +283,22 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
   pass_options.absorptive = key.absorptive;
   t0 = obs::NowNs();
   obs::TraceSpan passes_span("compile", "passes");
-  eval::PipelineResult optimized = eval::OptimizeForEval(built, pass_options);
+  eval::PassObserver pass_observer;
+#ifndef NDEBUG
+  // Debug builds re-verify the circuit at every pass boundary, so a pass
+  // that emits an ill-formed circuit is caught with its name attached
+  // instead of surfacing as a CHECK deep inside EvalPlan::Build.
+  pass_observer = [](std::string_view pass_name, const Circuit& after) {
+    std::vector<analysis::Diagnostic> findings = analysis::VerifyCircuit(after);
+    const analysis::Diagnostic* e = analysis::FirstError(findings);
+    DLCIRC_CHECK(e == nullptr)
+        << "optimizer pass `" << std::string(pass_name)
+        << "` broke a circuit invariant [" << (e ? e->code : "") << "]: "
+        << (e ? e->message : "");
+  };
+#endif
+  eval::PipelineResult optimized =
+      eval::OptimizeForEval(built, pass_options, pass_observer);
   compiled->pass_stats = std::move(optimized.stats);
   compiled->circuit = std::move(optimized.circuit);
   passes_span.End();
@@ -290,6 +306,16 @@ Result<std::shared_ptr<const CompiledPlan>> Session::Compile(const PlanKey& key)
   t0 = obs::NowNs();
   obs::TraceSpan plan_span("compile", "plan_build");
   compiled->plan = eval::EvalPlan::Build(compiled->circuit);
+#ifndef NDEBUG
+  {
+    std::vector<analysis::Diagnostic> findings =
+        analysis::VerifyPlan(compiled->plan);
+    const analysis::Diagnostic* e = analysis::FirstError(findings);
+    DLCIRC_CHECK(e == nullptr) << "EvalPlan::Build broke a plan invariant ["
+                               << (e ? e->code : "") << "]: "
+                               << (e ? e->message : "");
+  }
+#endif
   plan_span.End();
   phases_.plan_build_ms = MsSince(t0);
 

@@ -80,7 +80,7 @@ std::future<ServeResponse> Server::Submit(ServeRequest request) {
     });
     if (stopped_) {
       lock.unlock();
-      pending.promise.set_value({false, "server stopped", 0, {}});
+      pending.promise.set_value({false, "server stopped", 0, {}, {}, {}});
       return future;
     }
     queue_.push_back(std::move(pending));
@@ -236,7 +236,7 @@ void Server::ServeBurst(std::vector<Pending>* burst,
     }
   }
   obs::TraceSpan respond_span("serve", "respond_pings");
-  for (Pending* p : pings) Respond(p, {true, "", 0, {}});
+  for (Pending* p : pings) Respond(p, {true, "", 0, {}, {}, {}});
 }
 
 }  // namespace serve

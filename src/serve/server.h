@@ -264,7 +264,7 @@ class Server {
   void RespondError(Pending* p, std::string error) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     obs_errors_->Inc();
-    Respond(p, {false, std::move(error), 0, {}});
+    Respond(p, {false, std::move(error), 0, {}, {}, {}});
   }
 
   template <Semiring S>
@@ -486,7 +486,8 @@ void Server::ServeChannelGroup(const std::string& channel_key,
         std::shared_lock<std::shared_mutex> read(lane->mu);
         obs_lane_wait_->RecordSince(wait_start);
         Respond(p, {true, "", lane->epoch,
-                    FactValues<S>(eplan, lane->state->slots, req.facts)});
+                    FactValues<S>(eplan, lane->state->slots, req.facts), {},
+                    {}});
         lane_reads_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
@@ -540,7 +541,8 @@ void Server::ServeChannelGroup(const std::string& channel_key,
         ++lane->epoch;
         lane_makes_.fetch_add(1, std::memory_order_relaxed);
         Respond(p, {true, "", lane->epoch,
-                    FactValues<S>(eplan, lane->state->slots, req.facts)});
+                    FactValues<S>(eplan, lane->state->slots, req.facts), {},
+                    {}});
         break;
       }
       case ServeRequest::Kind::kUpdate: {
@@ -582,7 +584,8 @@ void Server::ServeChannelGroup(const std::string& channel_key,
           update_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         }
         Respond(p, {true, "", lane->epoch,
-                    FactValues<S>(eplan, lane->state->slots, req.facts)});
+                    FactValues<S>(eplan, lane->state->slots, req.facts), {},
+                    {}});
         break;
       }
       case ServeRequest::Kind::kDropLane: {
@@ -592,14 +595,14 @@ void Server::ServeChannelGroup(const std::string& channel_key,
           existed = chan.lanes.erase(req.lane) > 0;
         }
         if (existed) {
-          Respond(p, {true, "", 0, {}});
+          Respond(p, {true, "", 0, {}, {}, {}});
         } else {
           RespondError(p, "unknown lane `" + req.lane + "`");
         }
         break;
       }
       case ServeRequest::Kind::kPing:
-        Respond(p, {true, "", 0, {}});
+        Respond(p, {true, "", 0, {}, {}, {}});
         break;
       case ServeRequest::Kind::kExplain: {
         if (req.facts.size() != 1) {
@@ -622,7 +625,7 @@ void Server::ServeChannelGroup(const std::string& channel_key,
           obs_explain_ns_->RecordSince(t0);
           Respond(p, {true, "", epoch,
                       FactValues<S>(eplan, slots, req.facts),
-                      std::move(ejson).value()});
+                      std::move(ejson).value(), {}});
         };
         if (req.lane.empty()) {
           auto tags = ParseTags<S>(req.tags);
@@ -689,7 +692,7 @@ void Server::ServeChannelGroup(const std::string& channel_key,
         bool v = f == pipeline::Session::kNotFound ? false : outputs[b][f];
         values.push_back(pipeline::FormatSemiringValue<S>(v));
       }
-      Respond(p, {true, "", 0, std::move(values)});
+      Respond(p, {true, "", 0, std::move(values), {}, {}});
     }
   } else {
     const size_t per_lane_bytes = std::max<size_t>(
@@ -717,7 +720,7 @@ void Server::ServeChannelGroup(const std::string& channel_key,
                                  b]);
           values.push_back(pipeline::FormatSemiringValue<S>(v));
         }
-        Respond(p, {true, "", 0, std::move(values)});
+        Respond(p, {true, "", 0, std::move(values), {}, {}});
       }
     }
   }

@@ -33,7 +33,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/pipeline/session.h"
 #include "src/util/result.h"
 
@@ -56,13 +59,65 @@ Result<bool> SavePlan(const pipeline::CompiledPlan& plan,
                       uint64_t program_digest, uint64_t edb_digest,
                       const std::string& path);
 
+/// Where one LoadPlan spent its time (all milliseconds), for callers that
+/// report warm-start latency (the E20 bench) — pass nullptr otherwise.
+struct LoadStats {
+  double decode_ms = 0;   ///< open + mmap + checksum + payload walk
+  double verify_ms = 0;   ///< structural verification (~0 when memoized)
+  double rebuild_ms = 0;  ///< Circuit ctor + EvalPlan::FromParts
+  /// True when this exact file (same identity on disk, same checksum) was
+  /// already structurally verified by this process, so the verifier did not
+  /// run again.
+  bool verify_memoized = false;
+};
+
 /// Deserializes a snapshot and validates it against the expected digests and
 /// key. Any mismatch (missing file, bad magic/version, checksum, digest or
 /// key disagreement, structural inconsistency) is an error; callers treat
 /// every error as "cold compile instead".
+///
+/// Structural verification is memoized per process on the file's identity
+/// (device, inode, size, mtime) plus the validated payload checksum —
+/// ccache-style: the first load of a file runs the full verifier; repeat
+/// loads of the untouched file skip it. Corruption cannot hide behind the
+/// memo: any rewrite of the file changes its inode (SavePlan renames into
+/// place) or mtime, so new content on a path is always verified before
+/// first use. The checksum alone would not be a sound key — the chunked
+/// FNV footer admits collisions between distinct corrupted payloads (see
+/// tests/snapshot_fuzz_test.cc).
 Result<std::shared_ptr<const pipeline::CompiledPlan>> LoadPlan(
     const std::string& path, uint64_t program_digest, uint64_t edb_digest,
-    const pipeline::PlanKey& key);
+    const pipeline::PlanKey& key, LoadStats* stats = nullptr);
+
+/// The payload checksum the snapshot format uses (FNV-1a over 8-byte LE
+/// chunks, length-seeded). Exposed so tests can forge *checksum-valid*
+/// corrupted snapshots: flipping payload bytes and recomputing the footer
+/// gets corruption past the checksum, which is exactly what the structural
+/// verifier (src/analysis/verify.h) must then catch.
+uint64_t SnapshotChecksum(std::string_view payload);
+
+/// What `dlcirc check --snapshot` reports: the snapshot's identity fields
+/// plus every structural-verifier finding. Produced without an expected
+/// digest/key (unlike LoadPlan, which validates against its caller's).
+struct SnapshotInfo {
+  uint64_t program_digest = 0;
+  uint64_t edb_digest = 0;
+  pipeline::PlanKey key;
+  uint64_t num_gates = 0;    ///< circuit arena gates
+  uint64_t num_slots = 0;    ///< plan slots (output cone)
+  uint64_t num_layers = 0;
+  uint64_t num_outputs = 0;
+  uint32_t num_vars = 0;
+  /// VerifyCircuitParts + VerifyParts + VerifyPlanKey findings, in that
+  /// order. Structural errors here mean LoadPlan would reject the file.
+  std::vector<analysis::Diagnostic> findings;
+};
+
+/// Decodes and structurally verifies a snapshot without loading it into a
+/// plan. Errors cover what precedes structure: unreadable file, bad
+/// magic/version, checksum mismatch, or a payload the decoder cannot walk.
+/// Invariant violations inside a decodable payload land in `findings`.
+Result<SnapshotInfo> InspectSnapshot(const std::string& path);
 
 }  // namespace serve
 }  // namespace dlcirc

@@ -92,20 +92,6 @@ TEST(MonadicPumpingTest, FindsTripleForTwoStepReach) {
   ASSERT_TRUE(pump.ok()) << pump.error();
 }
 
-// Manual 2-wide, 2-layer layered graph where s-t connectivity is
-// controlled by including or excluding a bridging middle edge.
-StGraph ManualLayered(bool connected) {
-  // Vertices: 0=s, 1,2 = layer 1, 3,4 = layer 2, 5=t.
-  StGraph g{LabeledGraph(6, 1), 0, 5};
-  g.graph.AddEdge(0, 1, 0);  // s -> a1
-  g.graph.AddEdge(0, 2, 0);  // s -> a2
-  if (connected) g.graph.AddEdge(1, 3, 0);
-  g.graph.AddEdge(4, 4 /*self, ignored below*/, 0);
-  g.graph.AddEdge(3, 5, 0);  // b1 -> t
-  g.graph.AddEdge(4, 5, 0);  // b2 -> t
-  return g;
-}
-
 TEST(MonadicReductionTest, EquivalenceOnControlledInstances) {
   Program reach = MustParse(kReachText);
   MonadicPumping pump = FindMonadicPumping(reach).value();

@@ -1,0 +1,70 @@
+# `dlcirc check --snapshot` smoke (registered as ctest
+# `cli_smoke_check_snapshot_bad`): broken snapshot files must produce a
+# structured error diagnostic and a non-zero exit — never a crash or a
+# loaded plan — and the --json rendering must be byte-identical across two
+# runs. Driven by `cmake -P` so the multi-invocation sequence works without
+# a shell.
+#
+# Inputs: -DDLCIRC_CLI=<binary> -DDLCIRC_DATA=<examples/data> -DWORK_DIR=<scratch>
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(expect_check_error snapshot_file want_pattern)
+  execute_process(COMMAND ${DLCIRC_CLI} check --snapshot ${snapshot_file}
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "check accepted ${snapshot_file}: ${out}")
+  endif()
+  if(NOT out MATCHES "${want_pattern}")
+    message(FATAL_ERROR
+      "check on ${snapshot_file}: wanted `${want_pattern}`, got: ${out}${err}")
+  endif()
+endfunction()
+
+# Garbage bytes long enough to reach the magic check.
+file(WRITE ${WORK_DIR}/garbage.dlcp
+  "this is not a plan snapshot, just thirty-nine bytes")
+expect_check_error(${WORK_DIR}/garbage.dlcp "bad magic")
+
+# A correct magic but nothing behind it: below the minimum frame size.
+file(WRITE ${WORK_DIR}/short.dlcp "DLCP")
+expect_check_error(${WORK_DIR}/short.dlcp "truncated")
+
+# Missing file.
+expect_check_error(${WORK_DIR}/nope.dlcp "cannot open")
+
+# A genuine snapshot with one byte appended: the payload/footer split moves,
+# so the stored checksum no longer matches what the payload hashes to.
+execute_process(COMMAND ${DLCIRC_CLI} run
+    --program ${DLCIRC_DATA}/tc.dl --facts ${DLCIRC_DATA}/fig1.facts
+    --semiring tropical --batch ${DLCIRC_DATA}/fig1.tags.csv
+    --query "T(s,t)" --snapshot-dir ${WORK_DIR} --quiet
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "seed run failed with ${rc}: ${out}")
+endif()
+file(GLOB snapshots ${WORK_DIR}/plan-*.dlcp)
+if(snapshots STREQUAL "")
+  message(FATAL_ERROR "seed run left no plan snapshot in ${WORK_DIR}")
+endif()
+list(GET snapshots 0 real_snapshot)
+file(APPEND ${real_snapshot} "x")
+expect_check_error(${real_snapshot} "checksum mismatch")
+
+# Determinism: two --json runs over the same broken file must render
+# byte-identically.
+execute_process(COMMAND ${DLCIRC_CLI} check --json
+  --snapshot ${WORK_DIR}/garbage.dlcp OUTPUT_VARIABLE json_a RESULT_VARIABLE rc_a)
+execute_process(COMMAND ${DLCIRC_CLI} check --json
+  --snapshot ${WORK_DIR}/garbage.dlcp OUTPUT_VARIABLE json_b RESULT_VARIABLE rc_b)
+if(rc_a EQUAL 0 OR rc_b EQUAL 0)
+  message(FATAL_ERROR "--json check accepted a garbage snapshot")
+endif()
+if(NOT json_a STREQUAL json_b)
+  message(FATAL_ERROR "--json output differs across runs:\n${json_a}\n${json_b}")
+endif()
+if(NOT json_a MATCHES "\"errors\": 1")
+  message(FATAL_ERROR "unexpected --json shape: ${json_a}")
+endif()
+message(STATUS "check snapshot smoke OK: structured errors, stable JSON")

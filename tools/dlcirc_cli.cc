@@ -4,19 +4,20 @@
 // -> provenance circuit -> optimizer passes -> compiled EvalPlan -> batched
 // semiring taggings. Examples:
 //
-//   dlcirc run --program tc.dl --facts fig1.facts --semiring tropical \
+//   dlcirc run --program tc.dl --facts fig1.facts --semiring tropical
 //              --batch fig1.tags.csv --query "T(s,t)"
-//   dlcirc run --program tc.dl --facts fig1.facts --semiring tropical \
-//              --batch fig1.tags.csv --updates fig1.updates.csv \
+//   dlcirc run --program tc.dl --facts fig1.facts --semiring tropical
+//              --batch fig1.tags.csv --updates fig1.updates.csv
 //              --query "T(s,t)"                 # incremental delta replay
 //   dlcirc run --program tc.dl --graph fig1.graph.csv --semiring boolean
-//   dlcirc run --cfg dyck1.cfg --graph word.csv --construction uvg \
+//   dlcirc run --cfg dyck1.cfg --graph word.csv --construction uvg
 //              --semiring viterbi --format json
-//   dlcirc serve --program tc.dl --facts fig1.facts --semiring tropical \
+//   dlcirc serve --program tc.dl --facts fig1.facts --semiring tropical
 //                --snapshot-dir /var/cache/dlcirc    # NDJSON on stdin/stdout
-//   dlcirc serve --program tc.dl --facts fig1.facts --semiring tropical \
+//   dlcirc serve --program tc.dl --facts fig1.facts --semiring tropical
 //                --listen 127.0.0.1:8125             # NDJSON over TCP
 //   dlcirc semirings
+//   dlcirc check --program tc.dl --json              # static analysis only
 //
 // `dlcirc serve` speaks newline-delimited JSON (one request per line, one
 // response per line, in request order) through the src/serve request
@@ -45,6 +46,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/analysis/lint.h"
+#include "src/analysis/verify.h"
+#include "src/datalog/parser.h"
 #include "src/eval/evaluator.h"
 #include "src/explain/explain.h"
 #include "src/obs/metrics.h"
@@ -55,6 +59,7 @@
 #include "src/serve/net.h"
 #include "src/serve/plan_store.h"
 #include "src/serve/server.h"
+#include "src/serve/snapshot.h"
 #include "src/serve/wire.h"
 
 namespace dlcirc {
@@ -93,6 +98,8 @@ struct Args {
   int topk = 1;                      ///< proofs mode: trees per explanation
   int max_trees = 512;               ///< extraction budget (src/explain)
   bool explain_only = false;         ///< `dlcirc explain`: only explanations
+  std::string check_snapshot;        ///< check: snapshot file to verify
+  bool json = false;                 ///< check: JSON diagnostics rendering
 };
 
 /// --threads wins, then DLCIRC_THREADS, then single-threaded.
@@ -119,6 +126,9 @@ commands:
   explain     like run, but print only provenance explanations (src/explain):
               one JSON object per tagging lane for one fact (--query or
               --explain-fact picks it; see the run flags below)
+  check       static analysis without running: parse with positions, lint the
+              program (src/analysis), verify a plan snapshot's structural
+              invariants; exit 0 = clean, 1 = errors, 2 = warnings only
   semirings   list the registered semirings
   help        show this message
 
@@ -195,6 +205,15 @@ serve flags: --program/--cfg/--grammar, --facts/--graph, --semiring,
                        also the admission threshold: requests arriving at
                        full queue depth get a "busy" error instead of
                        blocking the socket loop
+
+check flags: --program/--cfg/--grammar as above (program optional when
+  --snapshot is given), plus:
+  --facts/--graph FILE EDB to lint routing against: adds the cost-based
+                       planner's decision and per-candidate reasons as notes
+  --semiring NAME      semiring class the routing notes assume [boolean]
+  --snapshot FILE      decode FILE and run the plan/circuit verifier
+                       (src/analysis/verify.h) over its contents
+  --json               render diagnostics as one JSON object instead of text
 
 serve protocol (one JSON object per line; `id` is echoed back):
   {"op":"eval","tags":["1","2",...],"query":["T(s,t)"]}
@@ -804,6 +823,112 @@ int Run(const Args& args) {
                 ")");
   }
   return code;
+}
+
+// ---------------------------------------------------------------- check
+
+/// `dlcirc check`: parse with positions, lint, and (optionally) verify a
+/// plan snapshot — no grounding or evaluation unless an EDB is given for
+/// routing notes. Output is deterministic (byte-identical across runs);
+/// the exit code follows the CI convention (analysis::ExitCode).
+int Check(const Args& args) {
+  const bool has_program = !args.program_file.empty() || !args.cfg_file.empty();
+  if (!has_program && args.check_snapshot.empty()) {
+    return Fail("check needs --program, --cfg, --grammar, or --snapshot");
+  }
+  if (!args.program_file.empty() && !args.cfg_file.empty()) {
+    return Fail("pass exactly one of --program, --cfg, or --grammar");
+  }
+  if (!args.facts_file.empty() && !args.graph_file.empty()) {
+    return Fail("pass exactly one of --facts or --graph");
+  }
+  const bool has_edb = !args.facts_file.empty() || !args.graph_file.empty();
+
+  std::vector<analysis::Diagnostic> diags;
+
+  if (has_program) {
+    std::string text, error;
+    const std::string& path =
+        !args.program_file.empty() ? args.program_file : args.cfg_file;
+    if (!ReadFile(path, &text, &error)) return Fail(error);
+
+    std::optional<Program> program;
+    if (!args.program_file.empty()) {
+      analysis::Diagnostic d;
+      Result<Program> parsed = ParseProgram(text, &d);
+      if (!parsed.ok()) {
+        diags.push_back(std::move(d));
+      } else {
+        program = std::move(parsed).value();
+      }
+    } else {
+      analysis::Diagnostic d;
+      Result<Cfg> cfg = ParseCfgText(text, &d);
+      if (!cfg.ok()) {
+        diags.push_back(std::move(d));
+      } else {
+        Result<Session> session = Session::FromCfg(cfg.value());
+        if (!session.ok()) return Fail(args.cfg_file + ": " + session.error());
+        program = session.value().program();
+      }
+    }
+
+    if (program.has_value()) {
+      std::vector<analysis::Diagnostic> lints = analysis::LintProgram(*program);
+      diags.insert(diags.end(), lints.begin(), lints.end());
+
+      if (has_edb) {
+        pipeline::SemiringTraits traits;
+        bool known = pipeline::DispatchSemiring(
+            args.semiring,
+            [&]<Semiring S>() { traits = pipeline::SemiringTraits::For<S>(); });
+        if (!known) {
+          return Fail("unknown --semiring `" + args.semiring + "`");
+        }
+        Result<Session> session_r = BuildSession(args);
+        if (!session_r.ok()) return Fail(session_r.error());
+        Session session = std::move(session_r).value();
+        std::vector<analysis::Diagnostic> notes =
+            analysis::LintRouting(session.planner_context(), traits);
+        diags.insert(diags.end(), notes.begin(), notes.end());
+      }
+    }
+  }
+
+  if (!args.check_snapshot.empty()) {
+    Result<serve::SnapshotInfo> info_r =
+        serve::InspectSnapshot(args.check_snapshot);
+    if (!info_r.ok()) {
+      diags.push_back({"snapshot.unreadable", analysis::Severity::kError,
+                       {}, info_r.error(), ""});
+    } else {
+      const serve::SnapshotInfo& info = info_r.value();
+      const auto c = static_cast<uint8_t>(info.key.construction);
+      const std::string cname =
+          c < pipeline::kNumConstructions
+              ? std::string(pipeline::ConstructionName(info.key.construction))
+              : "unknown(" + std::to_string(c) + ")";
+      diags.push_back(
+          {"snapshot.info", analysis::Severity::kNote, {},
+           "snapshot " + args.check_snapshot + ": construction " + cname +
+               ", " + std::to_string(info.num_slots) + " slot(s) in " +
+               std::to_string(info.num_layers) + " layer(s), " +
+               std::to_string(info.num_outputs) + " output(s), " +
+               std::to_string(info.num_vars) + " input var(s)",
+           ""});
+      diags.insert(diags.end(), info.findings.begin(), info.findings.end());
+    }
+  }
+
+  if (args.json) {
+    std::cout << analysis::RenderJson(diags);
+  } else {
+    std::cout << analysis::RenderText(diags);
+    const analysis::DiagnosticCounts n = analysis::Count(diags);
+    std::cout << "check: " << n.errors << " error(s), " << n.warnings
+              << " warning(s), " << n.notes << " note(s)\n";
+  }
+  return analysis::ExitCode(diags);
 }
 
 // ---------------------------------------------------------------------------
@@ -1585,7 +1710,8 @@ int Main(int argc, char** argv) {
     for (const std::string& n : pipeline::SemiringNames()) std::cout << n << "\n";
     return 0;
   }
-  if (command != "run" && command != "serve" && command != "explain") {
+  if (command != "run" && command != "serve" && command != "explain" &&
+      command != "check") {
     return Fail("unknown command `" + command + "` (try `dlcirc help`)");
   }
 
@@ -1704,6 +1830,11 @@ int Main(int argc, char** argv) {
         return Fail("--max-trees expects a positive integer, got `" +
                     v.value() + "`");
       }
+    } else if (flag == "--snapshot") {
+      if (!(v = value(i, "--snapshot")).ok()) return Fail(v.error());
+      args.check_snapshot = v.value();
+    } else if (flag == "--json") {
+      args.json = true;
     } else if (flag == "--show-facts") {
       args.show_facts = true;
     } else if (flag == "--explain") {
@@ -1730,7 +1861,9 @@ int Main(int argc, char** argv) {
   if (!args.trace_out.empty()) {
     obs::TraceRecorder::Default().set_enabled(true);
   }
-  const int code = command == "serve" ? Serve(args) : Run(args);  // explain = Run
+  const int code = command == "serve"   ? Serve(args)
+                   : command == "check" ? Check(args)
+                                        : Run(args);  // explain = Run
   if (!args.trace_out.empty()) {
     obs::TraceRecorder& rec = obs::TraceRecorder::Default();
     std::ofstream trace(args.trace_out);
